@@ -1,0 +1,95 @@
+// rcpt-quality screens a survey export (NDJSON, as written by
+// rcpt-survey or Instrument.WriteJSON) against the canonical data-
+// quality rules, prints the flag summary, and optionally writes the
+// cleaned responses (hard flags dropped) back out.
+//
+// Usage:
+//
+//	rcpt-survey -year 2024 -n 600 > raw.ndjson
+//	rcpt-quality -in raw.ndjson -out clean.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/survey"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-quality:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "-", "input NDJSON file ('-' for stdin)")
+	out := flag.String("out", "", "write cleaned responses here (empty: report only)")
+	verbose := flag.Bool("v", false, "print every flag, not just the summary")
+	flag.Parse()
+
+	ins := survey.Canonical()
+	var src *os.File
+	if *in == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	responses, err := ins.ReadJSON(src)
+	if err != nil {
+		return err
+	}
+	qr := survey.Screen(ins, responses, survey.CanonicalRules())
+
+	counts := map[string][2]int{} // rule -> [soft, hard]
+	for _, f := range qr.Flags {
+		c := counts[f.Rule]
+		if f.Severity == survey.Hard {
+			c[1]++
+		} else {
+			c[0]++
+		}
+		counts[f.Rule] = c
+	}
+	tab := report.NewTable(fmt.Sprintf("Quality screening (%d responses)", len(responses)),
+		"rule", "soft flags", "hard flags")
+	rules := []string{"duplicate-id"}
+	for _, r := range survey.CanonicalRules() {
+		rules = append(rules, r.Name)
+	}
+	for _, rule := range rules {
+		c := counts[rule]
+		tab.MustAddRow(rule, fmt.Sprintf("%d", c[0]), fmt.Sprintf("%d", c[1]))
+	}
+	tab.Footnote = fmt.Sprintf("clean share %.1f%%; %d respondents hard-flagged",
+		qr.CleanShare()*100, len(qr.HardIDs))
+	if err := tab.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+	if *verbose {
+		for _, f := range qr.Flags {
+			fmt.Printf("%s\t%s\t%s\t%s\n", f.ResponseID, f.Severity, f.Rule, f.Detail)
+		}
+	}
+	if *out != "" {
+		cleaned := survey.DropHard(responses, qr)
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ins.WriteJSON(f, cleaned); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d cleaned responses to %s\n", len(cleaned), *out)
+	}
+	return nil
+}

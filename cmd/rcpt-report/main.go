@@ -1,0 +1,77 @@
+// rcpt-report runs the full study pipeline and regenerates every table
+// and figure of the reconstructed evaluation into an output directory.
+//
+// Usage:
+//
+//	rcpt-report [-out out] [-seed 42] [-n2011 200] [-n2024 600] [-only T2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "out", "output directory for tables and figures")
+	seed := flag.Uint64("seed", 42, "study seed (all generation is deterministic in it)")
+	n2011 := flag.Int("n2011", 200, "2011 cohort size")
+	n2024 := flag.Int("n2024", 600, "2024 cohort size")
+	only := flag.String("only", "", "render a single experiment (e.g. T2 or F3) to stdout")
+	noRake := flag.Bool("norake", false, "disable post-stratification (ablation)")
+	workers := flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := rcpt.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.N2011 = *n2011
+	cfg.N2024 = *n2024
+	cfg.Rake = !*noRake
+	cfg.Workers = *workers
+
+	fmt.Fprintf(os.Stderr, "running study: seed=%d cohorts=%d/%d years=%v\n",
+		cfg.Seed, cfg.N2011, cfg.N2024, cfg.TraceYears)
+	arts, err := rcpt.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *only != "" {
+		e, err := rcpt.Lookup(*only)
+		if err != nil {
+			return err
+		}
+		switch e.Kind {
+		case rcpt.KindTable:
+			tab, err := e.Table(arts)
+			if err != nil {
+				return err
+			}
+			return tab.WriteASCII(os.Stdout)
+		default:
+			return e.Figure(arts, os.Stdout)
+		}
+	}
+
+	files, err := rcpt.WriteAll(arts, *out)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		fmt.Println(f)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d artifacts to %s\n", len(files), *out)
+	fmt.Fprintf(os.Stderr, "scheduler: %s mean wait %.0fs vs fcfs %.0fs; cpu util %.1f%%\n",
+		arts.Sim.Metrics.Policy, arts.Sim.Metrics.MeanWait,
+		arts.SimFCFS.Metrics.MeanWait, arts.Sim.Metrics.AvgCPUUtil*100)
+	return nil
+}

@@ -1,0 +1,87 @@
+// rcpt-sched runs the discrete-event cluster scheduler simulator over an
+// accounting log (from a file or freshly generated) and reports queueing
+// and utilization metrics under the chosen policy.
+//
+// Usage:
+//
+//	rcpt-sched -year 2024 -policy easy
+//	rcpt-trace -years 2024 | rcpt-sched -in - -policy fcfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-sched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "accounting file to schedule ('-' for stdin; empty = generate)")
+	year := flag.Int("year", 2024, "year to generate when no input file is given")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	policy := flag.String("policy", "easy", "scheduling policy: fcfs or easy")
+	fairshare := flag.Bool("fairshare", true, "order the queue by decayed per-user usage")
+	compare := flag.Bool("compare", false, "run both policies and print both metric rows")
+	flag.Parse()
+
+	var jobs []trace.Job
+	var err error
+	switch *in {
+	case "":
+		jobs, err = trace.CampusModel(*year).Generate(
+			rng.New(*seed).SplitNamed(fmt.Sprintf("trace-%d", *year)), 0)
+	case "-":
+		jobs, err = trace.ParseAccounting(os.Stdin)
+	default:
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		jobs, err = trace.ParseAccounting(f)
+	}
+	if err != nil {
+		return err
+	}
+
+	cluster := sched.DefaultCampusCluster()
+	policies := map[string]sched.Policy{"fcfs": sched.FCFS, "easy": sched.EASYBackfill}
+	pol, ok := policies[*policy]
+	if !ok {
+		return fmt.Errorf("unknown policy %q (want fcfs or easy)", *policy)
+	}
+	runs := []sched.Policy{pol}
+	if *compare {
+		runs = []sched.Policy{sched.FCFS, sched.EASYBackfill}
+	}
+
+	tab := report.NewTable(fmt.Sprintf("Scheduler metrics (%d jobs)", len(jobs)),
+		"policy", "mean wait (h)", "median wait (h)", "p95 wait (h)",
+		"cpu util", "gpu util", "backfills")
+	for _, p := range runs {
+		res, err := sched.Simulate(cluster, jobs, sched.Options{Policy: p, Fairshare: *fairshare})
+		if err != nil {
+			return err
+		}
+		m := res.Metrics
+		tab.MustAddRow(p.String(),
+			report.F(m.MeanWait/3600, 2), report.F(m.MedianWait/3600, 2),
+			report.F(m.P95Wait/3600, 2),
+			report.Pct(m.AvgCPUUtil), report.Pct(m.AvgGPUUtil),
+			fmt.Sprintf("%d", m.BackfillStarts))
+	}
+	tab.Footnote = fmt.Sprintf("cluster: %d cpu nodes x %d cores, %d gpu nodes x %d gpus",
+		cluster.CPUNodes, cluster.CoresPerNode, cluster.GPUNodes, cluster.GPUsPerNode)
+	return tab.WriteASCII(os.Stdout)
+}

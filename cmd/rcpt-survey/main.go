@@ -1,0 +1,97 @@
+// rcpt-survey generates one synthetic survey cohort, optionally rakes it
+// to the institutional frame, and either exports the responses (JSON or
+// CSV) or tabulates a question.
+//
+// Usage:
+//
+//	rcpt-survey -year 2024 -n 600 -format json > cohort.ndjson
+//	rcpt-survey -year 2024 -n 600 -tabulate languages
+//	rcpt-survey -codebook
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/population"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/survey"
+	"repro/internal/weighting"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-survey:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	year := flag.Int("year", 2024, "cohort year: 2011 or 2024")
+	n := flag.Int("n", 600, "number of respondents")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	format := flag.String("format", "json", "export format: json or csv")
+	tabulate := flag.String("tabulate", "", "print a weighted tabulation of this question instead of exporting")
+	rake := flag.Bool("rake", true, "post-stratify to the institutional frame")
+	codebook := flag.Bool("codebook", false, "print the instrument codebook and exit")
+	flag.Parse()
+
+	if *codebook {
+		fmt.Print(survey.Canonical().Codebook())
+		return nil
+	}
+
+	var model *population.Model
+	switch *year {
+	case 2011:
+		model = population.Model2011()
+	case 2024:
+		model = population.Model2024()
+	default:
+		return fmt.Errorf("unsupported cohort year %d (want 2011 or 2024)", *year)
+	}
+	gen, err := population.NewGenerator(model)
+	if err != nil {
+		return err
+	}
+	rs, err := gen.GenerateRespondents(rng.New(*seed), *n)
+	if err != nil {
+		return err
+	}
+	if *rake {
+		res, err := weighting.Rake(rs,
+			weighting.FrameMargins(model.FieldShare, model.CareerShare),
+			weighting.Options{TrimRatio: 6})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "raked in %d iterations (converged=%v, effective n=%.0f)\n",
+			res.Iterations, res.Converged, res.EffectiveN)
+	}
+	ins := gen.Instrument()
+
+	if *tabulate != "" {
+		tab, err := ins.Tabulate(*tabulate, rs)
+		if err != nil {
+			return err
+		}
+		out := report.NewTable(fmt.Sprintf("%s (%d cohort, weighted)", *tabulate, *year),
+			"option", "share", "weighted count")
+		for _, opt := range tab.Options() {
+			out.MustAddRow(opt, report.Pct(tab.Share(opt)), report.F(tab.Counts[opt], 1))
+		}
+		out.Footnote = fmt.Sprintf("base %d respondents (weighted %.1f)", tab.RawBase, tab.Base)
+		return out.WriteASCII(os.Stdout)
+	}
+
+	switch *format {
+	case "json":
+		return ins.WriteJSON(os.Stdout, rs)
+	case "csv":
+		return ins.WriteCSV(os.Stdout, rs)
+	default:
+		return fmt.Errorf("unknown format %q (want json or csv)", *format)
+	}
+}

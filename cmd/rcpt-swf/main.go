@@ -1,0 +1,58 @@
+// rcpt-swf converts between this project's accounting format and the
+// Parallel Workloads Archive's Standard Workload Format (SWF), so
+// archive traces can drive the scheduler simulator and generated traces
+// can drive external simulators.
+//
+// Usage:
+//
+//	rcpt-trace -years 2024 | rcpt-swf -to swf > month.swf
+//	rcpt-swf -from swf -year 2015 -gpupart 2 < archive.swf > accounting.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-swf:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	to := flag.String("to", "", "convert accounting (stdin) to this format: swf")
+	from := flag.String("from", "", "convert this format (stdin) to accounting: swf")
+	year := flag.Int("year", 2015, "calendar year to stamp on imported SWF jobs")
+	gpuPart := flag.Int("gpupart", 0, "SWF partition number holding GPU jobs (0 = none)")
+	flag.Parse()
+
+	switch {
+	case *to == "swf" && *from == "":
+		jobs, err := trace.ParseAccounting(os.Stdin)
+		if err != nil {
+			return err
+		}
+		if err := trace.ExportSWF(os.Stdout, jobs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "exported %d jobs to SWF\n", len(jobs))
+		return nil
+	case *from == "swf" && *to == "":
+		jobs, err := trace.ImportSWF(os.Stdin, *year, *gpuPart)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteAccounting(os.Stdout, jobs); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "imported %d jobs from SWF\n", len(jobs))
+		return nil
+	default:
+		return fmt.Errorf("specify exactly one of -to swf or -from swf")
+	}
+}

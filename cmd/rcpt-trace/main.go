@@ -1,0 +1,75 @@
+// rcpt-trace generates synthetic cluster accounting data (one
+// representative month per year) and either exports it in the
+// sacct-style text format or prints per-year summaries.
+//
+// Usage:
+//
+//	rcpt-trace -years 2011,2017,2024 > accounting.txt
+//	rcpt-trace -years 2011,2024 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	yearsFlag := flag.String("years", "2011,2024", "comma-separated calendar years")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	summary := flag.Bool("summary", false, "print per-year summaries instead of the raw log")
+	flag.Parse()
+
+	var years []int
+	for _, part := range strings.Split(*yearsFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		y, err := strconv.Atoi(part)
+		if err != nil {
+			return fmt.Errorf("bad year %q: %w", part, err)
+		}
+		years = append(years, y)
+	}
+	if len(years) == 0 {
+		return fmt.Errorf("no years given")
+	}
+
+	root := rng.New(*seed)
+	var all []trace.Job
+	for _, y := range years {
+		jobs, err := trace.CampusModel(y).Generate(
+			root.SplitNamed(fmt.Sprintf("trace-%d", y)), uint64(y)*10_000_000)
+		if err != nil {
+			return fmt.Errorf("year %d: %w", y, err)
+		}
+		all = append(all, jobs...)
+	}
+
+	if !*summary {
+		return trace.WriteAccounting(os.Stdout, all)
+	}
+	sums := trace.SummarizeByYear(all)
+	tab := report.NewTable("Cluster workload by year",
+		"year", "jobs", "cpu-hours", "gpu-hours", "gpu-job share", "median cores", "p99 cores")
+	for _, s := range sums {
+		tab.MustAddRow(strconv.Itoa(s.Year), strconv.Itoa(s.Jobs),
+			report.F(s.CPUHours, 0), report.F(s.GPUHours, 0),
+			report.Pct(s.GPUJobShare), report.F(s.MedianCores, 0), report.F(s.P99Cores, 0))
+	}
+	return tab.WriteASCII(os.Stdout)
+}

@@ -1,0 +1,105 @@
+// rcpt-trends fits logistic adoption curves to module-load telemetry
+// and prints each module's trend classification, inflection year,
+// saturation level, and projected share.
+//
+// Usage:
+//
+//	rcpt-trends -years 2011,2014,2017,2020,2024 -project 2030
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/growth"
+	"repro/internal/modlog"
+	"repro/internal/report"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-trends:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	yearsFlag := flag.String("years", "2011,2014,2017,2020,2024", "telemetry years (>= 4)")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	project := flag.Float64("project", 2030, "projection year")
+	flag.Parse()
+
+	var years []int
+	for _, part := range strings.Split(*yearsFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		y, err := strconv.Atoi(part)
+		if err != nil {
+			return fmt.Errorf("bad year %q: %w", part, err)
+		}
+		years = append(years, y)
+	}
+	if len(years) < 4 {
+		return fmt.Errorf("need >= 4 years for curve fitting, got %d", len(years))
+	}
+
+	root := rng.New(*seed)
+	var events []modlog.Event
+	for _, y := range years {
+		ev, err := modlog.CampusModulesModel(y).Generate(root.SplitNamed(fmt.Sprintf("m%d", y)))
+		if err != nil {
+			return fmt.Errorf("year %d: %w", y, err)
+		}
+		events = append(events, ev...)
+	}
+	agg := modlog.AggregateByYear(events)
+	fy := make([]float64, len(agg))
+	for i, ys := range agg {
+		fy[i] = float64(ys.Year)
+	}
+
+	// Every module seen in any year.
+	seen := map[string]bool{}
+	for _, ys := range agg {
+		for m := range ys.Shares {
+			seen[m] = true
+		}
+	}
+	modules := make([]string, 0, len(seen))
+	for m := range seen {
+		modules = append(modules, m)
+	}
+	sort.Strings(modules)
+
+	tab := report.NewTable(fmt.Sprintf("Adoption trends fitted over %v", years),
+		"module", "class", "now", "inflection", "saturation", fmt.Sprintf("projected %g", *project), "rmse")
+	for _, m := range modules {
+		_, shares := modlog.Series(agg, m)
+		tr, err := growth.AnalyzeSeries(m, fy, shares, *project)
+		if err != nil {
+			return err
+		}
+		tab.MustAddRow(m, tr.Class,
+			report.Pct(shares[len(shares)-1]),
+			report.F(tr.Fit.T0, 0),
+			report.Pct(minF(tr.Fit.L, 1)),
+			report.Pct(tr.Projected),
+			report.F(tr.Fit.RMSE, 3))
+	}
+	tab.Footnote = "logistic fit s(t) = L/(1+exp(-k(t-t0))); class from fitted change over the window"
+	return tab.WriteASCII(os.Stdout)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

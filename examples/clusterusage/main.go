@@ -1,0 +1,133 @@
+// Clusterusage: a telemetry-only study. Generates multi-year accounting
+// data and module-load logs, summarizes the workload evolution, runs the
+// scheduler simulator under both policies, and writes the GPU-adoption
+// and job-size figures — no survey involved, the workflow a research-
+// computing group would run on their own logs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/modlog"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	years := []int{2011, 2015, 2019, 2024}
+	root := rng.New(7)
+
+	// Accounting data per year.
+	var jobs []trace.Job
+	byYear := map[int][]trace.Job{}
+	for _, y := range years {
+		js, err := trace.CampusModel(y).Generate(root.SplitNamed(fmt.Sprintf("t%d", y)), uint64(y)*1_000_000)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, js...)
+		byYear[y] = js
+	}
+	sums := trace.SummarizeByYear(jobs)
+	tab := report.NewTable("Workload evolution", "year", "jobs", "cpu-h", "gpu-h", "gpu jobs")
+	for _, s := range sums {
+		tab.MustAddRow(fmt.Sprint(s.Year), fmt.Sprint(s.Jobs),
+			report.F(s.CPUHours, 0), report.F(s.GPUHours, 0), report.Pct(s.GPUJobShare))
+	}
+	if err := tab.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+
+	// Scheduler comparison on the latest year.
+	fmt.Println()
+	cluster := sched.DefaultCampusCluster()
+	cmp := report.NewTable("Scheduler comparison (2024 month)",
+		"policy", "mean wait (h)", "p95 wait (h)", "cpu util", "backfills")
+	for _, p := range []sched.Policy{sched.FCFS, sched.EASYBackfill} {
+		res, err := sched.Simulate(cluster, byYear[2024], sched.Options{Policy: p})
+		if err != nil {
+			return err
+		}
+		cmp.MustAddRow(p.String(), report.F(res.Metrics.MeanWait/3600, 2),
+			report.F(res.Metrics.P95Wait/3600, 2), report.Pct(res.Metrics.AvgCPUUtil),
+			fmt.Sprint(res.Metrics.BackfillStarts))
+	}
+	if err := cmp.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+
+	// Module telemetry trend figure.
+	var events []modlog.Event
+	for _, y := range years {
+		ev, err := modlog.CampusModulesModel(y).Generate(root.SplitNamed(fmt.Sprintf("m%d", y)))
+		if err != nil {
+			return err
+		}
+		events = append(events, ev...)
+	}
+	agg := modlog.AggregateByYear(events)
+	if err := os.MkdirAll("out", 0o755); err != nil {
+		return err
+	}
+	xs := make([]float64, len(agg))
+	for i, ys := range agg {
+		xs[i] = float64(ys.Year)
+	}
+	var series []report.LineSeries
+	for _, m := range []string{"python", "matlab", "fortran", "cuda"} {
+		_, shares := modlog.Series(agg, m)
+		series = append(series, report.LineSeries{Name: m, Ys: shares})
+	}
+	f, err := os.Create(filepath.Join("out", "module-trend.svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.LineChart(f, "Module adoption", xs, series, "year", "share of users", true); err != nil {
+		return err
+	}
+
+	// Job-size CDF figure for the two endpoint years.
+	var cdfSeries []report.LineSeries
+	var pointSets [][]float64
+	for _, y := range []int{2011, 2024} {
+		cores := make([]float64, len(byYear[y]))
+		for i, j := range byYear[y] {
+			cores[i] = float64(j.Cores())
+		}
+		pts, probs, err := stats.ECDF(cores)
+		if err != nil {
+			return err
+		}
+		k := len(pts)/300 + 1
+		var tp, tq []float64
+		for i := 0; i < len(pts); i += k {
+			tp = append(tp, pts[i])
+			tq = append(tq, probs[i])
+		}
+		cdfSeries = append(cdfSeries, report.LineSeries{Name: fmt.Sprint(y), Ys: tq})
+		pointSets = append(pointSets, tp)
+	}
+	f2, err := os.Create(filepath.Join("out", "job-size-cdf.svg"))
+	if err != nil {
+		return err
+	}
+	defer f2.Close()
+	if err := report.CDFChart(f2, "Job-size CDF", cdfSeries, pointSets, "cores (log)"); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote out/module-trend.svg and out/job-size-cdf.svg")
+	return nil
+}

@@ -1,0 +1,127 @@
+// Customsurvey: adapt the toolkit to your own questionnaire. Defines a
+// fresh instrument (not the canonical rcpt one), creates and validates
+// responses by hand, exports/imports them as NDJSON, then runs the
+// standard analysis machinery — tabulation, cross-tabulation with a
+// chi-square test, and a jackknife standard error — exactly as a
+// downstream group would on their own form export.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/survey"
+	"repro/internal/weighting"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Define your own instrument.
+	ins, err := survey.NewInstrument("lab-retreat-2026", []survey.Question{
+		{ID: "role", Text: "Your role", Kind: survey.SingleChoice,
+			Options: []string{"student", "staff"}, Required: true},
+		{ID: "editor", Text: "Primary editor", Kind: survey.SingleChoice,
+			Options: []string{"vscode", "vim", "emacs", "jupyter"}, Required: true},
+		{ID: "pain", Text: "Biggest pain points (select all)", Kind: survey.MultiChoice,
+			Options: []string{"builds", "data access", "cluster queue", "documentation"}},
+		{ID: "satisfaction", Text: "Tooling satisfaction", Kind: survey.Likert, Scale: 7},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(ins.Codebook())
+
+	// 2. Create responses (here synthesized; a real deployment would
+	// decode its form export into the same Response type).
+	r := rng.New(2026)
+	editorByRole := map[string]*rng.Categorical{
+		"student": rng.MustCategorical(map[string]float64{
+			"vscode": 0.5, "jupyter": 0.3, "vim": 0.15, "emacs": 0.05}),
+		"staff": rng.MustCategorical(map[string]float64{
+			"vscode": 0.3, "jupyter": 0.1, "vim": 0.4, "emacs": 0.2}),
+	}
+	var responses []*survey.Response
+	for i := 0; i < 400; i++ {
+		resp := survey.NewResponse(fmt.Sprintf("r%03d", i), 2026)
+		role := "student"
+		if r.Bool(0.35) {
+			role = "staff"
+		}
+		resp.SetChoice("role", role)
+		resp.SetChoice("editor", editorByRole[role].Draw(r))
+		var pains []string
+		for _, p := range []string{"builds", "data access", "cluster queue", "documentation"} {
+			if r.Bool(0.3) {
+				pains = append(pains, p)
+			}
+		}
+		resp.SetChoices("pain", pains)
+		resp.SetRating("satisfaction", 1+r.Intn(7))
+		if errs := ins.Validate(resp); len(errs) > 0 {
+			return fmt.Errorf("invalid response: %v", errs[0])
+		}
+		responses = append(responses, resp)
+	}
+
+	// 3. Round-trip through NDJSON, as a form export would arrive.
+	var buf bytes.Buffer
+	if err := ins.WriteJSON(&buf, responses); err != nil {
+		return err
+	}
+	responses, err = ins.ReadJSON(&buf)
+	if err != nil {
+		return err
+	}
+
+	// 4. Tabulate the editor question.
+	tab, err := ins.Tabulate("editor", responses)
+	if err != nil {
+		return err
+	}
+	out := report.NewTable("Primary editor", "editor", "share")
+	for _, opt := range tab.Options() {
+		out.MustAddRow(opt, report.Pct(tab.Share(opt)))
+	}
+	if err := out.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+
+	// 5. Cross-tabulate editor by role and test independence.
+	ct, err := ins.CrossTabulate("role", "editor", responses)
+	if err != nil {
+		return err
+	}
+	rows, cols, counts := ct.Flatten()
+	cont, err := stats.FromCounts(len(rows), len(cols), counts)
+	if err != nil {
+		return err
+	}
+	chi, err := cont.ChiSquare()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrole x editor: chi2=%.1f df=%d p=%s V=%.2f\n",
+		chi.Stat, chi.DF, report.PValue(chi.P), chi.CramerV)
+	fmt.Printf("P(vim | staff)=%.0f%%  P(vim | student)=%.0f%%\n",
+		ct.RowShare("staff", "vim")*100, ct.RowShare("student", "vim")*100)
+
+	// 6. Jackknife SE on a share.
+	jk, err := weighting.JackknifeSE(rng.New(7), responses, 20,
+		weighting.ShareEstimator(ins, "pain", "cluster queue"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncluster-queue pain: %.1f%% (jackknife SE %.1fpp, %d groups)\n",
+		jk.Estimate*100, jk.SE*100, jk.Groups)
+	return nil
+}

@@ -1,0 +1,79 @@
+// Deptcompare: field-by-field practice comparison with multiple-testing
+// control. For each engineering practice, tests whether adoption varies
+// across research fields in the 2024 cohort, reports per-field shares
+// with Wilson intervals, and applies Benjamini–Hochberg across all
+// (practice, field) tests — the analysis behind "which departments need
+// software-engineering support".
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/population"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/survey"
+	"repro/internal/textcode"
+	"repro/internal/trend"
+	"repro/internal/weighting"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	m := population.Model2024()
+	g, err := population.NewGenerator(m)
+	if err != nil {
+		return err
+	}
+	rs, err := g.GenerateRespondents(rng.New(99), 1200)
+	if err != nil {
+		return err
+	}
+	if _, err := weighting.Rake(rs,
+		weighting.FrameMargins(m.FieldShare, m.CareerShare),
+		weighting.Options{TrimRatio: 6}); err != nil {
+		return err
+	}
+	ins := g.Instrument()
+
+	for _, practice := range []string{"version control", "automated testing", "continuous integration"} {
+		rows, err := trend.ByField(ins, survey.QPractices, practice, rs)
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable(fmt.Sprintf("%s by field (2024, weighted)", practice),
+			"field", "share", "95% CI", "eff. n", "q vs rest")
+		for _, fb := range rows {
+			tab.MustAddRow(fb.Field, report.Pct(fb.Share), report.CI(fb.CI.Lo, fb.CI.Hi),
+				report.F(fb.EffN, 0), report.PValue(fb.Q))
+		}
+		if err := tab.WriteASCII(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	// Code the free-text bottlenecks and show the category mix.
+	tax := textcode.BottleneckTaxonomy()
+	var texts []string
+	for _, r := range rs {
+		if t := r.Text(survey.QBottleneck); t != "" {
+			texts = append(texts, t)
+		}
+	}
+	counts, uncoded := tax.CodeAll(texts)
+	tab := report.NewTable("Reported bottlenecks (coded from free text)", "category", "respondents", "share")
+	total := len(texts)
+	for _, c := range tax.Categories() {
+		tab.MustAddRow(c, fmt.Sprint(counts[c]), report.Pct(float64(counts[c])/float64(total)))
+	}
+	tab.Footnote = fmt.Sprintf("%d texts, %d uncoded", total, uncoded)
+	return tab.WriteASCII(os.Stdout)
+}

@@ -1,0 +1,27 @@
+// Quickstart: run the full study with the default configuration and
+// write every table and figure to ./out. This is the five-line version
+// of everything the library does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	arts, err := rcpt.Run(rcpt.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	files, err := rcpt.WriteAll(arts, "out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("study complete: %d respondents (2011) + %d (2024), %d jobs, %d artifacts\n",
+		len(arts.Cohort2011), len(arts.Cohort2024), len(arts.Jobs), len(files))
+	for _, f := range files {
+		fmt.Println(" ", f)
+	}
+}

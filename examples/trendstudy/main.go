@@ -1,0 +1,82 @@
+// Trendstudy: the paper's headline analysis as a standalone program.
+// Generates both cohorts, rakes them to the institutional frame, and
+// prints the cross-cohort deltas for languages, parallelism, and
+// engineering practices with confidence intervals, odds ratios, and
+// FDR-corrected significance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/population"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/survey"
+	"repro/internal/trend"
+	"repro/internal/weighting"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cohort := func(m *population.Model, seed uint64, n int) ([]*surveyResponse, error) {
+		g, err := population.NewGenerator(m)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := g.GenerateRespondents(rng.New(seed), n)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := weighting.Rake(rs,
+			weighting.FrameMargins(m.FieldShare, m.CareerShare),
+			weighting.Options{TrimRatio: 6}); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	}
+	r11, err := cohort(population.Model2011(), 2011, 200)
+	if err != nil {
+		return err
+	}
+	r24, err := cohort(population.Model2024(), 2024, 600)
+	if err != nil {
+		return err
+	}
+	ins := survey.Canonical()
+
+	for _, block := range []struct {
+		title string
+		qid   string
+	}{
+		{"Programming languages", survey.QLanguages},
+		{"Parallelism & hardware", survey.QParallelism},
+		{"Engineering practices", survey.QPractices},
+	} {
+		deltas, err := trend.CompareCohorts(ins, block.qid, nil, r11, r24)
+		if err != nil {
+			return err
+		}
+		tab := report.NewTable(block.title+" — 2011 vs 2024",
+			"option", "2011", "2024", "delta", "OR", "q")
+		for _, d := range deltas {
+			tab.MustAddRow(d.Option, report.Pct(d.ShareA), report.Pct(d.ShareB),
+				fmt.Sprintf("%+.1fpp", d.Diff*100), report.F(d.OddsRatio, 2),
+				report.PValue(d.Q))
+		}
+		if err := tab.WriteASCII(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// surveyResponse is a local alias keeping the cohort helper readable.
+type surveyResponse = survey.Response

@@ -1,0 +1,274 @@
+// Package core orchestrates the rcpt study pipeline: generate (or load)
+// the two survey cohorts, rake them to the institutional frame, generate
+// the multi-year cluster accounting and module-load telemetry, run the
+// scheduler simulation, and expose everything as Artifacts that the
+// experiment registry (experiments.go) turns into the paper's tables and
+// figures.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/modlog"
+	"repro/internal/parallel"
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/survey"
+	"repro/internal/trace"
+	"repro/internal/weighting"
+)
+
+// Config parameterizes one full study run. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	Seed  uint64
+	N2011 int // respondents in the 2011 cohort
+	N2024 int // respondents in the 2024 cohort
+	// TraceYears are the calendar years of synthetic accounting data
+	// (each one representative month).
+	TraceYears []int
+	// SimYear is the trace year fed to the scheduler simulation.
+	SimYear int
+	Policy  sched.Policy
+	// Rake enables post-stratification to the frame (on by default; the
+	// ablation turns it off).
+	Rake bool
+	// PanelN is the longitudinal panel size (people observed in both
+	// waves); 0 disables the panel experiments.
+	PanelN int
+	// NoiseRate injects synthetic data-quality problems (duplicates,
+	// straight-liners, unit errors) into that fraction of each cohort
+	// before screening; 0 disables injection. Screening itself always
+	// runs, and hard-flagged responses are dropped before weighting.
+	NoiseRate float64
+	Workers   int // parallel generation fan-out; <=0 means GOMAXPROCS
+}
+
+// DefaultConfig returns the standard study configuration: cohort sizes
+// echo the reconstructed study (200 in 2011, 600 in 2024), telemetry
+// covers 2011–2024 every other year plus both endpoints.
+func DefaultConfig() Config {
+	return Config{
+		Seed:       42,
+		N2011:      200,
+		N2024:      600,
+		TraceYears: []int{2011, 2013, 2015, 2017, 2019, 2021, 2023, 2024},
+		SimYear:    2024,
+		Policy:     sched.EASYBackfill,
+		Rake:       true,
+		PanelN:     300,
+		NoiseRate:  0.05,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N2011 <= 0 || c.N2024 <= 0 {
+		return fmt.Errorf("core: cohort sizes must be positive, got %d and %d", c.N2011, c.N2024)
+	}
+	if len(c.TraceYears) == 0 {
+		return errors.New("core: no trace years")
+	}
+	seen := map[int]bool{}
+	simYearPresent := false
+	for _, y := range c.TraceYears {
+		if y < 2000 || y > 2100 {
+			return fmt.Errorf("core: implausible trace year %d", y)
+		}
+		if seen[y] {
+			return fmt.Errorf("core: duplicate trace year %d", y)
+		}
+		seen[y] = true
+		if y == c.SimYear {
+			simYearPresent = true
+		}
+	}
+	if !simYearPresent {
+		return fmt.Errorf("core: sim year %d not among trace years %v", c.SimYear, c.TraceYears)
+	}
+	if c.NoiseRate < 0 || c.NoiseRate > 0.5 {
+		return fmt.Errorf("core: noise rate %g out of [0, 0.5]", c.NoiseRate)
+	}
+	return nil
+}
+
+// Artifacts is everything a study run produces; the experiment registry
+// reads only from here, so a run is computed once and rendered many
+// times.
+type Artifacts struct {
+	Config     Config
+	Instrument *survey.Instrument
+
+	Model2011, Model2024   *population.Model
+	Cohort2011, Cohort2024 []*survey.Response
+	Rake2011, Rake2024     weighting.Result
+
+	Jobs     []trace.Job         // all years, sorted within year
+	JobsByYr map[int][]trace.Job // same jobs keyed by year
+	ModAgg   []modlog.YearShares // telemetry aggregated per year
+	// ModEventsSim holds the raw telemetry events for the sim year,
+	// kept for the co-load analysis (T10).
+	ModEventsSim []modlog.Event
+	// Quality2011 and Quality2024 report the data-quality screening run
+	// on each cohort (after optional noise injection).
+	Quality2011, Quality2024 survey.QualityReport
+	// Panel holds the longitudinal members (nil when Config.PanelN == 0).
+	Panel   []population.PanelMember
+	Sim     *sched.Result // scheduler run on SimYear's jobs
+	SimFCFS *sched.Result // FCFS baseline for the ablation
+	// SimConservative is the conservative-backfill run for the policy
+	// comparison table (T8).
+	SimConservative *sched.Result
+}
+
+// Run executes the full pipeline. Deterministic in cfg.Seed for any
+// worker count.
+func Run(cfg Config) (*Artifacts, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Artifacts{
+		Config:     cfg,
+		Instrument: survey.Canonical(),
+		Model2011:  population.Model2011(),
+		Model2024:  population.Model2024(),
+		JobsByYr:   map[int][]trace.Job{},
+	}
+
+	// 1. Survey cohorts.
+	g11, err := population.NewGenerator(a.Model2011)
+	if err != nil {
+		return nil, fmt.Errorf("core: 2011 generator: %w", err)
+	}
+	g24, err := population.NewGenerator(a.Model2024)
+	if err != nil {
+		return nil, fmt.Errorf("core: 2024 generator: %w", err)
+	}
+	root := rng.New(cfg.Seed)
+	if a.Cohort2011, err = g11.GenerateParallel(root.SplitNamed("cohort-2011").Uint64(), cfg.N2011, cfg.Workers); err != nil {
+		return nil, fmt.Errorf("core: generating 2011 cohort: %w", err)
+	}
+	if a.Cohort2024, err = g24.GenerateParallel(root.SplitNamed("cohort-2024").Uint64(), cfg.N2024, cfg.Workers); err != nil {
+		return nil, fmt.Errorf("core: generating 2024 cohort: %w", err)
+	}
+
+	// 1a. Data-quality stage: optional noise injection, then screening;
+	// hard-flagged responses are dropped before any analysis.
+	rules := survey.CanonicalRules()
+	for _, c := range []struct {
+		cohort *[]*survey.Response
+		report *survey.QualityReport
+		name   string
+	}{
+		{&a.Cohort2011, &a.Quality2011, "2011"},
+		{&a.Cohort2024, &a.Quality2024, "2024"},
+	} {
+		if cfg.NoiseRate > 0 {
+			noisy, _, err := population.InjectNoise(root.SplitNamed("noise-"+c.name), *c.cohort, cfg.NoiseRate)
+			if err != nil {
+				return nil, fmt.Errorf("core: injecting noise into %s: %w", c.name, err)
+			}
+			*c.cohort = noisy
+		}
+		*c.report = survey.Screen(a.Instrument, *c.cohort, rules)
+		*c.cohort = survey.DropHard(*c.cohort, *c.report)
+		if len(*c.cohort) == 0 {
+			return nil, fmt.Errorf("core: screening removed the entire %s cohort", c.name)
+		}
+	}
+
+	// 1b. Longitudinal panel (optional).
+	if cfg.PanelN > 0 {
+		pg, err := population.NewPanelGenerator(a.Model2011, a.Model2024, population.PanelOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: panel generator: %w", err)
+		}
+		if a.Panel, err = pg.Generate(root.SplitNamed("panel"), cfg.PanelN); err != nil {
+			return nil, fmt.Errorf("core: generating panel: %w", err)
+		}
+	}
+
+	// 2. Post-stratification. Margins are restricted to observed
+	// categories so a small cohort that happens to miss a rare stratum
+	// still rakes (the standard collapsed-stratum fallback).
+	if cfg.Rake {
+		rake := func(rs []*survey.Response, model *population.Model, name string) (weighting.Result, error) {
+			margins := make([]weighting.Margin, 0, 2)
+			for _, m := range weighting.FrameMargins(model.FieldShare, model.CareerShare) {
+				rm, err := weighting.RestrictToObserved(m, rs)
+				if err != nil {
+					return weighting.Result{}, fmt.Errorf("core: raking %s: %w", name, err)
+				}
+				margins = append(margins, rm)
+			}
+			res, err := weighting.Rake(rs, margins, weighting.Options{TrimRatio: 6})
+			if err != nil {
+				return weighting.Result{}, fmt.Errorf("core: raking %s: %w", name, err)
+			}
+			return res, nil
+		}
+		if a.Rake2011, err = rake(a.Cohort2011, a.Model2011, "2011"); err != nil {
+			return nil, err
+		}
+		if a.Rake2024, err = rake(a.Cohort2024, a.Model2024, "2024"); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Cluster accounting traces, one year per parallel task.
+	jobsPartials, err := parallel.Map(cfg.Workers, cfg.TraceYears, func(_ int, year int) ([]trace.Job, error) {
+		r := rng.New(cfg.Seed).SplitNamed(fmt.Sprintf("trace-%d", year))
+		return trace.CampusModel(year).Generate(r, uint64(year)*10_000_000)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: generating traces: %w", err)
+	}
+	for i, year := range cfg.TraceYears {
+		a.JobsByYr[year] = jobsPartials[i]
+		a.Jobs = append(a.Jobs, jobsPartials[i]...)
+	}
+
+	// 4. Module-load telemetry.
+	modPartials, err := parallel.Map(cfg.Workers, cfg.TraceYears, func(_ int, year int) ([]modlog.Event, error) {
+		r := rng.New(cfg.Seed).SplitNamed(fmt.Sprintf("modlog-%d", year))
+		return modlog.CampusModulesModel(year).Generate(r)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: generating module logs: %w", err)
+	}
+	var events []modlog.Event
+	for i, p := range modPartials {
+		events = append(events, p...)
+		if cfg.TraceYears[i] == cfg.SimYear {
+			a.ModEventsSim = p
+		}
+	}
+	a.ModAgg = modlog.AggregateByYear(events)
+
+	// 5. Scheduler simulation on the sim year, requested policy plus the
+	// FCFS baseline for the ablation.
+	cluster := sched.DefaultCampusCluster()
+	if a.Sim, err = sched.Simulate(cluster, a.JobsByYr[cfg.SimYear], sched.Options{Policy: cfg.Policy, Fairshare: true}); err != nil {
+		return nil, fmt.Errorf("core: scheduler simulation: %w", err)
+	}
+	if a.SimFCFS, err = sched.Simulate(cluster, a.JobsByYr[cfg.SimYear], sched.Options{Policy: sched.FCFS}); err != nil {
+		return nil, fmt.Errorf("core: FCFS baseline: %w", err)
+	}
+	if a.SimConservative, err = sched.Simulate(cluster, a.JobsByYr[cfg.SimYear],
+		sched.Options{Policy: sched.ConservativeBackfill}); err != nil {
+		return nil, fmt.Errorf("core: conservative baseline: %w", err)
+	}
+	return a, nil
+}
+
+// ModAggFor returns the telemetry aggregate for one year.
+func (a *Artifacts) ModAggFor(year int) (modlog.YearShares, error) {
+	for _, ys := range a.ModAgg {
+		if ys.Year == year {
+			return ys, nil
+		}
+	}
+	return modlog.YearShares{}, fmt.Errorf("core: no telemetry for year %d", year)
+}

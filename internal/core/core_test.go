@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/survey"
+)
+
+// smallConfig keeps integration tests fast: two trace years, small
+// cohorts.
+func smallConfig() Config {
+	return Config{
+		Seed:       7,
+		N2011:      150,
+		N2024:      300,
+		TraceYears: []int{2011, 2015, 2019, 2024},
+		SimYear:    2024,
+		Policy:     sched.EASYBackfill,
+		Rake:       true,
+		PanelN:     150,
+	}
+}
+
+// runOnce caches one pipeline run across the tests in this package.
+var cached *Artifacts
+
+func artifacts(t *testing.T) *Artifacts {
+	t.Helper()
+	if cached == nil {
+		a, err := Run(smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached = a
+	}
+	return cached
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{N2011: 10, N2024: 0, TraceYears: []int{2024}, SimYear: 2024},
+		{N2011: 10, N2024: 10, TraceYears: nil, SimYear: 2024},
+		{N2011: 10, N2024: 10, TraceYears: []int{2024, 2024}, SimYear: 2024},
+		{N2011: 10, N2024: 10, TraceYears: []int{2023}, SimYear: 2024},
+		{N2011: 10, N2024: 10, TraceYears: []int{1800}, SimYear: 1800},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunProducesCompleteArtifacts(t *testing.T) {
+	a := artifacts(t)
+	// smallConfig leaves NoiseRate at 0, so screening drops nothing.
+	if len(a.Cohort2011) != 150 || len(a.Cohort2024) != 300 {
+		t.Fatalf("cohorts %d/%d", len(a.Cohort2011), len(a.Cohort2024))
+	}
+	if !a.Rake2011.Converged || !a.Rake2024.Converged {
+		t.Fatalf("raking did not converge: %+v %+v", a.Rake2011, a.Rake2024)
+	}
+	if len(a.JobsByYr[2011]) == 0 || len(a.JobsByYr[2024]) == 0 {
+		t.Fatal("missing trace years")
+	}
+	if len(a.Jobs) <= len(a.JobsByYr[2011])+len(a.JobsByYr[2024]) {
+		t.Fatal("job totals inconsistent")
+	}
+	if len(a.ModAgg) != 4 {
+		t.Fatalf("%d telemetry years", len(a.ModAgg))
+	}
+	if a.Sim == nil || a.SimFCFS == nil {
+		t.Fatal("missing scheduler results")
+	}
+	if a.Sim.Metrics.MeanWait > a.SimFCFS.Metrics.MeanWait {
+		t.Fatalf("backfill mean wait %.0f above FCFS %.0f",
+			a.Sim.Metrics.MeanWait, a.SimFCFS.Metrics.MeanWait)
+	}
+	if _, err := a.ModAggFor(2024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ModAggFor(1999); err == nil {
+		t.Fatal("missing year accepted")
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := smallConfig()
+	cfg.N2011, cfg.N2024 = 60, 80
+	cfg.Workers = 1
+	a1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	a8, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1.Cohort2024 {
+		x, y := a1.Cohort2024[i], a8.Cohort2024[i]
+		if x.ID != y.ID || x.Choice(survey.QField) != y.Choice(survey.QField) || x.Weight != y.Weight {
+			t.Fatalf("cohort differs at %d across worker counts", i)
+		}
+	}
+	if len(a1.Jobs) != len(a8.Jobs) {
+		t.Fatal("traces differ across worker counts")
+	}
+	for i := range a1.Jobs {
+		if a1.Jobs[i] != a8.Jobs[i] {
+			t.Fatalf("job %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 29 {
+		t.Fatalf("%d experiments", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		switch e.Kind {
+		case KindTable:
+			if e.Table == nil || e.Figure != nil {
+				t.Fatalf("%s: table experiment miswired", e.ID)
+			}
+			if !strings.HasPrefix(e.Filename(), "table") {
+				t.Fatalf("%s filename %s", e.ID, e.Filename())
+			}
+		case KindFigure:
+			if e.Figure == nil || e.Table != nil {
+				t.Fatalf("%s: figure experiment miswired", e.ID)
+			}
+			if !strings.HasPrefix(e.Filename(), "figure") {
+				t.Fatalf("%s filename %s", e.ID, e.Filename())
+			}
+		default:
+			t.Fatalf("%s: unknown kind %q", e.ID, e.Kind)
+		}
+	}
+	if _, err := Lookup("T2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("T99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestAllTablesRender(t *testing.T) {
+	a := artifacts(t)
+	for _, e := range Registry() {
+		if e.Kind != KindTable {
+			continue
+		}
+		tab, err := e.Table(a)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", e.ID)
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteASCII(&buf); err != nil {
+			t.Fatalf("%s ascii: %v", e.ID, err)
+		}
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s csv: %v", e.ID, err)
+		}
+		if err := tab.WriteMarkdown(&buf); err != nil {
+			t.Fatalf("%s markdown: %v", e.ID, err)
+		}
+	}
+}
+
+func TestAllFiguresRender(t *testing.T) {
+	a := artifacts(t)
+	for _, e := range Registry() {
+		if e.Kind != KindFigure {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := e.Figure(a, &buf); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out := buf.String()
+		if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+			t.Fatalf("%s: not svg", e.ID)
+		}
+	}
+}
+
+// Shape assertions on the rendered evaluation: the headline claims from
+// DESIGN.md must be visible in the artifacts themselves.
+func TestShapeClaims(t *testing.T) {
+	a := artifacts(t)
+	// T2: python rises to dominance.
+	tab2, err := table2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPython := false
+	for _, row := range tab2.Rows {
+		if row[0] == "python" {
+			foundPython = true
+			if !strings.HasPrefix(row[5], "+") {
+				t.Fatalf("python delta not positive: %v", row)
+			}
+		}
+	}
+	if !foundPython {
+		t.Fatal("no python row in table 2")
+	}
+	// T4: version control ends near-saturation in 2024.
+	tab4, err := table4(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab4.Rows {
+		if row[0] == "version control" {
+			if !strings.HasPrefix(row[5], "+") {
+				t.Fatalf("vcs delta not positive: %v", row)
+			}
+		}
+	}
+	// Ablation shape: backfill strictly increases started-early jobs.
+	if a.Sim.Metrics.BackfillStarts == 0 {
+		t.Fatal("no backfills on the 2024 trace")
+	}
+}
+
+func TestNoiseScreeningInPipeline(t *testing.T) {
+	cfg := smallConfig()
+	cfg.N2011, cfg.N2024 = 80, 120
+	cfg.PanelN = 0
+	cfg.NoiseRate = 0.2
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Quality2024.Flags) == 0 {
+		t.Fatal("20% noise produced no flags")
+	}
+	// Hard-flagged respondents must be gone from the analysis cohorts.
+	for _, r := range a.Cohort2024 {
+		if a.Quality2024.HardIDs[r.ID] {
+			t.Fatalf("hard-flagged %s survived into the cohort", r.ID)
+		}
+	}
+	// Raking still converges on the cleaned cohort.
+	if cfg.Rake && !a.Rake2024.Converged {
+		t.Fatalf("raking failed on cleaned cohort: %+v", a.Rake2024)
+	}
+	// T12 renders with non-zero counts.
+	tab, err := table12(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestConfigRejectsBadNoiseRate(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NoiseRate = 0.9
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("noise rate 0.9 accepted")
+	}
+	cfg.NoiseRate = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative noise rate accepted")
+	}
+}

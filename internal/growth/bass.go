@@ -1,0 +1,161 @@
+package growth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Bass diffusion model: the other canonical technology-adoption curve.
+// Cumulative adoption F(t) = M * (1 - e^{-(p+q)τ}) / (1 + (q/p) e^{-(p+q)τ})
+// with τ = t - t0, p the coefficient of innovation (external influence),
+// q the coefficient of imitation (word of mouth), and M the market
+// potential (saturation share). Comparing Bass and logistic RMSE per
+// series is the model-selection ablation (T14): logistic is symmetric
+// around its inflection, Bass can rise faster than it saturates.
+
+// BassFit is a fitted Bass diffusion curve.
+type BassFit struct {
+	M    float64 // market potential (saturation share)
+	P    float64 // innovation coefficient
+	Q    float64 // imitation coefficient
+	T0   float64 // adoption start year
+	RMSE float64
+	N    int
+}
+
+// Eval returns the fitted cumulative adoption share at year t. Before
+// T0 adoption is 0.
+func (f BassFit) Eval(t float64) float64 {
+	tau := t - f.T0
+	if tau <= 0 {
+		return 0
+	}
+	e := math.Exp(-(f.P + f.Q) * tau)
+	return f.M * (1 - e) / (1 + (f.Q/f.P)*e)
+}
+
+// FitBass fits the Bass model by deterministic grid search plus
+// coordinate refinement, mirroring FitLogistic. Shares must be in
+// [0, 1]; at least 4 points are required. Declining series cannot be
+// represented by Bass (it is cumulative); callers should fit only
+// rising or flat series, and the fit will return the best flat-ish
+// approximation otherwise.
+func FitBass(years, shares []float64) (BassFit, error) {
+	if len(years) != len(shares) {
+		return BassFit{}, fmt.Errorf("growth: %d years vs %d shares", len(years), len(shares))
+	}
+	n := len(years)
+	if n < 4 {
+		return BassFit{}, fmt.Errorf("growth: need >= 4 points, got %d", n)
+	}
+	minY, maxY := years[0], years[0]
+	maxS := 0.0
+	for i := range years {
+		if shares[i] < 0 || shares[i] > 1 || math.IsNaN(shares[i]) {
+			return BassFit{}, fmt.Errorf("growth: share %g at index %d outside [0,1]", shares[i], i)
+		}
+		if years[i] < minY {
+			minY = years[i]
+		}
+		if years[i] > maxY {
+			maxY = years[i]
+		}
+		if shares[i] > maxS {
+			maxS = shares[i]
+		}
+	}
+	if maxY == minY {
+		return BassFit{}, errors.New("growth: all observations in one year")
+	}
+	rmse := func(f BassFit) float64 {
+		ss := 0.0
+		for i := range years {
+			d := f.Eval(years[i]) - shares[i]
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(n))
+	}
+	span := maxY - minY
+	best := BassFit{M: math.Max(maxS, 0.05), P: 0.03, Q: 0.4, T0: minY - 1}
+	bestE := rmse(best)
+	for _, m := range gridRange(math.Max(maxS, 0.02), 1.2, 10) {
+		for _, p := range []float64{0.001, 0.005, 0.01, 0.03, 0.08, 0.2} {
+			for _, q := range []float64{0.05, 0.15, 0.3, 0.5, 0.8, 1.2} {
+				for _, t0 := range gridRange(minY-span, maxY, 12) {
+					cand := BassFit{M: m, P: p, Q: q, T0: t0}
+					if e := rmse(cand); e < bestE {
+						best, bestE = cand, e
+					}
+				}
+			}
+		}
+	}
+	stepM, stepP, stepQ, stepT := 0.05, 0.01, 0.1, span/8
+	for iter := 0; iter < 200; iter++ {
+		improved := false
+		for _, cand := range []BassFit{
+			{M: best.M + stepM, P: best.P, Q: best.Q, T0: best.T0},
+			{M: best.M - stepM, P: best.P, Q: best.Q, T0: best.T0},
+			{M: best.M, P: best.P + stepP, Q: best.Q, T0: best.T0},
+			{M: best.M, P: best.P - stepP, Q: best.Q, T0: best.T0},
+			{M: best.M, P: best.P, Q: best.Q + stepQ, T0: best.T0},
+			{M: best.M, P: best.P, Q: best.Q - stepQ, T0: best.T0},
+			{M: best.M, P: best.P, Q: best.Q, T0: best.T0 + stepT},
+			{M: best.M, P: best.P, Q: best.Q, T0: best.T0 - stepT},
+		} {
+			if cand.M < 0.01 || cand.M > 1.5 || cand.P <= 1e-5 || cand.Q < 0 {
+				continue
+			}
+			if e := rmse(cand); e < bestE-1e-12 {
+				best, bestE = cand, e
+				improved = true
+			}
+		}
+		if !improved {
+			stepM /= 2
+			stepP /= 2
+			stepQ /= 2
+			stepT /= 2
+			if stepM < 1e-5 && stepT < 1e-4 {
+				break
+			}
+		}
+	}
+	best.RMSE = bestE
+	best.N = n
+	return best, nil
+}
+
+// ModelComparison reports which adoption model explains one series
+// better.
+type ModelComparison struct {
+	Name         string
+	LogisticRMSE float64
+	BassRMSE     float64
+	Better       string // "logistic", "bass", or "tie"
+}
+
+// CompareModels fits both models to a rising series and reports RMSEs.
+// A relative difference under 5% is called a tie.
+func CompareModels(name string, years, shares []float64) (ModelComparison, error) {
+	lf, err := FitLogistic(years, shares)
+	if err != nil {
+		return ModelComparison{}, err
+	}
+	bf, err := FitBass(years, shares)
+	if err != nil {
+		return ModelComparison{}, err
+	}
+	mc := ModelComparison{Name: name, LogisticRMSE: lf.RMSE, BassRMSE: bf.RMSE}
+	ref := math.Max(lf.RMSE, bf.RMSE)
+	switch {
+	case ref == 0 || math.Abs(lf.RMSE-bf.RMSE) < 0.05*ref:
+		mc.Better = "tie"
+	case lf.RMSE < bf.RMSE:
+		mc.Better = "logistic"
+	default:
+		mc.Better = "bass"
+	}
+	return mc, nil
+}

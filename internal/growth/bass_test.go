@@ -1,0 +1,99 @@
+package growth
+
+import (
+	"math"
+	"testing"
+)
+
+func bassEval(m, p, q, t0, t float64) float64 {
+	tau := t - t0
+	if tau <= 0 {
+		return 0
+	}
+	e := math.Exp(-(p + q) * tau)
+	return m * (1 - e) / (1 + (q/p)*e)
+}
+
+func TestFitBassRecoversKnownCurve(t *testing.T) {
+	trueM, trueP, trueQ, trueT0 := 0.7, 0.02, 0.5, 2012.0
+	years := []float64{2011, 2013, 2015, 2017, 2019, 2021, 2023, 2024}
+	shares := make([]float64, len(years))
+	for i, y := range years {
+		shares[i] = bassEval(trueM, trueP, trueQ, trueT0, y)
+	}
+	fit, err := FitBass(years, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RMSE > 0.01 {
+		t.Fatalf("rmse %g: %+v", fit.RMSE, fit)
+	}
+	if math.Abs(fit.M-trueM) > 0.1 {
+		t.Fatalf("M %g vs %g", fit.M, trueM)
+	}
+	// Eval is 0 before the adoption start.
+	if fit.Eval(fit.T0-5) != 0 {
+		t.Fatal("adoption before T0")
+	}
+	// Monotone non-decreasing after T0.
+	prev := 0.0
+	for y := fit.T0; y < fit.T0+40; y++ {
+		v := fit.Eval(y)
+		if v < prev-1e-12 {
+			t.Fatalf("bass curve decreased at %g", y)
+		}
+		prev = v
+	}
+}
+
+func TestFitBassErrors(t *testing.T) {
+	if _, err := FitBass([]float64{1, 2, 3}, []float64{0.1, 0.2, 0.3}); err == nil {
+		t.Fatal("3 points accepted")
+	}
+	if _, err := FitBass([]float64{1, 2, 3, 4}, []float64{0.1, 0.2, 0.3}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitBass([]float64{1, 2, 3, 4}, []float64{0.1, 0.2, 1.5, 0.3}); err == nil {
+		t.Fatal("share > 1 accepted")
+	}
+	if _, err := FitBass([]float64{5, 5, 5, 5}, []float64{0.1, 0.2, 0.3, 0.4}); err == nil {
+		t.Fatal("degenerate years accepted")
+	}
+}
+
+func TestCompareModelsPrefersGeneratingModel(t *testing.T) {
+	years := []float64{2011, 2012, 2013, 2014, 2015, 2016, 2017, 2018, 2019, 2020, 2021, 2022, 2023, 2024}
+	// Bass-generated data with strong imitation: asymmetric takeoff that
+	// a symmetric logistic fits worse.
+	shares := make([]float64, len(years))
+	for i, y := range years {
+		shares[i] = bassEval(0.8, 0.002, 0.9, 2011, y)
+	}
+	mc, err := CompareModels("bass-data", years, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both models can track this curve; the requirement is that Bass
+	// fits its own data near-perfectly and is not catastrophically
+	// behind logistic.
+	if mc.BassRMSE > 0.02 {
+		t.Fatalf("bass rmse %g on its own data", mc.BassRMSE)
+	}
+	if mc.BassRMSE > 5*mc.LogisticRMSE+0.01 {
+		t.Fatalf("bass collapsed on its own data: %+v", mc)
+	}
+	// Logistic-generated data: logistic must not lose badly.
+	for i, y := range years {
+		shares[i] = logistic(0.8, 0.6, 2017, y)
+	}
+	mc, err = CompareModels("logistic-data", years, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.LogisticRMSE > 0.02 {
+		t.Fatalf("logistic rmse %g on its own data", mc.LogisticRMSE)
+	}
+	if mc.Better == "bass" && mc.BassRMSE < mc.LogisticRMSE/2 {
+		t.Fatalf("implausible bass win on logistic data: %+v", mc)
+	}
+}

@@ -1,0 +1,202 @@
+// Package growth fits technology-adoption curves to yearly share series
+// — the "trends" half of practices-and-trends. The workhorse is a
+// three-parameter logistic s(t) = L / (1 + exp(-k (t - t0))) fit by
+// deterministic coarse-grid search plus coordinate-descent refinement
+// (no randomness, no external solver), which classifies each series as
+// rising, declining, or flat, and reports the saturation level L, the
+// growth rate k, and the inflection year t0 — "when did Python's takeoff
+// happen, and where does it plateau".
+package growth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LogisticFit is a fitted adoption curve.
+type LogisticFit struct {
+	L    float64 // saturation level (asymptote), in (0, 1.5]
+	K    float64 // growth rate per year; negative for decline
+	T0   float64 // inflection year
+	RMSE float64
+	N    int
+	// YearLo and YearHi record the observed window; classification is
+	// based on the fitted change across it (a steep logistic centered
+	// decades before the window is effectively flat within it).
+	YearLo, YearHi float64
+}
+
+// Eval returns the fitted share at year t.
+func (f LogisticFit) Eval(t float64) float64 {
+	return f.L / (1 + math.Exp(-f.K*(t-f.T0)))
+}
+
+// WindowDelta returns the fitted share change over the observed window.
+func (f LogisticFit) WindowDelta() float64 {
+	return f.Eval(f.YearHi) - f.Eval(f.YearLo)
+}
+
+// Classify labels the fit by its fitted change over the observed window.
+func (f LogisticFit) Classify() string {
+	d := f.WindowDelta()
+	switch {
+	case math.Abs(d) < 0.02:
+		return "flat"
+	case d > 0:
+		return "rising"
+	default:
+		return "declining"
+	}
+}
+
+// FitLogistic fits the curve to (years, shares). Shares must be in
+// [0, 1]; at least 4 points are required. The optimizer is a coarse
+// grid over (L, k, t0) followed by cyclic coordinate refinement with
+// shrinking steps — deterministic and derivative-free.
+func FitLogistic(years, shares []float64) (LogisticFit, error) {
+	if len(years) != len(shares) {
+		return LogisticFit{}, fmt.Errorf("growth: %d years vs %d shares", len(years), len(shares))
+	}
+	n := len(years)
+	if n < 4 {
+		return LogisticFit{}, fmt.Errorf("growth: need >= 4 points, got %d", n)
+	}
+	minY, maxY := years[0], years[0]
+	maxS := 0.0
+	for i := range years {
+		if shares[i] < 0 || shares[i] > 1 || math.IsNaN(shares[i]) {
+			return LogisticFit{}, fmt.Errorf("growth: share %g at index %d outside [0,1]", shares[i], i)
+		}
+		if years[i] < minY {
+			minY = years[i]
+		}
+		if years[i] > maxY {
+			maxY = years[i]
+		}
+		if shares[i] > maxS {
+			maxS = shares[i]
+		}
+	}
+	if maxY == minY {
+		return LogisticFit{}, errors.New("growth: all observations in one year")
+	}
+
+	rmse := func(L, k, t0 float64) float64 {
+		ss := 0.0
+		for i := range years {
+			p := L / (1 + math.Exp(-k*(years[i]-t0)))
+			d := p - shares[i]
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(n))
+	}
+
+	// Coarse grid. L spans observed max up to full saturation; k spans
+	// both directions; t0 spans the window with margin.
+	span := maxY - minY
+	bestL, bestK, bestT0 := math.Max(maxS, 0.05), 0.0, (minY+maxY)/2
+	best := math.Inf(1)
+	for _, L := range gridRange(math.Max(maxS, 0.02), 1.2, 12) {
+		for _, k := range gridRange(-2, 2, 21) {
+			for _, t0 := range gridRange(minY-span/2, maxY+span/2, 15) {
+				if e := rmse(L, k, t0); e < best {
+					best, bestL, bestK, bestT0 = e, L, k, t0
+				}
+			}
+		}
+	}
+	// Coordinate refinement with shrinking steps.
+	stepL, stepK, stepT := 0.1, 0.2, span/8
+	for iter := 0; iter < 200; iter++ {
+		improved := false
+		for _, cand := range []struct{ l, k, t float64 }{
+			{bestL + stepL, bestK, bestT0}, {bestL - stepL, bestK, bestT0},
+			{bestL, bestK + stepK, bestT0}, {bestL, bestK - stepK, bestT0},
+			{bestL, bestK, bestT0 + stepT}, {bestL, bestK, bestT0 - stepT},
+		} {
+			if cand.l < 0.01 || cand.l > 1.5 {
+				continue
+			}
+			if e := rmse(cand.l, cand.k, cand.t); e < best-1e-12 {
+				best, bestL, bestK, bestT0 = e, cand.l, cand.k, cand.t
+				improved = true
+			}
+		}
+		if !improved {
+			stepL /= 2
+			stepK /= 2
+			stepT /= 2
+			if stepL < 1e-5 && stepK < 1e-5 && stepT < 1e-4 {
+				break
+			}
+		}
+	}
+	return LogisticFit{L: bestL, K: bestK, T0: bestT0, RMSE: best, N: n, YearLo: minY, YearHi: maxY}, nil
+}
+
+func gridRange(lo, hi float64, steps int) []float64 {
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(steps-1)
+	}
+	return out
+}
+
+// Trend summarizes one series: the logistic fit plus the plain linear
+// slope (pp/year) as a robustness check, and the projected share at a
+// future year.
+type Trend struct {
+	Name        string
+	Fit         LogisticFit
+	LinearSlope float64 // share points per year from OLS
+	Class       string
+	Projected   float64 // Eval at the projection year
+	ProjectYear float64
+}
+
+// AnalyzeSeries fits and classifies one named adoption series,
+// projecting to projectYear. The linear slope is computed directly
+// (closed form) rather than through the stats package to keep growth
+// dependency-free.
+func AnalyzeSeries(name string, years, shares []float64, projectYear float64) (Trend, error) {
+	fit, err := FitLogistic(years, shares)
+	if err != nil {
+		return Trend{}, fmt.Errorf("growth: series %q: %w", name, err)
+	}
+	// OLS slope.
+	n := float64(len(years))
+	var sx, sy, sxx, sxy float64
+	for i := range years {
+		sx += years[i]
+		sy += shares[i]
+		sxx += years[i] * years[i]
+		sxy += years[i] * shares[i]
+	}
+	den := n*sxx - sx*sx
+	slope := 0.0
+	if den != 0 {
+		slope = (n*sxy - sx*sy) / den
+	}
+	cls := fit.Classify()
+	// The logistic can misclassify a clearly sloped series as "flat"
+	// when saturation is distant; let the linear slope arbitrate.
+	if cls == "flat" && math.Abs(slope) > 0.005 {
+		if slope > 0 {
+			cls = "rising"
+		} else {
+			cls = "declining"
+		}
+	}
+	proj := fit.Eval(projectYear)
+	if proj < 0 {
+		proj = 0
+	}
+	if proj > 1 {
+		proj = 1
+	}
+	return Trend{
+		Name: name, Fit: fit, LinearSlope: slope, Class: cls,
+		Projected: proj, ProjectYear: projectYear,
+	}, nil
+}

@@ -1,0 +1,197 @@
+package growth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/modlog"
+	"repro/internal/rng"
+)
+
+func logistic(L, k, t0, t float64) float64 {
+	return L / (1 + math.Exp(-k*(t-t0)))
+}
+
+func TestFitRecoversKnownCurve(t *testing.T) {
+	trueL, trueK, trueT0 := 0.85, 0.45, 2017.0
+	years := []float64{2011, 2013, 2015, 2017, 2019, 2021, 2023, 2024}
+	shares := make([]float64, len(years))
+	for i, y := range years {
+		shares[i] = logistic(trueL, trueK, trueT0, y)
+	}
+	fit, err := FitLogistic(years, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RMSE > 0.01 {
+		t.Fatalf("rmse %g: %+v", fit.RMSE, fit)
+	}
+	if math.Abs(fit.L-trueL) > 0.05 || math.Abs(fit.K-trueK) > 0.1 || math.Abs(fit.T0-trueT0) > 1 {
+		t.Fatalf("fit %+v vs true (%.2f %.2f %.0f)", fit, trueL, trueK, trueT0)
+	}
+	if fit.Classify() != "rising" {
+		t.Fatalf("class %q", fit.Classify())
+	}
+}
+
+func TestFitDecliningCurve(t *testing.T) {
+	years := []float64{2011, 2014, 2017, 2020, 2024}
+	shares := make([]float64, len(years))
+	for i, y := range years {
+		shares[i] = logistic(0.6, -0.4, 2016, y)
+	}
+	fit, err := FitLogistic(years, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.K >= 0 {
+		t.Fatalf("declining series fit with k=%g", fit.K)
+	}
+	if fit.Classify() != "declining" {
+		t.Fatalf("class %q", fit.Classify())
+	}
+}
+
+func TestFitFlatSeries(t *testing.T) {
+	years := []float64{2011, 2014, 2017, 2020, 2024}
+	shares := []float64{0.31, 0.30, 0.31, 0.30, 0.31}
+	fit, err := FitLogistic(years, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RMSE > 0.02 {
+		t.Fatalf("flat series rmse %g", fit.RMSE)
+	}
+	tr, err := AnalyzeSeries("r", years, shares, 2030)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Class != "flat" {
+		t.Fatalf("class %q (fit %+v, slope %g)", tr.Class, tr.Fit, tr.LinearSlope)
+	}
+}
+
+func TestFitNoisyRecovery(t *testing.T) {
+	r := rng.New(5)
+	years := make([]float64, 14)
+	shares := make([]float64, 14)
+	for i := range years {
+		years[i] = float64(2011 + i)
+		s := logistic(0.8, 0.5, 2018, years[i]) + r.NormMeanStd(0, 0.02)
+		if s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1
+		}
+		shares[i] = s
+	}
+	fit, err := FitLogistic(years, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RMSE > 0.05 {
+		t.Fatalf("noisy rmse %g", fit.RMSE)
+	}
+	if math.Abs(fit.T0-2018) > 2 {
+		t.Fatalf("inflection %g", fit.T0)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitLogistic([]float64{1, 2, 3}, []float64{0.1, 0.2, 0.3}); err == nil {
+		t.Fatal("3 points accepted")
+	}
+	if _, err := FitLogistic([]float64{1, 2, 3, 4}, []float64{0.1, 0.2, 0.3}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitLogistic([]float64{1, 2, 3, 4}, []float64{0.1, 0.2, 1.3, 0.4}); err == nil {
+		t.Fatal("share > 1 accepted")
+	}
+	if _, err := FitLogistic([]float64{5, 5, 5, 5}, []float64{0.1, 0.2, 0.3, 0.4}); err == nil {
+		t.Fatal("single-year data accepted")
+	}
+}
+
+func TestAnalyzeSeriesProjectionClamped(t *testing.T) {
+	years := []float64{2011, 2015, 2019, 2024}
+	shares := []float64{0.05, 0.2, 0.55, 0.8}
+	tr, err := AnalyzeSeries("python", years, shares, 2035)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Class != "rising" {
+		t.Fatalf("class %q", tr.Class)
+	}
+	if tr.Projected < shares[3] || tr.Projected > 1 {
+		t.Fatalf("projected %g", tr.Projected)
+	}
+	if tr.LinearSlope <= 0 {
+		t.Fatalf("slope %g", tr.LinearSlope)
+	}
+}
+
+// Integration: fit the synthetic module-load telemetry and verify the
+// trend classifications match the era model.
+func TestFitsTelemetryTrends(t *testing.T) {
+	r := rng.New(77)
+	var events []modlog.Event
+	years := []int{2011, 2014, 2017, 2020, 2024}
+	for _, y := range years {
+		ev, err := modlog.CampusModulesModel(y).Generate(r.SplitNamed(string(rune('a' + y - 2011))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev...)
+	}
+	agg := modlog.AggregateByYear(events)
+	fy := make([]float64, len(agg))
+	for i, ys := range agg {
+		fy[i] = float64(ys.Year)
+	}
+	expect := map[string]string{
+		"python":  "rising",
+		"cuda":    "rising",
+		"fortran": "declining",
+		"matlab":  "declining",
+	}
+	for mod, wantClass := range expect {
+		_, shares := modlog.Series(agg, mod)
+		tr, err := AnalyzeSeries(mod, fy, shares, 2030)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Class != wantClass {
+			t.Fatalf("%s classified %q (want %q); fit %+v slope %g shares %v",
+				mod, tr.Class, wantClass, tr.Fit, tr.LinearSlope, shares)
+		}
+	}
+}
+
+// Property: fitting never panics and RMSE is finite and non-negative on
+// arbitrary in-range series.
+func TestQuickFitStable(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		years := make([]float64, len(raw))
+		shares := make([]float64, len(raw))
+		for i, v := range raw {
+			years[i] = float64(2011 + i)
+			shares[i] = float64(v) / 255
+		}
+		fit, err := FitLogistic(years, shares)
+		if err != nil {
+			return false
+		}
+		return fit.RMSE >= 0 && !math.IsNaN(fit.RMSE) && !math.IsInf(fit.RMSE, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

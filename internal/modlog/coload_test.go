@@ -1,0 +1,77 @@
+package modlog
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCoLoadsHandComputed(t *testing.T) {
+	events := []Event{
+		{Time: 1, Year: 2024, User: "a", Module: "python/3.11"},
+		{Time: 2, Year: 2024, User: "a", Module: "cuda/12.1"},
+		{Time: 3, Year: 2024, User: "b", Module: "python/3.11"},
+		{Time: 4, Year: 2024, User: "b", Module: "cuda/12.1"},
+		{Time: 5, Year: 2024, User: "c", Module: "python/3.11"},
+		{Time: 6, Year: 2024, User: "d", Module: "matlab/2023a"},
+	}
+	pairs, err := CoLoads(events, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pc *PairAffinity
+	for i := range pairs {
+		if pairs[i].A == "cuda" && pairs[i].B == "python" {
+			pc = &pairs[i]
+		}
+	}
+	if pc == nil {
+		t.Fatalf("cuda/python pair missing: %+v", pairs)
+	}
+	// 4 users total; python 3, cuda 2, both 2.
+	if pc.UsersA != 2 || pc.UsersB != 3 || pc.UsersAB != 2 {
+		t.Fatalf("counts %+v", pc)
+	}
+	if pc.Jaccard != 2.0/3.0 {
+		t.Fatalf("jaccard %g", pc.Jaccard)
+	}
+	// lift = (2/4) / ((2/4)(3/4)) = 4/3.
+	if pc.Lift < 1.33 || pc.Lift > 1.34 {
+		t.Fatalf("lift %g", pc.Lift)
+	}
+}
+
+func TestCoLoadsRejectsWrongYear(t *testing.T) {
+	events := []Event{{Time: 1, Year: 2011, User: "a", Module: "python/2.7"}}
+	if _, err := CoLoads(events, 2024); err == nil {
+		t.Fatal("wrong-year events accepted")
+	}
+	if _, err := CoLoads(nil, 2024); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestCoLoadsSortedAndTopPairs(t *testing.T) {
+	ev, err := CampusModulesModel(2024).Generate(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := CoLoads(ev, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Lift > pairs[i-1].Lift+1e-12 {
+			t.Fatal("pairs not sorted by lift")
+		}
+	}
+	top := TopPairs(pairs, 5, 3)
+	if len(top) > 5 {
+		t.Fatalf("%d pairs", len(top))
+	}
+	for _, p := range top {
+		if p.UsersAB < 3 {
+			t.Fatalf("minUsers filter failed: %+v", p)
+		}
+	}
+}

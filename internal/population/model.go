@@ -1,0 +1,363 @@
+// Package population implements the synthetic-respondent substitute for
+// the study's IRB-protected survey data. A Model describes one cohort's
+// behavioral parameters: the institutional frame (who exists), the
+// response propensities (who answers — deliberately biased so the
+// weighting stage has real work to do), and practice-adoption
+// probabilities conditioned on field, career stage, and a latent
+// "engineering propensity" that induces realistic correlations between
+// practices (a respondent who uses CI almost certainly uses version
+// control).
+//
+// The marginal rates in Model2011 and Model2024 are set to
+// published-consensus values for the two eras; they are parameters, not
+// code, so a real dataset (or different assumptions) can be swapped in
+// without touching the pipeline.
+package population
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+// Model is one cohort's generative description.
+type Model struct {
+	Year int
+
+	// FieldShare and CareerShare define the institutional frame: the
+	// true composition of the researcher population. These are also the
+	// raking targets.
+	FieldShare  map[string]float64
+	CareerShare map[string]float64
+
+	// FieldResponseBias and CareerResponseBias multiply the base response
+	// propensity; values > 1 over-represent the group among respondents.
+	FieldResponseBias  map[string]float64
+	CareerResponseBias map[string]float64
+	BaseResponseRate   float64
+
+	// LangBase maps language -> base selection probability; FieldLangBoost
+	// adds a per-field additive shift (clamped into [0.01, 0.99]).
+	LangBase       map[string]float64
+	FieldLangBoost map[string]map[string]float64
+
+	// ParallelismBase, PracticeBase, ToolBase are analogous multi-select
+	// probabilities. EngSlope scales how strongly the latent engineering
+	// propensity shifts practice adoption (log-odds units per std dev).
+	ParallelismBase map[string]float64
+	PracticeBase    map[string]float64
+	ToolBase        map[string]float64 // nil for cohorts without the item
+	EngSlope        float64
+
+	// ClusterUse maps frequency option -> probability.
+	ClusterUse map[string]float64
+
+	// GPUAffinity is the probability-scale boost that selecting "gpu"
+	// parallelism adds to the numeric GPU-share answer.
+	GPUAffinity float64
+
+	// TrainingShift moves the formal-training Likert in latent (log-odds)
+	// units: training opportunities (carpentries, RSE groups, online
+	// courses) expanded between the waves.
+	TrainingShift float64
+}
+
+// Validate checks that the model's tables cover the canonical instrument
+// vocabulary and that all probabilities are in range.
+func (m *Model) Validate() error {
+	if m.Year <= 0 {
+		return fmt.Errorf("population: model year %d", m.Year)
+	}
+	if err := checkShare("FieldShare", m.FieldShare, survey.Fields); err != nil {
+		return err
+	}
+	if err := checkShare("CareerShare", m.CareerShare, survey.CareerStages); err != nil {
+		return err
+	}
+	if err := checkProbs("LangBase", m.LangBase, survey.Languages); err != nil {
+		return err
+	}
+	if err := checkProbs("ParallelismBase", m.ParallelismBase, survey.ParallelismModes); err != nil {
+		return err
+	}
+	if err := checkProbs("PracticeBase", m.PracticeBase, survey.EngineeringPractices); err != nil {
+		return err
+	}
+	if m.ToolBase != nil {
+		if err := checkProbs("ToolBase", m.ToolBase, survey.ModernTools); err != nil {
+			return err
+		}
+	}
+	if err := checkShare("ClusterUse", m.ClusterUse, survey.ClusterUseOptions); err != nil {
+		return err
+	}
+	if m.BaseResponseRate <= 0 || m.BaseResponseRate > 1 {
+		return fmt.Errorf("population: base response rate %g out of (0,1]", m.BaseResponseRate)
+	}
+	return nil
+}
+
+func checkShare(name string, m map[string]float64, keys []string) error {
+	if len(m) == 0 {
+		return fmt.Errorf("population: %s is empty", name)
+	}
+	sum := 0.0
+	for _, k := range keys {
+		v, ok := m[k]
+		if !ok {
+			return fmt.Errorf("population: %s missing %q", name, k)
+		}
+		if v < 0 {
+			return fmt.Errorf("population: %s[%q] = %g negative", name, k, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("population: %s sums to %g, want 1", name, sum)
+	}
+	return nil
+}
+
+func checkProbs(name string, m map[string]float64, keys []string) error {
+	if len(m) == 0 {
+		return fmt.Errorf("population: %s is empty", name)
+	}
+	for _, k := range keys {
+		v, ok := m[k]
+		if !ok {
+			return fmt.Errorf("population: %s missing %q", name, k)
+		}
+		if v < 0 || v > 1 {
+			return fmt.Errorf("population: %s[%q] = %g out of [0,1]", name, k, v)
+		}
+	}
+	return nil
+}
+
+// Model2011 returns the 2011-cohort parameters: MATLAB/C-era languages,
+// little GPU, minority version control.
+func Model2011() *Model {
+	return &Model{
+		Year:       2011,
+		FieldShare: defaultFieldShare(),
+		CareerShare: map[string]float64{
+			"undergraduate":    0.08,
+			"graduate student": 0.42,
+			"postdoc":          0.18,
+			"research staff":   0.12,
+			"faculty":          0.20,
+		},
+		FieldResponseBias: map[string]float64{
+			"computer science": 1.6, "physics": 1.3, "engineering": 1.2,
+			"astronomy": 1.2, "chemistry": 1.0, "biology": 0.9,
+			"earth science": 1.0, "economics": 0.7, "mathematics": 0.9,
+			"neuroscience": 0.9, "political science": 0.5, "sociology": 0.5,
+		},
+		CareerResponseBias: map[string]float64{
+			"undergraduate": 0.6, "graduate student": 1.4, "postdoc": 1.2,
+			"research staff": 1.0, "faculty": 0.6,
+		},
+		BaseResponseRate: 0.35,
+		LangBase: map[string]float64{
+			"python": 0.30, "c": 0.35, "c++": 0.30, "fortran": 0.25,
+			"r": 0.20, "matlab": 0.45, "julia": 0.0, "java": 0.15,
+			"shell": 0.25, "javascript": 0.04, "go": 0.0, "rust": 0.0,
+			"perl": 0.15, "mathematica": 0.10, "sas/stata": 0.08,
+		},
+		FieldLangBoost: defaultFieldLangBoost(),
+		ParallelismBase: map[string]float64{
+			"serial only": 0.40, "multicore (threads/OpenMP)": 0.35,
+			"mpi / multi-node": 0.20, "gpu": 0.05,
+			"cluster batch jobs": 0.30, "cloud": 0.03,
+			"distributed frameworks (spark/dask)": 0.01,
+		},
+		PracticeBase: map[string]float64{
+			"version control": 0.35, "automated testing": 0.15,
+			"continuous integration": 0.03, "code review": 0.10,
+			"written documentation": 0.30, "packaging/releases": 0.08,
+			"issue tracking": 0.10, "code sharing on publication": 0.15,
+		},
+		ToolBase: nil, // item did not exist in 2011
+		EngSlope: 0.9,
+		ClusterUse: map[string]float64{
+			"never": 0.45, "a few times a year": 0.20, "monthly": 0.12,
+			"weekly": 0.13, "daily": 0.10,
+		},
+		GPUAffinity:   0.25,
+		TrainingShift: -0.35,
+	}
+}
+
+// Model2024 returns the 2024-cohort parameters: Python-dominant, heavy
+// GPU and cluster use, near-universal version control, AI tooling.
+func Model2024() *Model {
+	return &Model{
+		Year:       2024,
+		FieldShare: defaultFieldShare(),
+		CareerShare: map[string]float64{
+			"undergraduate":    0.10,
+			"graduate student": 0.40,
+			"postdoc":          0.17,
+			"research staff":   0.15,
+			"faculty":          0.18,
+		},
+		FieldResponseBias: map[string]float64{
+			"computer science": 1.5, "physics": 1.2, "engineering": 1.2,
+			"astronomy": 1.1, "chemistry": 1.0, "biology": 1.0,
+			"earth science": 1.0, "economics": 0.8, "mathematics": 0.9,
+			"neuroscience": 1.1, "political science": 0.6, "sociology": 0.6,
+		},
+		CareerResponseBias: map[string]float64{
+			"undergraduate": 0.7, "graduate student": 1.3, "postdoc": 1.2,
+			"research staff": 1.1, "faculty": 0.6,
+		},
+		BaseResponseRate: 0.30,
+		LangBase: map[string]float64{
+			"python": 0.82, "c": 0.22, "c++": 0.30, "fortran": 0.12,
+			"r": 0.30, "matlab": 0.20, "julia": 0.12, "java": 0.10,
+			"shell": 0.40, "javascript": 0.12, "go": 0.06, "rust": 0.05,
+			"perl": 0.03, "mathematica": 0.05, "sas/stata": 0.06,
+		},
+		FieldLangBoost: defaultFieldLangBoost(),
+		ParallelismBase: map[string]float64{
+			"serial only": 0.15, "multicore (threads/OpenMP)": 0.55,
+			"mpi / multi-node": 0.25, "gpu": 0.45,
+			"cluster batch jobs": 0.55, "cloud": 0.25,
+			"distributed frameworks (spark/dask)": 0.15,
+		},
+		PracticeBase: map[string]float64{
+			"version control": 0.85, "automated testing": 0.35,
+			"continuous integration": 0.25, "code review": 0.30,
+			"written documentation": 0.45, "packaging/releases": 0.20,
+			"issue tracking": 0.35, "code sharing on publication": 0.50,
+		},
+		ToolBase: map[string]float64{
+			"ai code assistants": 0.45, "containers (docker/apptainer)": 0.35,
+			"workflow managers (snakemake/nextflow)": 0.25,
+			"jupyter/notebooks":                      0.70,
+			"package managers (conda/spack)":         0.65,
+			"cloud notebooks (colab)":                0.25,
+		},
+		EngSlope: 0.9,
+		ClusterUse: map[string]float64{
+			"never": 0.25, "a few times a year": 0.15, "monthly": 0.15,
+			"weekly": 0.25, "daily": 0.20,
+		},
+		GPUAffinity:   0.45,
+		TrainingShift: 0.35,
+	}
+}
+
+func defaultFieldShare() map[string]float64 {
+	return map[string]float64{
+		"astronomy":         0.05,
+		"biology":           0.14,
+		"chemistry":         0.10,
+		"computer science":  0.10,
+		"earth science":     0.07,
+		"economics":         0.07,
+		"engineering":       0.16,
+		"mathematics":       0.06,
+		"neuroscience":      0.08,
+		"physics":           0.09,
+		"political science": 0.04,
+		"sociology":         0.04,
+	}
+}
+
+// defaultFieldLangBoost encodes the stable field→language affinities:
+// Fortran in the physical sciences, R in the life and social sciences,
+// MATLAB in engineering, Python in CS.
+func defaultFieldLangBoost() map[string]map[string]float64 {
+	return map[string]map[string]float64{
+		"physics":           {"fortran": 0.20, "c++": 0.10, "python": 0.05},
+		"astronomy":         {"fortran": 0.15, "python": 0.10, "c": 0.05},
+		"earth science":     {"fortran": 0.25, "matlab": 0.05},
+		"chemistry":         {"fortran": 0.10, "c++": 0.05},
+		"biology":           {"r": 0.30, "perl": 0.05, "python": 0.05},
+		"neuroscience":      {"matlab": 0.25, "python": 0.05, "r": 0.10},
+		"economics":         {"sas/stata": 0.35, "r": 0.25, "matlab": 0.10},
+		"political science": {"r": 0.35, "sas/stata": 0.25},
+		"sociology":         {"r": 0.30, "sas/stata": 0.30},
+		"computer science":  {"python": 0.10, "c++": 0.15, "java": 0.10, "go": 0.05, "rust": 0.05},
+		"engineering":       {"matlab": 0.25, "c++": 0.10, "fortran": 0.05},
+		"mathematics":       {"mathematica": 0.20, "matlab": 0.10, "julia": 0.05},
+	}
+}
+
+// logit and logistic convert between probability and log-odds space so
+// latent shifts compose additively.
+func logit(p float64) float64 {
+	if p < 1e-6 {
+		p = 1e-6
+	}
+	if p > 1-1e-6 {
+		p = 1 - 1e-6
+	}
+	return math.Log(p / (1 - p))
+}
+
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// clampProb keeps adjusted probabilities strictly inside [lo, hi].
+func clampProb(p, lo, hi float64) float64 {
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}
+
+// bottleneckPhrases is the free-text bank for QBottleneck, keyed by the
+// dominant constraint the respondent's profile implies. The textcode
+// taxonomy maps these back to categories, closing the loop for R-T6.
+var bottleneckPhrases = map[string][]string{
+	"compute": {
+		"not enough compute time on the cluster",
+		"queue wait times for big jobs are too long",
+		"we are limited by available GPU hours",
+		"simulations take weeks even on the cluster",
+	},
+	"software": {
+		"legacy code is hard to maintain and extend",
+		"our codebase has no tests so changes are risky",
+		"dependency and environment problems eat my time",
+		"porting the model to new machines keeps breaking",
+	},
+	"people": {
+		"nobody in the group has formal software training",
+		"the one person who understood the code graduated",
+		"hiring research software engineers is hard",
+		"too little time to learn better tools",
+	},
+	"data": {
+		"moving and storing large datasets is the bottleneck",
+		"data cleaning takes most of the project time",
+		"I/O dominates our pipeline runtime",
+		"sharing data with collaborators is painful",
+	},
+}
+
+// drawBottleneck picks a phrase consistent with the respondent profile.
+func drawBottleneck(r *rng.RNG, heavyCompute bool, eng float64) string {
+	var key string
+	u := r.Float64()
+	switch {
+	case heavyCompute && u < 0.55:
+		key = "compute"
+	case eng < -0.5 && u < 0.6:
+		key = "software"
+	case u < 0.25:
+		key = "people"
+	case u < 0.55:
+		key = "data"
+	default:
+		key = "software"
+	}
+	phrases := bottleneckPhrases[key]
+	return phrases[r.Intn(len(phrases))]
+}

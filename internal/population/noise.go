@@ -1,0 +1,84 @@
+package population
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+// Noise injection: real survey exports contain fraudulent, careless,
+// and unit-confused responses. InjectNoise corrupts a fraction of a
+// clean cohort in the ways the quality screen is built to catch, so the
+// cleaning stage can be exercised end-to-end (and its false-negative
+// rate measured, since injection records what it did).
+
+// NoiseKind labels an injected corruption.
+type NoiseKind string
+
+// Injected corruption kinds, matching survey.CanonicalRules.
+const (
+	NoiseDuplicate  NoiseKind = "duplicate-id"
+	NoiseSpeeder    NoiseKind = "everything-everywhere"
+	NoiseExperience NoiseKind = "experience-career"
+	NoiseGPUUnit    NoiseKind = "gpu-consistency"
+	NoiseHoursUnit  NoiseKind = "hours-outlier"
+)
+
+// Injection records one corruption for ground-truth comparison.
+type Injection struct {
+	ResponseID string
+	Kind       NoiseKind
+}
+
+// InjectNoise corrupts approximately rate × len(responses) responses in
+// place (duplicates append), returning the ground-truth injection list.
+// Deterministic in r. rate must be in (0, 0.5].
+func InjectNoise(r *rng.RNG, responses []*survey.Response, rate float64) ([]*survey.Response, []Injection, error) {
+	if rate <= 0 || rate > 0.5 {
+		return nil, nil, fmt.Errorf("population: noise rate %g out of (0, 0.5]", rate)
+	}
+	if len(responses) == 0 {
+		return nil, nil, fmt.Errorf("population: no responses to corrupt")
+	}
+	out := append([]*survey.Response(nil), responses...)
+	var injections []Injection
+	n := int(float64(len(responses))*rate + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	victims := rng.Sample(r, responses, n)
+	for _, v := range victims {
+		kind := []NoiseKind{NoiseDuplicate, NoiseSpeeder, NoiseExperience, NoiseGPUUnit, NoiseHoursUnit}[r.Intn(5)]
+		switch kind {
+		case NoiseDuplicate:
+			// A resubmission: same ID, same answers.
+			dup := survey.NewResponse(v.ID, v.Cohort)
+			for qid, ans := range v.Answers {
+				dup.Answers[qid] = ans
+			}
+			out = append(out, dup)
+		case NoiseSpeeder:
+			// Straight-liner: ticks every box on the big multi-selects.
+			v.SetChoices(survey.QLanguages, survey.Languages)
+			v.SetChoices(survey.QParallelism, survey.ParallelismModes)
+			v.SetChoices(survey.QPractices, survey.EngineeringPractices)
+		case NoiseExperience:
+			// Implausible experience for an early-career stage.
+			v.SetChoice(survey.QCareer, "undergraduate")
+			v.SetValue(survey.QYearsCoding, 35)
+		case NoiseGPUUnit:
+			// Claims near-total GPU use with no GPU/cluster modes.
+			v.SetChoices(survey.QParallelism, []string{"serial only"})
+			v.SetValue(survey.QGPUShare, 90)
+		case NoiseHoursUnit:
+			// Minutes-as-hours unit error on cluster consumption.
+			if v.Choice(survey.QClusterUse) == "never" {
+				v.SetChoice(survey.QClusterUse, "weekly")
+			}
+			v.SetValue(survey.QClusterHours, 30000)
+		}
+		injections = append(injections, Injection{ResponseID: v.ID, Kind: kind})
+	}
+	return out, injections, nil
+}

@@ -1,0 +1,121 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+func TestInjectNoiseGroundTruth(t *testing.T) {
+	g, err := NewGenerator(Model2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := g.GenerateRespondents(rng.New(3), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, injections, err := InjectNoise(rng.New(4), rs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injections) < 30 || len(injections) > 50 {
+		t.Fatalf("%d injections for rate 0.1 over 400", len(injections))
+	}
+	if len(noisy) < len(rs) {
+		t.Fatal("noisy set shrank")
+	}
+}
+
+// End-to-end: every hard corruption the injector plants must be caught
+// by the canonical screening rules — the cleaning stage's recall on its
+// own threat model is 100%.
+func TestScreeningCatchesInjectedNoise(t *testing.T) {
+	g, err := NewGenerator(Model2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := g.GenerateRespondents(rng.New(5), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, injections, err := InjectNoise(rng.New(6), rs, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := g.Instrument()
+	qr := survey.Screen(ins, noisy, survey.CanonicalRules())
+
+	flaggedBy := map[string]map[string]bool{} // response -> rules hit
+	for _, f := range qr.Flags {
+		if flaggedBy[f.ResponseID] == nil {
+			flaggedBy[f.ResponseID] = map[string]bool{}
+		}
+		flaggedBy[f.ResponseID][f.Rule] = true
+	}
+	for _, inj := range injections {
+		rules := flaggedBy[inj.ResponseID]
+		if !rules[string(inj.Kind)] {
+			t.Fatalf("injection %v not caught; flags for it: %v", inj, rules)
+		}
+	}
+
+	// Precision on the clean majority: few false hard flags. Soft flags
+	// on clean responses are acceptable (the generator legitimately
+	// creates mild gpu-share inconsistencies).
+	injected := map[string]bool{}
+	for _, inj := range injections {
+		injected[inj.ResponseID] = true
+	}
+	falseHard := 0
+	for id := range qr.HardIDs {
+		if !injected[id] {
+			falseHard++
+		}
+	}
+	if falseHard > len(rs)/50 {
+		t.Fatalf("%d clean responses hard-flagged", falseHard)
+	}
+
+	// The cleaned set drops all hard-flagged respondents.
+	kept := survey.DropHard(noisy, qr)
+	for _, r := range kept {
+		if qr.HardIDs[r.ID] {
+			t.Fatal("hard-flagged response survived cleaning")
+		}
+	}
+}
+
+func TestInjectNoiseErrors(t *testing.T) {
+	g, _ := NewGenerator(Model2024())
+	rs, _ := g.GenerateRespondents(rng.New(7), 20)
+	if _, _, err := InjectNoise(rng.New(1), rs, 0); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	if _, _, err := InjectNoise(rng.New(1), rs, 0.9); err == nil {
+		t.Fatal("rate 0.9 accepted")
+	}
+	if _, _, err := InjectNoise(rng.New(1), nil, 0.1); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestInjectNoiseDeterministic(t *testing.T) {
+	g, _ := NewGenerator(Model2024())
+	rs1, _ := g.GenerateRespondents(rng.New(8), 100)
+	rs2, _ := g.GenerateRespondents(rng.New(8), 100)
+	_, i1, err := InjectNoise(rng.New(9), rs1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, i2, _ := InjectNoise(rng.New(9), rs2, 0.2)
+	if len(i1) != len(i2) {
+		t.Fatal("injection counts differ")
+	}
+	for i := range i1 {
+		if i1[i] != i2[i] {
+			t.Fatalf("injection %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package population
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+// Panel support: a subset of respondents observed in both waves, the
+// basis for within-person transition analysis ("who abandoned MATLAB
+// for Python") that repeated cross-sections cannot answer. The panel
+// generator draws a person once, fills their 2011 response from the
+// 2011 model, then produces their 2024 response by mixing persistence
+// (people keep their stack) with drift toward the 2024 marginals
+// (people adopt what the field adopts).
+
+// PanelMember is one person observed in both waves.
+type PanelMember struct {
+	PersonID string
+	Wave1    *survey.Response // 2011
+	Wave2    *survey.Response // 2024
+}
+
+// PanelOptions tunes the persistence model.
+type PanelOptions struct {
+	// Persistence is the probability a wave-1 selection is kept in wave 2
+	// before drift is applied (default 0.6).
+	Persistence float64
+	// CareerAdvance is the probability a career stage advances one step
+	// between waves (students graduate, postdocs become faculty;
+	// default 0.8).
+	CareerAdvance float64
+}
+
+func (o *PanelOptions) defaults() {
+	if o.Persistence == 0 {
+		o.Persistence = 0.6
+	}
+	if o.CareerAdvance == 0 {
+		o.CareerAdvance = 0.8
+	}
+}
+
+// PanelGenerator couples the two cohort models.
+type PanelGenerator struct {
+	g11, g24 *Generator
+	opt      PanelOptions
+}
+
+// NewPanelGenerator validates both models and the options.
+func NewPanelGenerator(m2011, m2024 *Model, opt PanelOptions) (*PanelGenerator, error) {
+	opt.defaults()
+	if opt.Persistence < 0 || opt.Persistence > 1 {
+		return nil, fmt.Errorf("population: persistence %g out of [0,1]", opt.Persistence)
+	}
+	if opt.CareerAdvance < 0 || opt.CareerAdvance > 1 {
+		return nil, fmt.Errorf("population: career advance %g out of [0,1]", opt.CareerAdvance)
+	}
+	g11, err := NewGenerator(m2011)
+	if err != nil {
+		return nil, err
+	}
+	g24, err := NewGenerator(m2024)
+	if err != nil {
+		return nil, err
+	}
+	return &PanelGenerator{g11: g11, g24: g24, opt: opt}, nil
+}
+
+// Instrument returns the shared instrument.
+func (pg *PanelGenerator) Instrument() *survey.Instrument { return pg.g11.Instrument() }
+
+// Generate produces n panel members deterministically in r. Every
+// response validates against the canonical instrument.
+func (pg *PanelGenerator) Generate(r *rng.RNG, n int) ([]PanelMember, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("population: panel needs n > 0, got %d", n)
+	}
+	ins := pg.Instrument()
+	out := make([]PanelMember, 0, n)
+	for i := 0; i < n; i++ {
+		pid := fmt.Sprintf("p-%05d", i)
+		field := pg.g11.fieldCat.Draw(r)
+		career := pg.g11.careerCat.Draw(r)
+		w1 := pg.g11.generateOne(r, pid+"/2011", field, career)
+
+		career2 := advanceCareer(r, career, pg.opt.CareerAdvance)
+		w2 := pg.g24.generateOne(r, pid+"/2024", field, career2)
+		pg.applyPersistence(r, w1, w2)
+
+		for _, resp := range []*survey.Response{w1, w2} {
+			if errs := ins.Validate(resp); len(errs) > 0 {
+				return nil, fmt.Errorf("population: panel member %s invalid: %v", pid, errs[0])
+			}
+		}
+		out = append(out, PanelMember{PersonID: pid, Wave1: w1, Wave2: w2})
+	}
+	return out, nil
+}
+
+// applyPersistence blends wave-1 multi-select answers into wave 2: each
+// wave-1 selection is re-added to wave 2 with probability Persistence
+// (people rarely drop a language entirely), and years of experience
+// advances by the inter-wave gap.
+func (pg *PanelGenerator) applyPersistence(r *rng.RNG, w1, w2 *survey.Response) {
+	for _, qid := range []string{survey.QLanguages, survey.QPractices} {
+		merged := append([]string(nil), w2.Choices(qid)...)
+		for _, c := range w1.Choices(qid) {
+			if !contains(merged, c) && r.Bool(pg.opt.Persistence) {
+				// Only persist options still on the wave-2 menu with
+				// nonzero base rate (perl persists; nothing resurrects).
+				if base, ok := pg.g24.model.LangBase[c]; qid == survey.QLanguages && (!ok || base <= 0) {
+					continue
+				}
+				merged = append(merged, c)
+			}
+		}
+		w2.SetChoices(qid, merged)
+	}
+	gap := float64(pg.g24.model.Year - pg.g11.model.Year)
+	years := w1.Value(survey.QYearsCoding) + gap
+	if years > 60 {
+		years = 60
+	}
+	w2.SetValue(survey.QYearsCoding, years)
+}
+
+// advanceCareer moves a career stage forward with probability p.
+func advanceCareer(r *rng.RNG, career string, p float64) string {
+	if !r.Bool(p) {
+		return career
+	}
+	switch career {
+	case "undergraduate":
+		return "graduate student"
+	case "graduate student":
+		return "postdoc"
+	case "postdoc":
+		return "faculty"
+	default:
+		return career
+	}
+}
+
+// Wave1Responses and Wave2Responses project a panel onto plain response
+// slices for the standard cross-sectional machinery.
+func Wave1Responses(panel []PanelMember) []*survey.Response {
+	out := make([]*survey.Response, len(panel))
+	for i, m := range panel {
+		out[i] = m.Wave1
+	}
+	return out
+}
+
+// Wave2Responses returns the second-wave responses of a panel.
+func Wave2Responses(panel []PanelMember) []*survey.Response {
+	out := make([]*survey.Response, len(panel))
+	for i, m := range panel {
+		out[i] = m.Wave2
+	}
+	return out
+}

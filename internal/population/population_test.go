@@ -1,0 +1,249 @@
+package population
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+func TestModelsValidate(t *testing.T) {
+	if err := Model2011().Validate(); err != nil {
+		t.Fatalf("2011 model: %v", err)
+	}
+	if err := Model2024().Validate(); err != nil {
+		t.Fatalf("2024 model: %v", err)
+	}
+}
+
+func TestValidateCatchesBrokenModels(t *testing.T) {
+	m := Model2024()
+	m.FieldShare["physics"] += 0.5 // margins no longer sum to 1
+	if err := m.Validate(); err == nil {
+		t.Fatal("broken field share accepted")
+	}
+	m = Model2024()
+	delete(m.LangBase, "python")
+	if err := m.Validate(); err == nil {
+		t.Fatal("missing language accepted")
+	}
+	m = Model2024()
+	m.PracticeBase["version control"] = 1.5
+	if err := m.Validate(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	m = Model2024()
+	m.BaseResponseRate = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero response rate accepted")
+	}
+	m = Model2024()
+	m.Year = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero year accepted")
+	}
+}
+
+func TestGenerateRespondentsValid(t *testing.T) {
+	g, err := NewGenerator(Model2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := g.GenerateRespondents(rng.New(1), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 300 {
+		t.Fatalf("got %d respondents", len(rs))
+	}
+	ins := g.Instrument()
+	for _, r := range rs {
+		if errs := ins.Validate(r); len(errs) != 0 {
+			t.Fatalf("invalid respondent %s: %v", r.ID, errs)
+		}
+		if r.Cohort != 2024 {
+			t.Fatalf("cohort %d", r.Cohort)
+		}
+		if len(r.Choices(survey.QLanguages)) == 0 {
+			t.Fatalf("respondent %s has no languages", r.ID)
+		}
+		if len(r.Choices(survey.QParallelism)) == 0 {
+			t.Fatalf("respondent %s has no parallelism answer", r.ID)
+		}
+	}
+}
+
+func TestGenerate2011HasNoModernTools(t *testing.T) {
+	g, _ := NewGenerator(Model2011())
+	rs, err := g.GenerateRespondents(rng.New(2), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Has(survey.QModernTools) {
+			t.Fatal("2011 respondent answered a 2024-only question")
+		}
+		if r.Selected(survey.QLanguages, "julia") || r.Selected(survey.QLanguages, "rust") {
+			t.Fatal("2011 respondent uses a language that did not exist")
+		}
+	}
+}
+
+func TestSerialOnlyExclusive(t *testing.T) {
+	for _, m := range []*Model{Model2011(), Model2024()} {
+		g, _ := NewGenerator(m)
+		rs, err := g.GenerateRespondents(rng.New(3), 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			par := r.Choices(survey.QParallelism)
+			if contains(par, "serial only") && len(par) > 1 {
+				t.Fatalf("%d respondent both serial-only and parallel: %v", m.Year, par)
+			}
+		}
+	}
+}
+
+func TestCIImpliesVCS(t *testing.T) {
+	g, _ := NewGenerator(Model2024())
+	rs, err := g.GenerateRespondents(rng.New(4), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Selected(survey.QPractices, "continuous integration") &&
+			!r.Selected(survey.QPractices, "version control") {
+			t.Fatal("CI without version control generated")
+		}
+	}
+}
+
+func TestClusterHoursSkipLogic(t *testing.T) {
+	g, _ := NewGenerator(Model2024())
+	rs, _ := g.GenerateRespondents(rng.New(5), 400)
+	for _, r := range rs {
+		never := r.Choice(survey.QClusterUse) == "never"
+		if never && r.Has(survey.QClusterHours) {
+			t.Fatal("never-user answered cluster hours")
+		}
+		if !never && !r.Has(survey.QClusterHours) {
+			t.Fatal("cluster user skipped cluster hours")
+		}
+	}
+}
+
+func TestCohortShapeDifferences(t *testing.T) {
+	ins := survey.Canonical()
+	g11, _ := NewGenerator(Model2011())
+	g24, _ := NewGenerator(Model2024())
+	r11, err := g11.GenerateRespondents(rng.New(6), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r24, err := g24.GenerateRespondents(rng.New(7), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(rs []*survey.Response, qid, opt string) float64 {
+		tab, err := ins.Tabulate(qid, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.Share(opt)
+	}
+	// The headline shape claims must hold in the synthetic cohorts.
+	if p11, p24 := share(r11, survey.QLanguages, "python"), share(r24, survey.QLanguages, "python"); p24 <= p11+0.2 {
+		t.Fatalf("python share 2011=%.2f 2024=%.2f — no rise", p11, p24)
+	}
+	if m11, m24 := share(r11, survey.QLanguages, "matlab"), share(r24, survey.QLanguages, "matlab"); m24 >= m11 {
+		t.Fatalf("matlab share 2011=%.2f 2024=%.2f — no decline", m11, m24)
+	}
+	if g11s, g24s := share(r11, survey.QParallelism, "gpu"), share(r24, survey.QParallelism, "gpu"); g24s <= g11s+0.2 {
+		t.Fatalf("gpu share 2011=%.2f 2024=%.2f — no surge", g11s, g24s)
+	}
+	if v11, v24 := share(r11, survey.QPractices, "version control"), share(r24, survey.QPractices, "version control"); v24 <= v11+0.25 {
+		t.Fatalf("vcs share 2011=%.2f 2024=%.2f — no adoption growth", v11, v24)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g, _ := NewGenerator(Model2024())
+	a, err := g.GenerateRespondents(rng.New(8), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.GenerateRespondents(rng.New(8), 50)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Choice(survey.QField) != b[i].Choice(survey.QField) ||
+			a[i].Text(survey.QBottleneck) != b[i].Text(survey.QBottleneck) {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateParallelMatchesWorkerCounts(t *testing.T) {
+	g, _ := NewGenerator(Model2024())
+	a, err := g.GenerateParallel(99, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.GenerateParallel(99, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("sizes %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("IDs diverge at %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+		if a[i].Choice(survey.QField) != b[i].Choice(survey.QField) ||
+			a[i].Rating(survey.QTraining) != b[i].Rating(survey.QTraining) {
+			t.Fatalf("respondent %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	g, _ := NewGenerator(Model2024())
+	if _, err := g.GenerateRespondents(rng.New(1), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := g.GenerateParallel(1, -5, 2); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	bad := Model2024()
+	bad.BaseResponseRate = 2
+	if _, err := NewGenerator(bad); err == nil {
+		t.Fatal("invalid model accepted by NewGenerator")
+	}
+}
+
+func TestResponseBiasSkewsSample(t *testing.T) {
+	// CS is over-represented among respondents relative to the frame.
+	m := Model2024()
+	g, _ := NewGenerator(m)
+	rs, err := g.GenerateRespondents(rng.New(10), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csCount := 0
+	for _, r := range rs {
+		if r.Choice(survey.QField) == "computer science" {
+			csCount++
+		}
+	}
+	csShare := float64(csCount) / float64(len(rs))
+	if csShare <= m.FieldShare["computer science"] {
+		t.Fatalf("cs respondent share %.3f not above frame share %.3f — bias not simulated",
+			csShare, m.FieldShare["computer science"])
+	}
+}
+
+func TestMostLikely(t *testing.T) {
+	if got := mostLikely(map[string]float64{"a": 0.1, "b": 0.9, "c": 0.5}); got != "b" {
+		t.Fatalf("mostLikely=%q", got)
+	}
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+)
+
+// IndexEntry describes one artifact for the HTML index page.
+type IndexEntry struct {
+	ID    string // e.g. "T2"
+	Title string
+	Kind  string // "table" or "figure"
+	// TableText is the rendered ASCII table (tables only).
+	TableText string
+	// SVGFile is the figure file name relative to the index (figures
+	// only); the index embeds it via <img>.
+	SVGFile string
+}
+
+// WriteHTMLIndex renders a self-contained index page over the study's
+// artifacts: tables inline as <pre>, figures as <img> references to the
+// sibling SVG files. All text is HTML-escaped.
+func WriteHTMLIndex(w io.Writer, studyTitle string, entries []IndexEntry) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("report: no entries for the index")
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(studyTitle))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 960px; margin: 2em auto; padding: 0 1em; }
+pre { background: #f6f6f6; padding: 1em; overflow-x: auto; font-size: 13px; }
+h2 { border-bottom: 1px solid #ddd; padding-bottom: 4px; margin-top: 2em; }
+nav a { margin-right: 1em; }
+img { max-width: 100%; border: 1px solid #eee; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n<nav>\n", html.EscapeString(studyTitle))
+	for _, e := range entries {
+		fmt.Fprintf(&b, "<a href=\"#%s\">%s</a>\n", html.EscapeString(e.ID), html.EscapeString(e.ID))
+	}
+	b.WriteString("</nav>\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "<h2 id=%q>%s — %s</h2>\n",
+			html.EscapeString(e.ID), html.EscapeString(e.ID), html.EscapeString(e.Title))
+		switch e.Kind {
+		case "table":
+			if e.TableText == "" {
+				return fmt.Errorf("report: index entry %s has no table text", e.ID)
+			}
+			fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(e.TableText))
+		case "figure":
+			if e.SVGFile == "" {
+				return fmt.Errorf("report: index entry %s has no figure file", e.ID)
+			}
+			fmt.Fprintf(&b, "<img src=%q alt=%q>\n",
+				html.EscapeString(e.SVGFile), html.EscapeString(e.Title))
+		default:
+			return fmt.Errorf("report: index entry %s has unknown kind %q", e.ID, e.Kind)
+		}
+	}
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

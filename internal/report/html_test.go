@@ -1,0 +1,52 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteHTMLIndex(t *testing.T) {
+	entries := []IndexEntry{
+		{ID: "T1", Title: "Demographics <2024>", Kind: "table", TableText: "a  b\n1  2\n"},
+		{ID: "F1", Title: "Trend & projection", Kind: "figure", SVGFile: "figure1.svg"},
+	}
+	var buf bytes.Buffer
+	if err := WriteHTMLIndex(&buf, `Study "rcpt"`, entries); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Study &#34;rcpt&#34;",
+		"Demographics &lt;2024&gt;",
+		"Trend &amp; projection",
+		`<img src="figure1.svg"`,
+		`<a href="#T1">`,
+		"<pre>a  b",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("index missing %q:\n%.400s", want, out)
+		}
+	}
+	// Raw unescaped title must not appear.
+	if strings.Contains(out, `Study "rcpt"</title>`) && !strings.Contains(out, "&#34;") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestWriteHTMLIndexErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTMLIndex(&buf, "x", nil); err == nil {
+		t.Fatal("empty entries accepted")
+	}
+	if err := WriteHTMLIndex(&buf, "x", []IndexEntry{{ID: "T1", Kind: "table"}}); err == nil {
+		t.Fatal("table without text accepted")
+	}
+	if err := WriteHTMLIndex(&buf, "x", []IndexEntry{{ID: "F1", Kind: "figure"}}); err == nil {
+		t.Fatal("figure without file accepted")
+	}
+	if err := WriteHTMLIndex(&buf, "x", []IndexEntry{{ID: "X", Kind: "blob"}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,290 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tab := NewTable("Languages by cohort", "language", "2011", "2024")
+	tab.MustAddRow("python", "30.0%", "82.0%")
+	tab.MustAddRow("matlab", "45.0%", "20.0%")
+	tab.Footnote = "weighted shares; Wilson 95% CIs"
+	return tab
+}
+
+func TestTableASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable(t).WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Languages by cohort", "language", "python", "-----", "note: weighted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ascii missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: "python" padded to "language" width.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "language") {
+			header = l
+		}
+		if strings.HasPrefix(l, "python") {
+			row = l
+		}
+	}
+	if strings.Index(header, "2011") != strings.Index(row, "30.0%") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable(t).WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### Languages by cohort") ||
+		!strings.Contains(out, "| python | 30.0% | 82.0% |") ||
+		!strings.Contains(out, "|---|---|---|") {
+		t.Fatalf("markdown:\n%s", out)
+	}
+	// Pipes in cells get escaped.
+	tab := NewTable("x", "a")
+	tab.MustAddRow("p|q")
+	buf.Reset()
+	_ = tab.WriteMarkdown(&buf)
+	if !strings.Contains(buf.String(), `p\|q`) {
+		t.Fatalf("pipe not escaped:\n%s", buf.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable(t).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "language,2011,2024" || lines[1] != "python,30.0%,82.0%" {
+		t.Fatalf("csv:\n%s", buf.String())
+	}
+	tab := NewTable("x", "a")
+	tab.MustAddRow(`say "hi", ok`)
+	buf.Reset()
+	_ = tab.WriteCSV(&buf)
+	if !strings.Contains(buf.String(), `"say ""hi"", ok"`) {
+		t.Fatalf("quoting:\n%s", buf.String())
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	if err := tab.AddRow("only-one"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	empty := &Table{}
+	var buf bytes.Buffer
+	if err := empty.WriteASCII(&buf); err == nil {
+		t.Fatal("no-column table rendered")
+	}
+	broken := NewTable("x", "a")
+	broken.Rows = append(broken.Rows, []string{"1", "2"})
+	if err := broken.WriteASCII(&buf); err == nil {
+		t.Fatal("ragged table rendered")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustAddRow did not panic")
+			}
+		}()
+		tab.MustAddRow("x", "y", "z")
+	}()
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Fatal(Pct(0.1234))
+	}
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal(F(3.14159, 2))
+	}
+	if PValue(0.0001) != "<0.001" || PValue(0.042) != "0.042" {
+		t.Fatal("pvalue formatting")
+	}
+	if CI(0.1, 0.2) != "[10.0%, 20.0%]" {
+		t.Fatal(CI(0.1, 0.2))
+	}
+}
+
+func validSVG(t *testing.T, out string) {
+	t.Helper()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatalf("not an svg document:\n%.200s", out)
+	}
+	if strings.Count(out, "<svg") != 1 {
+		t.Fatal("nested svg")
+	}
+}
+
+func TestGroupedBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := GroupedBarChart(&buf, "Languages", []string{"python", "c", "r"},
+		[]BarSeries{
+			{Name: "2011", Values: []float64{0.3, 0.35, 0.2}},
+			{Name: "2024", Values: []float64{0.82, 0.22, 0.3}},
+		}, "share of respondents", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validSVG(t, out)
+	for _, want := range []string{"Languages", "python", "2011", "2024", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if err := GroupedBarChart(&buf, "t", nil, nil, "y", false); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	if err := GroupedBarChart(&buf, "t", []string{"a"},
+		[]BarSeries{{Name: "s", Values: []float64{1, 2}}}, "y", false); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := GroupedBarChart(&buf, "t", []string{"a"},
+		[]BarSeries{{Name: "s", Values: []float64{-1}}}, "y", false); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func TestStackedBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := StackedBarChart(&buf, "Core-hours by field", []string{"physics", "biology"},
+		[]BarSeries{
+			{Name: "cpu", Values: []float64{1200, 300}},
+			{Name: "gpu", Values: []float64{100, 400}},
+		}, "core-hours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	validSVG(t, buf.String())
+	if err := StackedBarChart(&buf, "t", []string{"a"}, nil, "y"); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := LineChart(&buf, "Python share", []float64{2011, 2017, 2024},
+		[]LineSeries{{Name: "python", Ys: []float64{0.3, 0.55, 0.82}}},
+		"year", "share", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validSVG(t, out)
+	if !strings.Contains(out, "<polyline") || !strings.Contains(out, "2011") {
+		t.Fatalf("line chart:\n%.300s", out)
+	}
+	if err := LineChart(&buf, "t", []float64{1}, []LineSeries{{Name: "s", Ys: []float64{1}}}, "x", "y", false); err == nil {
+		t.Fatal("single x accepted")
+	}
+	if err := LineChart(&buf, "t", []float64{1, 1}, []LineSeries{{Name: "s", Ys: []float64{1, 2}}}, "x", "y", false); err == nil {
+		t.Fatal("degenerate x range accepted")
+	}
+}
+
+func TestCDFChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := CDFChart(&buf, "Job size CDF",
+		[]LineSeries{{Name: "2024", Ys: []float64{0.5, 0.9, 1.0}}},
+		[][]float64{{1, 32, 1024}}, "cores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	validSVG(t, buf.String())
+	if err := CDFChart(&buf, "t", []LineSeries{{Name: "s", Ys: []float64{0.5}}},
+		[][]float64{{0}}, "x"); err == nil {
+		t.Fatal("zero point on log axis accepted")
+	}
+	if err := CDFChart(&buf, "t", nil, nil, "x"); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	err := Heatmap(&buf, "Co-adoption", []string{"vcs", "ci"},
+		[][]float64{{1, 0.4}, {0.4, 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validSVG(t, out)
+	if !strings.Contains(out, "0.40") {
+		t.Fatal("cell values missing")
+	}
+	if err := Heatmap(&buf, "t", []string{"a"}, [][]float64{{1, 2}}, 1); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if err := Heatmap(&buf, "t", []string{"a"}, [][]float64{{1}}, 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestDivergingColor(t *testing.T) {
+	if divergingColor(0) != "#ffffff" {
+		t.Fatal("zero should be white")
+	}
+	if divergingColor(1) != "#ff0000" {
+		t.Fatal("+1 should be red")
+	}
+	if divergingColor(-1) != "#0000ff" {
+		t.Fatalf("-1 should be blue, got %s", divergingColor(-1))
+	}
+}
+
+func TestNiceMax(t *testing.T) {
+	cases := map[float64]float64{0.3: 0.5, 0.82: 1, 7: 10, 1200: 2000, 0: 1}
+	for in, want := range cases {
+		if got := niceMax(in); got != want {
+			t.Fatalf("niceMax(%g)=%g want %g", in, got, want)
+		}
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if escapeXML(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatal(escapeXML(`a<b>&"c"`))
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	var buf bytes.Buffer
+	err := BoxPlot(&buf, "Wait by policy", []BoxStats{
+		{Label: "fcfs", Min: 0, Q1: 10, Median: 40, Q3: 80, P95: 150},
+		{Label: "easy", Min: 0, Q1: 0, Median: 1, Q3: 3, P95: 10},
+	}, "hours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validSVG(t, out)
+	for _, want := range []string{"fcfs", "easy", "<rect", "<line"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("box plot missing %q", want)
+		}
+	}
+	if err := BoxPlot(&buf, "t", nil, "y"); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if err := BoxPlot(&buf, "t", []BoxStats{
+		{Label: "bad", Min: 5, Q1: 1, Median: 2, Q3: 3, P95: 4},
+	}, "y"); err == nil {
+		t.Fatal("non-monotone summary accepted")
+	}
+}

@@ -1,0 +1,435 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// The SVG renderers are deliberately minimal: fixed layout, one data
+// concept per chart type, no external assets. They exist so every paper
+// figure is regenerable as a committed artifact, not to be a charting
+// library.
+
+// chartPalette cycles through series colors.
+var chartPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+const (
+	chartW      = 720
+	chartH      = 440
+	marginLeft  = 70
+	marginRight = 150
+	marginTop   = 50
+	marginBot   = 60
+)
+
+func plotW() float64 { return float64(chartW - marginLeft - marginRight) }
+func plotH() float64 { return float64(chartH - marginTop - marginBot) }
+
+type svgBuilder struct {
+	b strings.Builder
+}
+
+func newSVG(title string) *svgBuilder {
+	s := &svgBuilder{}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartW, chartH, chartW, chartH)
+	s.b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&s.b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escapeXML(title))
+	return s
+}
+
+func (s *svgBuilder) finish(w io.Writer) error {
+	s.b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, s.b.String())
+	return err
+}
+
+func escapeXML(t string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(t)
+}
+
+// axes draws the plot frame, y gridlines/labels for [0, yMax], and axis
+// titles.
+func (s *svgBuilder) axes(yMax float64, yLabel, xLabel string, yAsPct bool) {
+	x0, y0 := float64(marginLeft), float64(marginTop)
+	fmt.Fprintf(&s.b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#999"/>`+"\n",
+		x0, y0, plotW(), plotH())
+	for i := 0; i <= 4; i++ {
+		v := yMax * float64(i) / 4
+		y := y0 + plotH()*(1-float64(i)/4)
+		fmt.Fprintf(&s.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`+"\n",
+			x0, y, x0+plotW(), y)
+		label := F(v, 1)
+		if yAsPct {
+			label = fmt.Sprintf("%.0f%%", v*100)
+		}
+		fmt.Fprintf(&s.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			x0-6, y+4, label)
+	}
+	fmt.Fprintf(&s.b, `<text x="14" y="%g" font-family="sans-serif" font-size="12" transform="rotate(-90 14 %g)" text-anchor="middle">%s</text>`+"\n",
+		y0+plotH()/2, y0+plotH()/2, escapeXML(yLabel))
+	fmt.Fprintf(&s.b, `<text x="%g" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		x0+plotW()/2, chartH-14, escapeXML(xLabel))
+}
+
+func (s *svgBuilder) legend(names []string) {
+	x := float64(chartW - marginRight + 12)
+	for i, n := range names {
+		y := float64(marginTop + 14 + 18*i)
+		fmt.Fprintf(&s.b, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n",
+			x, y-10, chartPalette[i%len(chartPalette)])
+		fmt.Fprintf(&s.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x+16, y, escapeXML(n))
+	}
+}
+
+func maxOf(vals ...float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// niceMax rounds m up to a pleasant axis maximum.
+func niceMax(m float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(m)))
+	for _, mult := range []float64{1, 2, 2.5, 5, 10} {
+		if m <= mag*mult {
+			return mag * mult
+		}
+	}
+	return mag * 10
+}
+
+// BarSeries is one series of a grouped bar chart.
+type BarSeries struct {
+	Name   string
+	Values []float64
+}
+
+// GroupedBarChart renders categories on x with one bar per series,
+// e.g. language share by cohort. Values are proportions when asPct.
+func GroupedBarChart(w io.Writer, title string, categories []string, series []BarSeries, yLabel string, asPct bool) error {
+	if len(categories) == 0 || len(series) == 0 {
+		return errors.New("report: bar chart needs categories and series")
+	}
+	yMax := 0.0
+	for _, s := range series {
+		if len(s.Values) != len(categories) {
+			return fmt.Errorf("report: series %q has %d values for %d categories", s.Name, len(s.Values), len(categories))
+		}
+		for _, v := range s.Values {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("report: series %q has invalid value %g", s.Name, v)
+			}
+			yMax = maxOf(yMax, v)
+		}
+	}
+	yMax = niceMax(yMax)
+	svg := newSVG(title)
+	svg.axes(yMax, yLabel, "", asPct)
+	groupW := plotW() / float64(len(categories))
+	barW := groupW * 0.8 / float64(len(series))
+	for ci, cat := range categories {
+		gx := float64(marginLeft) + groupW*float64(ci)
+		for si, s := range series {
+			v := s.Values[ci]
+			h := plotH() * v / yMax
+			x := gx + groupW*0.1 + barW*float64(si)
+			y := float64(marginTop) + plotH() - h
+			fmt.Fprintf(&svg.b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+				x, y, barW, h, chartPalette[si%len(chartPalette)])
+		}
+		fmt.Fprintf(&svg.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end" transform="rotate(-35 %g %g)">%s</text>`+"\n",
+			gx+groupW/2, float64(chartH-marginBot+14), gx+groupW/2, float64(chartH-marginBot+14), escapeXML(cat))
+	}
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	svg.legend(names)
+	return svg.finish(w)
+}
+
+// StackedBarChart renders one bar per category, stacked by series.
+func StackedBarChart(w io.Writer, title string, categories []string, series []BarSeries, yLabel string) error {
+	if len(categories) == 0 || len(series) == 0 {
+		return errors.New("report: stacked chart needs categories and series")
+	}
+	totals := make([]float64, len(categories))
+	for _, s := range series {
+		if len(s.Values) != len(categories) {
+			return fmt.Errorf("report: series %q has %d values for %d categories", s.Name, len(s.Values), len(categories))
+		}
+		for i, v := range s.Values {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("report: series %q has invalid value %g", s.Name, v)
+			}
+			totals[i] += v
+		}
+	}
+	yMax := niceMax(maxOf(totals...))
+	svg := newSVG(title)
+	svg.axes(yMax, yLabel, "", false)
+	groupW := plotW() / float64(len(categories))
+	for ci, cat := range categories {
+		x := float64(marginLeft) + groupW*float64(ci) + groupW*0.15
+		cum := 0.0
+		for si, s := range series {
+			v := s.Values[ci]
+			h := plotH() * v / yMax
+			y := float64(marginTop) + plotH() - plotH()*cum/yMax - h
+			fmt.Fprintf(&svg.b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+				x, y, groupW*0.7, h, chartPalette[si%len(chartPalette)])
+			cum += v
+		}
+		fmt.Fprintf(&svg.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end" transform="rotate(-35 %g %g)">%s</text>`+"\n",
+			x+groupW*0.35, float64(chartH-marginBot+14), x+groupW*0.35, float64(chartH-marginBot+14), escapeXML(cat))
+	}
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	svg.legend(names)
+	return svg.finish(w)
+}
+
+// LineSeries is one line of a line chart: y values over shared x values.
+type LineSeries struct {
+	Name string
+	Ys   []float64
+}
+
+// LineChart renders series over numeric x values (e.g. years).
+func LineChart(w io.Writer, title string, xs []float64, series []LineSeries, xLabel, yLabel string, asPct bool) error {
+	if len(xs) < 2 || len(series) == 0 {
+		return errors.New("report: line chart needs >= 2 x values and a series")
+	}
+	yMax := 0.0
+	for _, s := range series {
+		if len(s.Ys) != len(xs) {
+			return fmt.Errorf("report: series %q has %d values for %d xs", s.Name, len(s.Ys), len(xs))
+		}
+		for _, v := range s.Ys {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("report: series %q has invalid value %g", s.Name, v)
+			}
+			yMax = maxOf(yMax, v)
+		}
+	}
+	yMax = niceMax(yMax)
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		if x < xMin {
+			xMin = x
+		}
+		if x > xMax {
+			xMax = x
+		}
+	}
+	if xMax == xMin {
+		return errors.New("report: degenerate x range")
+	}
+	svg := newSVG(title)
+	svg.axes(yMax, yLabel, xLabel, asPct)
+	px := func(x float64) float64 {
+		return float64(marginLeft) + plotW()*(x-xMin)/(xMax-xMin)
+	}
+	py := func(y float64) float64 {
+		return float64(marginTop) + plotH()*(1-y/yMax)
+	}
+	for si, s := range series {
+		var pts []string
+		for i, x := range xs {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(s.Ys[i])))
+		}
+		fmt.Fprintf(&svg.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), chartPalette[si%len(chartPalette)])
+	}
+	// X tick labels at each point.
+	for _, x := range xs {
+		fmt.Fprintf(&svg.b, `<text x="%g" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%g</text>`+"\n",
+			px(x), chartH-marginBot+16, x)
+	}
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	svg.legend(names)
+	return svg.finish(w)
+}
+
+// CDFChart renders empirical CDFs (already computed: points and probs
+// per series) on a log-x axis, the standard job-size presentation.
+func CDFChart(w io.Writer, title string, series []LineSeries, points [][]float64, xLabel string) error {
+	if len(series) == 0 || len(series) != len(points) {
+		return errors.New("report: CDF chart needs matching series and points")
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	for i, s := range series {
+		if len(s.Ys) != len(points[i]) || len(s.Ys) == 0 {
+			return fmt.Errorf("report: CDF series %q malformed", s.Name)
+		}
+		for _, x := range points[i] {
+			if x <= 0 {
+				return fmt.Errorf("report: CDF log axis needs positive points, got %g", x)
+			}
+			xMin = math.Min(xMin, x)
+			xMax = math.Max(xMax, x)
+		}
+	}
+	if xMax <= xMin {
+		xMax = xMin * 10
+	}
+	svg := newSVG(title)
+	svg.axes(1, "fraction of jobs", xLabel, false)
+	lxMin, lxMax := math.Log10(xMin), math.Log10(xMax)
+	px := func(x float64) float64 {
+		return float64(marginLeft) + plotW()*(math.Log10(x)-lxMin)/(lxMax-lxMin)
+	}
+	py := func(y float64) float64 {
+		return float64(marginTop) + plotH()*(1-y)
+	}
+	for si, s := range series {
+		var pts []string
+		for i, x := range points[si] {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(s.Ys[i])))
+		}
+		fmt.Fprintf(&svg.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), chartPalette[si%len(chartPalette)])
+	}
+	// Decade ticks.
+	for d := math.Ceil(lxMin); d <= math.Floor(lxMax); d++ {
+		x := math.Pow(10, d)
+		fmt.Fprintf(&svg.b, `<text x="%g" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%g</text>`+"\n",
+			px(x), chartH-marginBot+16, x)
+	}
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	svg.legend(names)
+	return svg.finish(w)
+}
+
+// Heatmap renders a square matrix with a diverging blue-white-red scale
+// over [-scale, +scale] (e.g. phi coefficients with scale 1).
+func Heatmap(w io.Writer, title string, labels []string, matrix [][]float64, scale float64) error {
+	n := len(labels)
+	if n == 0 || len(matrix) != n {
+		return errors.New("report: heatmap needs labels matching matrix")
+	}
+	for _, row := range matrix {
+		if len(row) != n {
+			return errors.New("report: heatmap matrix not square")
+		}
+	}
+	if scale <= 0 {
+		return errors.New("report: heatmap scale must be positive")
+	}
+	svg := newSVG(title)
+	cell := math.Min(plotW(), plotH()) / float64(n)
+	x0, y0 := float64(marginLeft), float64(marginTop)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := matrix[i][j] / scale
+			if v > 1 {
+				v = 1
+			}
+			if v < -1 {
+				v = -1
+			}
+			fmt.Fprintf(&svg.b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s" stroke="#ccc"/>`+"\n",
+				x0+cell*float64(j), y0+cell*float64(i), cell, cell, divergingColor(v))
+			fmt.Fprintf(&svg.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="9" text-anchor="middle">%s</text>`+"\n",
+				x0+cell*(float64(j)+0.5), y0+cell*(float64(i)+0.55), F(matrix[i][j], 2))
+		}
+		fmt.Fprintf(&svg.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			x0-6, y0+cell*(float64(i)+0.6), escapeXML(labels[i]))
+		fmt.Fprintf(&svg.b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end" transform="rotate(-45 %g %g)">%s</text>`+"\n",
+			x0+cell*(float64(i)+0.5), y0-6, x0+cell*(float64(i)+0.5), y0-6, escapeXML(labels[i]))
+	}
+	return svg.finish(w)
+}
+
+// divergingColor maps v in [-1,1] onto blue→white→red.
+func divergingColor(v float64) string {
+	r, g, b := 255.0, 255.0, 255.0
+	if v > 0 {
+		g = 255 * (1 - v)
+		b = 255 * (1 - v)
+	} else {
+		r = 255 * (1 + v)
+		g = 255 * (1 + v)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(b))
+}
+
+// BoxStats is the five-number summary one box of a box plot renders.
+type BoxStats struct {
+	Label                    string
+	Min, Q1, Median, Q3, P95 float64
+}
+
+// BoxPlot renders one box-and-whisker per category: box from Q1 to Q3
+// with the median line, whiskers to Min and P95.
+func BoxPlot(w io.Writer, title string, boxes []BoxStats, yLabel string) error {
+	if len(boxes) == 0 {
+		return errors.New("report: box plot needs boxes")
+	}
+	yMax := 0.0
+	for _, b := range boxes {
+		if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.P95) {
+			return fmt.Errorf("report: box %q summary not monotone", b.Label)
+		}
+		if b.Min < 0 || math.IsNaN(b.P95) || math.IsInf(b.P95, 0) {
+			return fmt.Errorf("report: box %q has invalid values", b.Label)
+		}
+		yMax = maxOf(yMax, b.P95)
+	}
+	yMax = niceMax(yMax)
+	svg := newSVG(title)
+	svg.axes(yMax, yLabel, "", false)
+	groupW := plotW() / float64(len(boxes))
+	py := func(v float64) float64 {
+		return float64(marginTop) + plotH()*(1-v/yMax)
+	}
+	for i, b := range boxes {
+		cx := float64(marginLeft) + groupW*(float64(i)+0.5)
+		half := groupW * 0.25
+		color := chartPalette[i%len(chartPalette)]
+		// Whisker line Min..P95.
+		fmt.Fprintf(&svg.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n",
+			cx, py(b.Min), cx, py(b.P95), color)
+		// Whisker caps.
+		for _, v := range []float64{b.Min, b.P95} {
+			fmt.Fprintf(&svg.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n",
+				cx-half/2, py(v), cx+half/2, py(v), color)
+		}
+		// Box Q1..Q3.
+		top, bot := py(b.Q3), py(b.Q1)
+		fmt.Fprintf(&svg.b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s" fill-opacity="0.35" stroke="%s"/>`+"\n",
+			cx-half, top, 2*half, bot-top, color, color)
+		// Median line.
+		fmt.Fprintf(&svg.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			cx-half, py(b.Median), cx+half, py(b.Median), color)
+		// Label.
+		fmt.Fprintf(&svg.b, `<text x="%g" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			cx, chartH-marginBot+16, escapeXML(b.Label))
+	}
+	return svg.finish(w)
+}

@@ -1,0 +1,191 @@
+// Package report renders the study's artifacts: aligned ASCII tables,
+// Markdown and CSV table exports, and from-scratch SVG charts (bar,
+// grouped/stacked bar, line, CDF/step, heatmap). Everything writes to an
+// io.Writer; cmd/rcpt-report composes these into the out/ directory that
+// mirrors the paper's tables and figures.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented table with a title and optional
+// footnote (where weighted bases and test details go).
+type Table struct {
+	Title    string
+	Columns  []string
+	Rows     [][]string
+	Footnote string
+}
+
+// NewTable creates a table with the given columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("report: row has %d cells for %d columns", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// MustAddRow is AddRow that panics; for rows with statically correct arity.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// validate checks the table is renderable.
+func (t *Table) validate() error {
+	if len(t.Columns) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	for i, r := range t.Rows {
+		if len(r) != len(t.Columns) {
+			return fmt.Errorf("report: row %d has %d cells for %d columns", i, len(r), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// WriteASCII renders the table with aligned columns:
+//
+//	Title
+//	col-a  col-b
+//	-----  -----
+//	x      y
+func (t *Table) WriteASCII(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	dashes := make([]string, len(t.Columns))
+	for i, wd := range widths {
+		dashes[i] = strings.Repeat("-", wd)
+	}
+	writeRow(dashes)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	if t.Footnote != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Footnote)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMarkdown renders a GitHub-flavored Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		b.WriteString(" " + esc(c) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString("|")
+		for _, cell := range r {
+			b.WriteString(" " + esc(cell) + " |")
+		}
+		b.WriteByte('\n')
+	}
+	if t.Footnote != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Footnote)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (no title or footnote).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, f := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(f, ",\"\n\r") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(f, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(f)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a proportion as "12.3%".
+func Pct(p float64) string { return fmt.Sprintf("%.1f%%", p*100) }
+
+// F formats a float with the given decimals.
+func F(v float64, decimals int) string { return fmt.Sprintf("%.*f", decimals, v) }
+
+// PValue formats p-values the way tables print them ("<0.001" floor).
+func PValue(p float64) string {
+	if p < 0.001 {
+		return "<0.001"
+	}
+	return fmt.Sprintf("%.3f", p)
+}
+
+// CI formats an interval as "[lo, hi]" in percent.
+func CI(lo, hi float64) string {
+	return fmt.Sprintf("[%.1f%%, %.1f%%]", lo*100, hi*100)
+}

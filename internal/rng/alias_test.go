@@ -1,0 +1,157 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(21)
+	const draws = 400000
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := counts[i] / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("category %d: got share %.4f want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a := MustAlias([]float64{5})
+	r := New(22)
+	for i := 0; i < 100; i++ {
+		if a.Draw(r) != 0 {
+			t.Fatal("single-category alias drew nonzero index")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a := MustAlias([]float64{1, 0, 1})
+	r := New(23)
+	for i := 0; i < 100000; i++ {
+		if a.Draw(r) == 1 {
+			t.Fatal("zero-weight category drawn")
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{-1, 2},
+		{0, 0},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for i, ws := range cases {
+		if _, err := NewAlias(ws); err == nil {
+			t.Fatalf("case %d: expected error for %v", i, ws)
+		}
+	}
+}
+
+func TestMustAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlias did not panic on bad weights")
+		}
+	}()
+	MustAlias(nil)
+}
+
+func TestCategoricalDeterministicAcrossMapOrder(t *testing.T) {
+	w := map[string]float64{"python": 5, "c": 2, "fortran": 1, "r": 2}
+	c1 := MustCategorical(w)
+	c2 := MustCategorical(map[string]float64{"r": 2, "fortran": 1, "c": 2, "python": 5})
+	r1, r2 := New(31), New(31)
+	for i := 0; i < 1000; i++ {
+		if c1.Draw(r1) != c2.Draw(r2) {
+			t.Fatal("categorical draws depend on map construction order")
+		}
+	}
+}
+
+func TestCategoricalLabelsSorted(t *testing.T) {
+	c := MustCategorical(map[string]float64{"b": 1, "a": 1, "c": 1})
+	got := c.Labels()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCategoricalEmptyErrors(t *testing.T) {
+	if _, err := NewCategorical(nil); err == nil {
+		t.Fatal("expected error for empty categorical")
+	}
+}
+
+// Property: alias sampler never returns an out-of-range index.
+func TestQuickAliasInRange(t *testing.T) {
+	r := New(77)
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]float64, len(raw))
+		sum := 0.0
+		for i, v := range raw {
+			ws[i] = float64(v)
+			sum += ws[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		a, err := NewAlias(ws)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			idx := a.Draw(r)
+			if idx < 0 || idx >= len(ws) {
+				return false
+			}
+			if ws[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	ws := make([]float64, 1000)
+	for i := range ws {
+		ws[i] = float64(i%17) + 1
+	}
+	a := MustAlias(ws)
+	r := New(1)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Draw(r)
+	}
+	_ = sink
+}

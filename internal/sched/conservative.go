@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Conservative backfill gives every queued job (up to bfDepth) a
+// reservation against a limit-based resource-availability profile; a
+// job starts now only if its reservation is now. Unlike EASY, no job's
+// reservation can be delayed by a later backfill, at the cost of more
+// bookkeeping and fewer backfill opportunities.
+
+// bfDepth caps how many queued jobs receive reservations per scheduling
+// pass, mirroring Slurm's bf_max_job_test; jobs beyond the cap simply
+// wait for the next pass.
+const bfDepth = 128
+
+// need is a resource demand or availability vector.
+type need struct {
+	cpu     int // cpu-partition cores
+	gpuCore int // gpu-partition cores
+	gpu     int // gpus
+}
+
+func needOf(j trace.Job) need {
+	if j.Partition == "gpu" {
+		return need{gpuCore: j.Cores(), gpu: j.GPUs}
+	}
+	return need{cpu: j.Cores()}
+}
+
+func (n need) fitsIn(avail need) bool {
+	return n.cpu <= avail.cpu && n.gpuCore <= avail.gpuCore && n.gpu <= avail.gpu
+}
+
+// profile tracks free resources over future time as a step function.
+type profile struct {
+	times []int64 // strictly increasing; times[0] == now
+	free  []need  // free resources in [times[i], times[i+1])
+}
+
+// newProfile builds the availability profile from current free
+// resources and the limit-based release times of running jobs.
+func (s *sim) newProfile() *profile {
+	type release struct {
+		t int64
+		n need
+	}
+	var rels []release
+	for _, e := range s.running {
+		startT := e.end - e.job.Elapsed
+		rels = append(rels, release{t: startT + e.job.Limit, n: needOf(e.job)})
+	}
+	sort.Slice(rels, func(a, b int) bool { return rels[a].t < rels[b].t })
+	p := &profile{
+		times: []int64{s.now},
+		free:  []need{{cpu: s.cpuFree, gpuCore: s.gpuCore, gpu: s.gpuFree}},
+	}
+	for _, r := range rels {
+		last := p.free[len(p.free)-1]
+		next := need{cpu: last.cpu + r.n.cpu, gpuCore: last.gpuCore + r.n.gpuCore, gpu: last.gpu + r.n.gpu}
+		if r.t <= p.times[len(p.times)-1] {
+			// Release at (or before) the current step start: merge.
+			p.free[len(p.free)-1] = next
+			continue
+		}
+		p.times = append(p.times, r.t)
+		p.free = append(p.free, next)
+	}
+	return p
+}
+
+// earliestFit returns the earliest time >= now at which n is available
+// continuously for duration seconds.
+func (p *profile) earliestFit(n need, duration int64) int64 {
+	for i := range p.times {
+		start := p.times[i]
+		if !n.fitsIn(p.free[i]) {
+			continue
+		}
+		// Check the window [start, start+duration) stays feasible.
+		end := start + duration
+		ok := true
+		for j := i + 1; j < len(p.times) && p.times[j] < end; j++ {
+			if !n.fitsIn(p.free[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	// After the last event everything running has released; the final
+	// step is the steady state and must fit any pre-validated job.
+	return p.times[len(p.times)-1]
+}
+
+// reserve subtracts n from the profile over [start, start+duration),
+// inserting step boundaries as needed.
+func (p *profile) reserve(n need, start, duration int64) {
+	end := start + duration
+	p.ensureBoundary(start)
+	p.ensureBoundary(end)
+	for i := range p.times {
+		if p.times[i] >= start && p.times[i] < end {
+			p.free[i].cpu -= n.cpu
+			p.free[i].gpuCore -= n.gpuCore
+			p.free[i].gpu -= n.gpu
+		}
+	}
+}
+
+// ensureBoundary splits the step containing t so t is a step start.
+func (p *profile) ensureBoundary(t int64) {
+	if t <= p.times[0] {
+		return
+	}
+	idx := sort.Search(len(p.times), func(i int) bool { return p.times[i] >= t })
+	if idx < len(p.times) && p.times[idx] == t {
+		return
+	}
+	// Insert at idx, copying the preceding step's availability.
+	p.times = append(p.times, 0)
+	p.free = append(p.free, need{})
+	copy(p.times[idx+1:], p.times[idx:])
+	copy(p.free[idx+1:], p.free[idx:])
+	p.times[idx] = t
+	p.free[idx] = p.free[idx-1]
+}
+
+// scheduleConservative runs one conservative-backfill pass: walk the
+// queue in priority order, give each of the first bfDepth jobs a
+// reservation, and start those whose reservation is now.
+func (s *sim) scheduleConservative() {
+	for {
+		order := s.order()
+		if len(order) == 0 {
+			return
+		}
+		p := s.newProfile()
+		startedOne := false
+		depth := len(order)
+		if depth > bfDepth {
+			depth = bfDepth
+		}
+		for qi := 0; qi < depth; qi++ {
+			q := order[qi]
+			n := needOf(q.job)
+			start := p.earliestFit(n, q.job.Limit)
+			if start == s.now && s.fits(q.job) {
+				s.start(q)
+				if qi > 0 {
+					s.backfills++
+				}
+				startedOne = true
+				break // state changed; rebuild the profile
+			}
+			p.reserve(n, start, q.job.Limit)
+		}
+		if !startedOne {
+			return
+		}
+	}
+}
+
+// jainFairness computes Jain's index over per-user mean bounded
+// slowdown: (Σx)² / (n Σx²), in (0, 1].
+func jainFairness(results []JobResult) float64 {
+	const tau = 10.0
+	perUser := map[string][2]float64{} // sum slowdown, count
+	for _, r := range results {
+		run := float64(r.Job.Elapsed)
+		s := (float64(r.Wait) + run) / math.Max(run, tau)
+		if s < 1 {
+			s = 1
+		}
+		agg := perUser[r.Job.User]
+		agg[0] += s
+		agg[1]++
+		perUser[r.Job.User] = agg
+	}
+	if len(perUser) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, agg := range perUser {
+		mean := agg[0] / agg[1]
+		sum += mean
+		sumsq += mean * mean
+	}
+	n := float64(len(perUser))
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (n * sumsq)
+}
+
+// meanBoundedSlowdown computes the geometric mean of
+// max(1, (wait+run)/max(run, tau)) with tau=10s, the standard
+// scheduling-paper responsiveness metric.
+func meanBoundedSlowdown(results []JobResult) float64 {
+	const tau = 10.0
+	if len(results) == 0 {
+		return 0
+	}
+	sumLog := 0.0
+	for _, r := range results {
+		run := float64(r.Job.Elapsed)
+		s := (float64(r.Wait) + run) / math.Max(run, tau)
+		if s < 1 {
+			s = 1
+		}
+		sumLog += math.Log(s)
+	}
+	return math.Exp(sumLog / float64(len(results)))
+}

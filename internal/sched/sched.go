@@ -1,0 +1,589 @@
+// Package sched implements a discrete-event cluster scheduler simulator:
+// FCFS with optional EASY backfill and decayed-usage fairshare priority,
+// over a two-pool (CPU/GPU) cluster. It turns a job trace into start
+// times, waits, and a utilization timeline — the telemetry behind
+// figures R-F4/F5 and the backfill ablation. Resources are modeled as
+// fluid core/GPU pools per partition (no per-node packing), the standard
+// simplification for queueing studies; conservation invariants are
+// enforced at every event and covered by property tests.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Cluster describes the simulated machine.
+type Cluster struct {
+	CPUNodes     int // nodes in the "cpu" partition
+	GPUNodes     int // nodes in the "gpu" partition
+	CoresPerNode int
+	GPUsPerNode  int // per GPU node
+}
+
+// Validate checks the configuration.
+func (c Cluster) Validate() error {
+	if c.CPUNodes < 0 || c.GPUNodes < 0 || c.CPUNodes+c.GPUNodes == 0 {
+		return fmt.Errorf("sched: cluster needs nodes, got cpu=%d gpu=%d", c.CPUNodes, c.GPUNodes)
+	}
+	if c.CoresPerNode <= 0 {
+		return fmt.Errorf("sched: cores/node %d", c.CoresPerNode)
+	}
+	if c.GPUNodes > 0 && c.GPUsPerNode <= 0 {
+		return fmt.Errorf("sched: gpu nodes without gpus/node")
+	}
+	return nil
+}
+
+// cpuCores and gpu pool capacities.
+func (c Cluster) cpuCapacity() int { return c.CPUNodes * c.CoresPerNode }
+func (c Cluster) gpuCapacity() int { return c.GPUNodes * c.GPUsPerNode }
+func (c Cluster) gpuCoreCap() int  { return c.GPUNodes * c.CoresPerNode }
+
+// DefaultCampusCluster mirrors the synthetic campus machine the trace
+// generator targets: 256 CPU nodes × 32 cores, 48 GPU nodes × 4 GPUs.
+func DefaultCampusCluster() Cluster {
+	return Cluster{CPUNodes: 256, GPUNodes: 48, CoresPerNode: 32, GPUsPerNode: 4}
+}
+
+// Policy selects the scheduling discipline.
+type Policy int
+
+const (
+	// FCFS is strict first-come-first-served: the queue head blocks
+	// everything behind it.
+	FCFS Policy = iota
+	// EASYBackfill reserves a start for the queue head and lets later
+	// jobs jump ahead only if they cannot delay that reservation.
+	EASYBackfill
+	// ConservativeBackfill gives every queued job (up to a depth cap) a
+	// reservation; backfills may not delay any reservation, not just the
+	// head's.
+	ConservativeBackfill
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case EASYBackfill:
+		return "easy-backfill"
+	case ConservativeBackfill:
+		return "conservative-backfill"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Options configures a simulation run.
+type Options struct {
+	Policy Policy
+	// Fairshare, when true, orders the queue by decayed per-user usage
+	// (lighter users first) instead of pure submit order. The queue-head
+	// guarantee of EASY backfill then applies to the priority order.
+	Fairshare bool
+	// FairshareHalfLife is the usage decay half-life in seconds
+	// (default 7 days).
+	FairshareHalfLife float64
+	// UtilSampleEvery controls the spacing of utilization samples in
+	// seconds (default 3600).
+	UtilSampleEvery int64
+}
+
+// JobResult is the per-job outcome.
+type JobResult struct {
+	Job   trace.Job
+	Start int64
+	Wait  int64 // Start - Submit
+}
+
+// End returns the completion time.
+func (r JobResult) End() int64 { return r.Start + r.Job.Elapsed }
+
+// UtilSample is one point of the utilization timeline.
+type UtilSample struct {
+	Time    int64
+	CPUUtil float64 // fraction of CPU-partition cores busy
+	GPUUtil float64 // fraction of GPUs busy
+	Queued  int     // jobs waiting
+}
+
+// Metrics aggregates a run.
+type Metrics struct {
+	Policy         Policy
+	Jobs           int
+	Makespan       int64
+	MeanWait       float64
+	MedianWait     float64
+	P95Wait        float64
+	MaxWait        int64
+	AvgCPUUtil     float64 // time-averaged over the makespan
+	AvgGPUUtil     float64
+	BackfillStarts int // jobs started out of queue order
+	// BoundedSlowdown is the geometric mean of max(1, (wait+run)/max(run,
+	// 10s)), the standard responsiveness metric.
+	BoundedSlowdown float64
+	// CPUMeanWait and GPUMeanWait split mean wait by partition.
+	CPUMeanWait float64
+	GPUMeanWait float64
+	// UserFairness is Jain's fairness index over per-user mean bounded
+	// slowdown: 1 means every user experiences identical responsiveness,
+	// 1/n means one user absorbs all the delay.
+	UserFairness float64
+}
+
+// Result is the full simulation output.
+type Result struct {
+	Results []JobResult
+	Samples []UtilSample
+	Metrics Metrics
+}
+
+// Simulate schedules jobs (any order; sorted internally by submit time)
+// on the cluster. Jobs whose requests exceed the machine are rejected up
+// front with an error naming the job. The simulation is deterministic.
+func Simulate(cluster Cluster, jobs []trace.Job, opt Options) (*Result, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("sched: no jobs")
+	}
+	if opt.UtilSampleEvery <= 0 {
+		opt.UtilSampleEvery = 3600
+	}
+	if opt.FairshareHalfLife <= 0 {
+		opt.FairshareHalfLife = 7 * 86400
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		switch j.Partition {
+		case "gpu":
+			if j.Cores() > cluster.gpuCoreCap() || j.GPUs > cluster.gpuCapacity() {
+				return nil, fmt.Errorf("sched: job %d wants %d cores / %d gpus, gpu partition has %d / %d",
+					j.ID, j.Cores(), j.GPUs, cluster.gpuCoreCap(), cluster.gpuCapacity())
+			}
+		default:
+			if j.Cores() > cluster.cpuCapacity() {
+				return nil, fmt.Errorf("sched: job %d wants %d cores, cpu partition has %d",
+					j.ID, j.Cores(), cluster.cpuCapacity())
+			}
+			if j.GPUs > 0 {
+				return nil, fmt.Errorf("sched: job %d requests gpus on partition %q", j.ID, j.Partition)
+			}
+		}
+	}
+	s := newSim(cluster, jobs, opt)
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.finish()
+}
+
+// sim holds the event-driven simulation state.
+type sim struct {
+	cluster Cluster
+	opt     Options
+
+	pending []trace.Job // sorted by submit
+	nextArr int
+
+	queue   []*queued
+	running runHeap
+
+	cpuFree int // free cores, cpu partition
+	gpuCore int // free cores, gpu partition
+	gpuFree int // free gpus
+
+	now     int64
+	results []JobResult
+
+	usage     map[string]float64 // decayed core-seconds per user
+	lastDecay int64
+
+	samples    []UtilSample
+	nextSample int64
+	backfills  int
+
+	cpuBusyInt float64 // ∫ busy cores dt, for time-averaged utilization
+	gpuBusyInt float64
+	lastT      int64
+}
+
+type queued struct {
+	job     trace.Job
+	arrived int64
+	seq     int // arrival sequence, the FCFS tiebreak
+}
+
+// runHeap orders running jobs by completion time.
+type runEntry struct {
+	end int64
+	job trace.Job
+	seq int
+}
+type runHeap []runEntry
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(a, b int) bool {
+	if h[a].end != h[b].end {
+		return h[a].end < h[b].end
+	}
+	return h[a].seq < h[b].seq
+}
+func (h runHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(runEntry)) }
+func (h *runHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func newSim(cluster Cluster, jobs []trace.Job, opt Options) *sim {
+	sorted := make([]trace.Job, len(jobs))
+	copy(sorted, jobs)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Submit != sorted[b].Submit {
+			return sorted[a].Submit < sorted[b].Submit
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
+	return &sim{
+		cluster: cluster,
+		opt:     opt,
+		pending: sorted,
+		cpuFree: cluster.cpuCapacity(),
+		gpuCore: cluster.gpuCoreCap(),
+		gpuFree: cluster.gpuCapacity(),
+		usage:   map[string]float64{},
+	}
+}
+
+func (s *sim) fits(j trace.Job) bool {
+	if j.Partition == "gpu" {
+		return j.Cores() <= s.gpuCore && j.GPUs <= s.gpuFree
+	}
+	return j.Cores() <= s.cpuFree
+}
+
+func (s *sim) alloc(j trace.Job) {
+	if j.Partition == "gpu" {
+		s.gpuCore -= j.Cores()
+		s.gpuFree -= j.GPUs
+	} else {
+		s.cpuFree -= j.Cores()
+	}
+	if s.cpuFree < 0 || s.gpuCore < 0 || s.gpuFree < 0 {
+		panic(fmt.Sprintf("sched: oversubscription allocating job %d", j.ID))
+	}
+}
+
+func (s *sim) release(j trace.Job) {
+	if j.Partition == "gpu" {
+		s.gpuCore += j.Cores()
+		s.gpuFree += j.GPUs
+	} else {
+		s.cpuFree += j.Cores()
+	}
+	if s.cpuFree > s.cluster.cpuCapacity() || s.gpuCore > s.cluster.gpuCoreCap() || s.gpuFree > s.cluster.gpuCapacity() {
+		panic(fmt.Sprintf("sched: double release of job %d", j.ID))
+	}
+}
+
+// advance moves simulated time forward, integrating busy resources and
+// emitting utilization samples.
+func (s *sim) advance(to int64) {
+	if to < s.now {
+		panic("sched: time went backwards")
+	}
+	dt := float64(to - s.lastT)
+	busyCPU := float64(s.cluster.cpuCapacity() - s.cpuFree)
+	busyGPU := float64(s.cluster.gpuCapacity() - s.gpuFree)
+	s.cpuBusyInt += busyCPU * dt
+	s.gpuBusyInt += busyGPU * dt
+	s.lastT = to
+	for s.nextSample <= to {
+		cpuU, gpuU := 0.0, 0.0
+		if cap := s.cluster.cpuCapacity(); cap > 0 {
+			cpuU = busyCPU / float64(cap)
+		}
+		if cap := s.cluster.gpuCapacity(); cap > 0 {
+			gpuU = busyGPU / float64(cap)
+		}
+		s.samples = append(s.samples, UtilSample{
+			Time: s.nextSample, CPUUtil: cpuU, GPUUtil: gpuU, Queued: len(s.queue),
+		})
+		s.nextSample += s.opt.UtilSampleEvery
+	}
+	s.now = to
+}
+
+// decayUsage applies exponential decay to fairshare usage.
+func (s *sim) decayUsage(to int64) {
+	if !s.opt.Fairshare || to <= s.lastDecay {
+		return
+	}
+	f := math.Exp2(-float64(to-s.lastDecay) / s.opt.FairshareHalfLife)
+	for u := range s.usage {
+		s.usage[u] *= f
+	}
+	s.lastDecay = to
+}
+
+// order returns the queue in scheduling priority order.
+func (s *sim) order() []*queued {
+	q := make([]*queued, len(s.queue))
+	copy(q, s.queue)
+	if s.opt.Fairshare {
+		sort.SliceStable(q, func(a, b int) bool {
+			ua, ub := s.usage[q[a].job.User], s.usage[q[b].job.User]
+			if ua != ub {
+				return ua < ub
+			}
+			return q[a].seq < q[b].seq
+		})
+	}
+	return q
+}
+
+func (s *sim) start(q *queued) {
+	s.alloc(q.job)
+	heap.Push(&s.running, runEntry{end: s.now + q.job.Elapsed, job: q.job, seq: q.seq})
+	s.results = append(s.results, JobResult{Job: q.job, Start: s.now, Wait: s.now - q.job.Submit})
+	s.usage[q.job.User] += float64(q.job.Cores()) * float64(q.job.Elapsed)
+	// Remove from queue.
+	for i, e := range s.queue {
+		if e == q {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+	panic("sched: started a job not in the queue")
+}
+
+// schedule starts every job the policy allows at the current instant.
+func (s *sim) schedule() {
+	if s.opt.Policy == ConservativeBackfill {
+		s.scheduleConservative()
+		return
+	}
+	for {
+		startedOne := false
+		order := s.order()
+		if len(order) == 0 {
+			return
+		}
+		head := order[0]
+		if s.fits(head.job) {
+			s.start(head)
+			startedOne = true
+		} else if s.opt.Policy == EASYBackfill && len(order) > 1 {
+			// Shadow time: when will the head fit, assuming running jobs
+			// hold resources until their *requested* limits (as EASY does)?
+			shadow, spareCPU, spareGPUCore, spareGPU := s.shadow(head.job)
+			for _, cand := range order[1:] {
+				if !s.fits(cand.job) {
+					continue
+				}
+				// A backfilled job must either end by the shadow time or
+				// not touch the resources the head is waiting for.
+				endsByShadow := s.now+cand.job.Limit <= shadow
+				var withinSpare bool
+				if cand.job.Partition == "gpu" {
+					withinSpare = cand.job.Cores() <= spareGPUCore && cand.job.GPUs <= spareGPU
+				} else {
+					withinSpare = cand.job.Cores() <= spareCPU
+				}
+				if endsByShadow || withinSpare {
+					s.start(cand)
+					s.backfills++
+					startedOne = true
+					break // re-evaluate shadow with updated state
+				}
+			}
+		}
+		if !startedOne {
+			return
+		}
+	}
+}
+
+// shadow computes the head job's reservation: the earliest time enough
+// resources free up (by requested limits), plus the spare capacity at
+// that time beyond what the head needs.
+func (s *sim) shadow(head trace.Job) (shadowTime int64, spareCPU, spareGPUCore, spareGPU int) {
+	// Sort running jobs by limit-based end time.
+	type rel struct {
+		t                int64
+		cores, gpuc, gpu int
+	}
+	var rels []rel
+	for _, e := range s.running {
+		limEnd := e.job.Submit // placeholder, replaced below
+		_ = limEnd
+		// Conservative end: start + limit. Start = end - elapsed.
+		startT := e.end - e.job.Elapsed
+		r := rel{t: startT + e.job.Limit}
+		if e.job.Partition == "gpu" {
+			r.gpuc = e.job.Cores()
+			r.gpu = e.job.GPUs
+		} else {
+			r.cores = e.job.Cores()
+		}
+		rels = append(rels, r)
+	}
+	sort.Slice(rels, func(a, b int) bool { return rels[a].t < rels[b].t })
+	cpu, gpuc, gpu := s.cpuFree, s.gpuCore, s.gpuFree
+	headFits := func() bool {
+		if head.Partition == "gpu" {
+			return head.Cores() <= gpuc && head.GPUs <= gpu
+		}
+		return head.Cores() <= cpu
+	}
+	shadowTime = s.now
+	for _, r := range rels {
+		if headFits() {
+			break
+		}
+		cpu += r.cores
+		gpuc += r.gpuc
+		gpu += r.gpu
+		shadowTime = r.t
+	}
+	// Spare capacity at shadow time, after the head takes its share.
+	if head.Partition == "gpu" {
+		spareCPU = cpu
+		spareGPUCore = gpuc - head.Cores()
+		spareGPU = gpu - head.GPUs
+	} else {
+		spareCPU = cpu - head.Cores()
+		spareGPUCore = gpuc
+		spareGPU = gpu
+	}
+	if spareCPU < 0 {
+		spareCPU = 0
+	}
+	if spareGPUCore < 0 {
+		spareGPUCore = 0
+	}
+	if spareGPU < 0 {
+		spareGPU = 0
+	}
+	return shadowTime, spareCPU, spareGPUCore, spareGPU
+}
+
+func (s *sim) run() error {
+	guard := 0
+	maxEvents := len(s.pending)*4 + 16
+	for s.nextArr < len(s.pending) || len(s.queue) > 0 || s.running.Len() > 0 {
+		guard++
+		if guard > maxEvents*4 {
+			return fmt.Errorf("sched: event budget exceeded (%d events) — scheduler wedged", guard)
+		}
+		// Next event: arrival or completion.
+		var next int64 = math.MaxInt64
+		if s.nextArr < len(s.pending) {
+			next = s.pending[s.nextArr].Submit
+		}
+		if s.running.Len() > 0 && s.running[0].end < next {
+			next = s.running[0].end
+		}
+		if next == math.MaxInt64 {
+			// Queue non-empty but nothing running and no arrivals: the
+			// queue head cannot ever start — run() pre-validation should
+			// have caught this.
+			return fmt.Errorf("sched: deadlock with %d queued jobs", len(s.queue))
+		}
+		s.advance(next)
+		s.decayUsage(next)
+		// Process completions at this instant.
+		for s.running.Len() > 0 && s.running[0].end == next {
+			e := heap.Pop(&s.running).(runEntry)
+			s.release(e.job)
+		}
+		// Process arrivals at this instant.
+		for s.nextArr < len(s.pending) && s.pending[s.nextArr].Submit == next {
+			j := s.pending[s.nextArr]
+			s.queue = append(s.queue, &queued{job: j, arrived: next, seq: s.nextArr})
+			s.nextArr++
+		}
+		s.schedule()
+	}
+	return nil
+}
+
+func (s *sim) finish() (*Result, error) {
+	m := Metrics{Policy: s.opt.Policy, Jobs: len(s.results), BackfillStarts: s.backfills}
+	waits := make([]float64, len(s.results))
+	var end int64
+	for i, r := range s.results {
+		waits[i] = float64(r.Wait)
+		if r.Wait < 0 {
+			return nil, fmt.Errorf("sched: job %d has negative wait %d", r.Job.ID, r.Wait)
+		}
+		if e := r.End(); e > end {
+			end = e
+		}
+		if r.Wait > m.MaxWait {
+			m.MaxWait = r.Wait
+		}
+	}
+	m.Makespan = end
+	sort.Float64s(waits)
+	sum := 0.0
+	for _, w := range waits {
+		sum += w
+	}
+	m.MeanWait = sum / float64(len(waits))
+	m.MedianWait = quantileSorted(waits, 0.5)
+	m.P95Wait = quantileSorted(waits, 0.95)
+	m.BoundedSlowdown = meanBoundedSlowdown(s.results)
+	m.UserFairness = jainFairness(s.results)
+	var cpuSum, gpuSum float64
+	var cpuN, gpuN int
+	for _, r := range s.results {
+		if r.Job.Partition == "gpu" {
+			gpuSum += float64(r.Wait)
+			gpuN++
+		} else {
+			cpuSum += float64(r.Wait)
+			cpuN++
+		}
+	}
+	if cpuN > 0 {
+		m.CPUMeanWait = cpuSum / float64(cpuN)
+	}
+	if gpuN > 0 {
+		m.GPUMeanWait = gpuSum / float64(gpuN)
+	}
+	if end > 0 {
+		if cap := s.cluster.cpuCapacity(); cap > 0 {
+			m.AvgCPUUtil = s.cpuBusyInt / (float64(cap) * float64(end))
+		}
+		if cap := s.cluster.gpuCapacity(); cap > 0 {
+			m.AvgGPUUtil = s.gpuBusyInt / (float64(cap) * float64(end))
+		}
+	}
+	return &Result{Results: s.results, Samples: s.samples, Metrics: m}, nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("mean=%g err=%v", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	m, err := WeightedMean([]float64{1, 10}, []float64{3, 1})
+	if err != nil || !almostEq(m, 3.25, 1e-12) {
+		t.Fatalf("weighted mean=%g err=%v", m, err)
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := WeightedMean([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Fatal("zero-sum weights accepted")
+	}
+	if _, err := WeightedMean([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance=%g err=%v", v, err)
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Fatal("variance of single value accepted")
+	}
+	sd, _ := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev=%g", sd)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || !almostEq(g, 4, 1e-9) {
+		t.Fatalf("geomean=%g err=%v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Fatal("geomean accepted zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil || !almostEq(got, tc.want, 1e-12) {
+			t.Fatalf("q=%g got %g want %g err=%v", tc.q, got, tc.want, err)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("quantile accepted q>1")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Fatal("quantile of empty accepted")
+	}
+	// Input must not be modified.
+	in := []float64{3, 1, 2}
+	_, _ = Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 || s.Min != 1 || s.Max != 10 || !almostEq(s.Mean, 5.5, 1e-12) {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if !almostEq(s.P50, 5.5, 1e-12) {
+		t.Fatalf("median %g", s.P50)
+	}
+	if s.P25 > s.P50 || s.P50 > s.P75 || s.P75 > s.P90 || s.P90 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{-1, 0, 0.5, 1, 2.5, 5, 10}, 0, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and 0.5
+		t.Fatalf("bin0=%d", h.Counts[0])
+	}
+	if !almostEq(h.BinCenter(0), 0.5, 1e-12) {
+		t.Fatalf("bin center %g", h.BinCenter(0))
+	}
+	if _, err := NewHistogram(nil, 5, 5, 3); err == nil {
+		t.Fatal("degenerate domain accepted")
+	}
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	pts, probs, err := ECDF([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0] != 1 || pts[2] != 3 {
+		t.Fatalf("points %v", pts)
+	}
+	if !almostEq(probs[2], 1, 1e-12) || !almostEq(probs[0], 1.0/3, 1e-12) {
+		t.Fatalf("probs %v", probs)
+	}
+	if _, _, err := ECDF(nil); err != ErrEmpty {
+		t.Fatal("expected ErrEmpty")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Fatalf("r=%g err=%v", r, err)
+	}
+	r, _ = Pearson([]float64{1, 2, 3}, []float64{3, 2, 1})
+	if !almostEq(r, -1, 1e-12) {
+		t.Fatalf("r=%g", r)
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25} // monotone, nonlinear
+	r, err := Spearman(xs, ys)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Fatalf("spearman=%g err=%v", r, err)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks %v want %v", got, want)
+		}
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, qa, qb uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, err1 := Quantile(xs, q1)
+		v2, err2 := Quantile(xs, q2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return v1 <= v2 && v1 >= sorted[0] && v2 <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies between min and max.
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && math.Abs(v) < 1e15 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m, err := Mean(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return m >= lo-1e-6 && m <= hi+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

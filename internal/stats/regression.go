@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearFit is an ordinary-least-squares simple linear regression
+// y = Intercept + Slope*x with standard inference, used for "is this
+// practice trending" questions over yearly series.
+type LinearFit struct {
+	Slope, Intercept float64
+	SlopeSE          float64
+	R2               float64
+	N                int
+	// TSlope and PSlope test H0: slope = 0 (two-sided, Student t with
+	// n-2 df).
+	TSlope, PSlope float64
+}
+
+// LinearRegression fits OLS on paired samples. Requires n >= 3 and
+// nonzero x variance.
+func LinearRegression(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: regression length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 3 {
+		return LinearFit{}, fmt.Errorf("stats: regression needs >= 3 points, got %d", n)
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: regression undefined for zero x variance")
+	}
+	fit := LinearFit{N: n}
+	fit.Slope = sxy / sxx
+	fit.Intercept = my - fit.Slope*mx
+	// Residual sum of squares.
+	rss := 0.0
+	for i := range xs {
+		r := ys[i] - fit.Intercept - fit.Slope*xs[i]
+		rss += r * r
+	}
+	if syy > 0 {
+		fit.R2 = 1 - rss/syy
+	} else {
+		fit.R2 = 1 // y constant and perfectly fit by the constant model
+	}
+	df := float64(n - 2)
+	sigma2 := rss / df
+	fit.SlopeSE = math.Sqrt(sigma2 / sxx)
+	if fit.SlopeSE > 0 {
+		fit.TSlope = fit.Slope / fit.SlopeSE
+		fit.PSlope = 2 * StudentTSF(math.Abs(fit.TSlope), df)
+	} else {
+		fit.PSlope = 0 // exact fit with nonzero slope
+		if fit.Slope == 0 {
+			fit.PSlope = 1
+		}
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// KSResult reports the two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	D float64 // max |F1 - F2|
+	P float64 // asymptotic two-sided p
+}
+
+// KolmogorovSmirnov runs the two-sample KS test with the asymptotic
+// Kolmogorov distribution p-value (accurate for n1, n2 >= ~25; fine for
+// the trace-scale samples it is used on).
+func KolmogorovSmirnov(xs, ys []float64) (KSResult, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	a, _, err := ECDF(xs)
+	if err != nil {
+		return KSResult{}, err
+	}
+	b, _, err := ECDF(ys)
+	if err != nil {
+		return KSResult{}, err
+	}
+	n1, n2 := float64(len(a)), float64(len(b))
+	d := 0.0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		var v float64
+		if a[i] <= b[j] {
+			v = a[i]
+		} else {
+			v = b[j]
+		}
+		for i < len(a) && a[i] <= v {
+			i++
+		}
+		for j < len(b) && b[j] <= v {
+			j++
+		}
+		diff := math.Abs(float64(i)/n1 - float64(j)/n2)
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := n1 * n2 / (n1 + n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, P: ksProb(lambda)}, nil
+}
+
+// ksProb is the Kolmogorov distribution tail sum Q(λ).
+func ksProb(lambda float64) float64 {
+	if lambda < 1e-6 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		sign = -sign
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// KWResult reports the Kruskal–Wallis rank test across k groups.
+type KWResult struct {
+	H  float64
+	DF int
+	P  float64
+}
+
+// KruskalWallis tests whether k >= 2 samples come from the same
+// distribution, with tie correction. Each group needs at least one
+// observation.
+func KruskalWallis(groups ...[]float64) (KWResult, error) {
+	if len(groups) < 2 {
+		return KWResult{}, fmt.Errorf("stats: Kruskal-Wallis needs >= 2 groups, got %d", len(groups))
+	}
+	total := 0
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return KWResult{}, fmt.Errorf("stats: Kruskal-Wallis group %d is empty", gi)
+		}
+		total += len(g)
+	}
+	all := make([]float64, 0, total)
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	ranks := Ranks(all)
+	n := float64(total)
+	h := 0.0
+	off := 0
+	for _, g := range groups {
+		rsum := 0.0
+		for i := range g {
+			rsum += ranks[off+i]
+		}
+		off += len(g)
+		h += rsum * rsum / float64(len(g))
+	}
+	h = 12/(n*(n+1))*h - 3*(n+1)
+	// Tie correction.
+	tieTerm := 0.0
+	sorted := make([]float64, len(all))
+	copy(sorted, all)
+	sortFloats(sorted)
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		tieTerm += t*t*t - t
+		i = j + 1
+	}
+	c := 1 - tieTerm/(n*n*n-n)
+	if c <= 0 {
+		// All values identical: no evidence against the null.
+		return KWResult{H: 0, DF: len(groups) - 1, P: 1}, nil
+	}
+	h /= c
+	df := len(groups) - 1
+	return KWResult{H: h, DF: df, P: ChiSquareSF(h, df)}, nil
+}
+
+func sortFloats(xs []float64) {
+	// Local insertion-free wrapper around sort to keep imports tidy.
+	quickSort(xs, 0, len(xs)-1)
+}
+
+func quickSort(xs []float64, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+					xs[j], xs[j-1] = xs[j-1], xs[j]
+				}
+			}
+			return
+		}
+		p := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSort(xs, lo, j)
+			lo = i
+		} else {
+			quickSort(xs, i, hi)
+			hi = j
+		}
+	}
+}
+
+// KendallTau returns Kendall's tau-b rank correlation with tie
+// handling, an O(n^2) implementation adequate for the yearly series it
+// is applied to.
+func KendallTau(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: kendall length mismatch %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, fmt.Errorf("stats: kendall needs >= 2 pairs, got %d", n)
+	}
+	var concordant, discordant, tieX, tieY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// double tie contributes to neither denominator term
+			case dx == 0:
+				tieX++
+			case dy == 0:
+				tieY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	den := math.Sqrt((concordant + discordant + tieX) * (concordant + discordant + tieY))
+	if den == 0 {
+		return 0, errors.New("stats: kendall undefined for constant input")
+	}
+	return (concordant - discordant) / den, nil
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestLinearRegressionExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit %+v", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Fatalf("r2=%g", fit.R2)
+	}
+	if fit.PSlope > 1e-9 {
+		t.Fatalf("exact fit p=%g", fit.PSlope)
+	}
+	if !almostEq(fit.Predict(10), 21, 1e-12) {
+		t.Fatalf("predict %g", fit.Predict(10))
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	r := rng.New(41)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 5 + 0.3*xs[i] + r.NormMeanStd(0, 2)
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.3) > 0.02 {
+		t.Fatalf("slope %g", fit.Slope)
+	}
+	if fit.PSlope > 1e-6 {
+		t.Fatalf("strong trend p=%g", fit.PSlope)
+	}
+	if fit.R2 < 0.8 {
+		t.Fatalf("r2=%g", fit.R2)
+	}
+	if fit.SlopeSE <= 0 {
+		t.Fatalf("se=%g", fit.SlopeSE)
+	}
+}
+
+func TestLinearRegressionNull(t *testing.T) {
+	r := rng.New(42)
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = r.NormMeanStd(3, 1)
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.PSlope < 0.01 {
+		t.Fatalf("null trend rejected with p=%g", fit.PSlope)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+	if _, err := LinearRegression([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("zero x variance accepted")
+	}
+	if _, err := LinearRegression([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	r := rng.New(43)
+	xs := make([]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = r.Norm()
+		ys[i] = r.Norm()
+	}
+	res, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("same distribution rejected: %+v", res)
+	}
+	if res.D < 0 || res.D > 1 {
+		t.Fatalf("d=%g", res.D)
+	}
+}
+
+func TestKSDifferentDistribution(t *testing.T) {
+	r := rng.New(44)
+	xs := make([]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		xs[i] = r.Norm()
+		ys[i] = r.Norm() + 1
+	}
+	res, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("1-sigma shift not detected: %+v", res)
+	}
+	if _, err := KolmogorovSmirnov(nil, ys); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	res, err := KolmogorovSmirnov(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 0 || res.P < 0.999 {
+		t.Fatalf("identical samples: %+v", res)
+	}
+}
+
+func TestKruskalWallisDetectsShift(t *testing.T) {
+	r := rng.New(45)
+	g1 := make([]float64, 80)
+	g2 := make([]float64, 80)
+	g3 := make([]float64, 80)
+	for i := range g1 {
+		g1[i] = r.Norm()
+		g2[i] = r.Norm()
+		g3[i] = r.Norm() + 1.5
+	}
+	res, err := KruskalWallis(g1, g2, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 2 {
+		t.Fatalf("df=%d", res.DF)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("clear shift not detected: %+v", res)
+	}
+}
+
+func TestKruskalWallisNull(t *testing.T) {
+	r := rng.New(46)
+	g1 := make([]float64, 60)
+	g2 := make([]float64, 60)
+	for i := range g1 {
+		g1[i] = r.Float64()
+		g2[i] = r.Float64()
+	}
+	res, err := KruskalWallis(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("null rejected: %+v", res)
+	}
+}
+
+func TestKruskalWallisDegenerate(t *testing.T) {
+	res, err := KruskalWallis([]float64{3, 3}, []float64{3, 3, 3})
+	if err != nil || res.P != 1 {
+		t.Fatalf("all ties: %+v err=%v", res, err)
+	}
+	if _, err := KruskalWallis([]float64{1, 2}); err == nil {
+		t.Fatal("one group accepted")
+	}
+	if _, err := KruskalWallis([]float64{1}, nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	tau, err := KendallTau([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8})
+	if err != nil || !almostEq(tau, 1, 1e-12) {
+		t.Fatalf("tau=%g err=%v", tau, err)
+	}
+	tau, _ = KendallTau([]float64{1, 2, 3, 4}, []float64{8, 6, 4, 2})
+	if !almostEq(tau, -1, 1e-12) {
+		t.Fatalf("tau=%g", tau)
+	}
+	// With ties, |tau| < 1 but sign holds.
+	tau, _ = KendallTau([]float64{1, 2, 2, 4}, []float64{1, 3, 3, 4})
+	if tau <= 0 || tau > 1 {
+		t.Fatalf("tied tau=%g", tau)
+	}
+	if _, err := KendallTau([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+	if _, err := KendallTau([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestSortFloatsMatchesStdlib(t *testing.T) {
+	r := rng.New(47)
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(200) + 1
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormMeanStd(0, 100)
+		}
+		b := make([]float64, n)
+		copy(b, a)
+		sortFloats(a)
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: sortFloats diverges at %d", trial, i)
+			}
+		}
+	}
+}
+
+// Property: R2 in [0,1] and p in [0,1] on random data with varying x.
+func TestQuickRegressionValid(t *testing.T) {
+	r := rng.New(48)
+	f := func(seed uint16) bool {
+		n := int(seed%50) + 3
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + r.Float64()
+			ys[i] = r.NormMeanStd(0, 5)
+		}
+		fit, err := LinearRegression(xs, ys)
+		if err != nil {
+			return false
+		}
+		return fit.R2 >= -1e-9 && fit.R2 <= 1+1e-9 && fit.PSlope >= 0 && fit.PSlope <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package survey
+
+// This file defines the canonical rcpt instrument: the questionnaire the
+// reconstructed study fields to both cohorts (with 2024-only items gated
+// on cohort year by the analysis, not by skip logic, since cohort is
+// response metadata). Option lists are exported so the population
+// generator and the analysis tables share one vocabulary.
+
+// Research fields (strata for weighting and per-field tables).
+var Fields = []string{
+	"astronomy",
+	"biology",
+	"chemistry",
+	"computer science",
+	"earth science",
+	"economics",
+	"engineering",
+	"mathematics",
+	"neuroscience",
+	"physics",
+	"political science",
+	"sociology",
+}
+
+// CareerStages for the demographics table.
+var CareerStages = []string{
+	"undergraduate",
+	"graduate student",
+	"postdoc",
+	"research staff",
+	"faculty",
+}
+
+// Languages offered on the multi-select language question.
+var Languages = []string{
+	"python",
+	"c",
+	"c++",
+	"fortran",
+	"r",
+	"matlab",
+	"julia",
+	"java",
+	"shell",
+	"javascript",
+	"go",
+	"rust",
+	"perl",
+	"mathematica",
+	"sas/stata",
+}
+
+// ParallelismModes for the hardware/parallelism multi-select.
+var ParallelismModes = []string{
+	"serial only",
+	"multicore (threads/OpenMP)",
+	"mpi / multi-node",
+	"gpu",
+	"cluster batch jobs",
+	"cloud",
+	"distributed frameworks (spark/dask)",
+}
+
+// EngineeringPractices for the software-engineering multi-select.
+var EngineeringPractices = []string{
+	"version control",
+	"automated testing",
+	"continuous integration",
+	"code review",
+	"written documentation",
+	"packaging/releases",
+	"issue tracking",
+	"code sharing on publication",
+}
+
+// ModernTools for the 2024-only tooling multi-select.
+var ModernTools = []string{
+	"ai code assistants",
+	"containers (docker/apptainer)",
+	"workflow managers (snakemake/nextflow)",
+	"jupyter/notebooks",
+	"package managers (conda/spack)",
+	"cloud notebooks (colab)",
+}
+
+// Question IDs used throughout the pipeline; keep in sync with
+// Canonical below.
+const (
+	QField        = "field"
+	QCareer       = "career"
+	QYearsCoding  = "years_coding"
+	QTeamSize     = "team_size"
+	QLanguages    = "languages"
+	QParallelism  = "parallelism"
+	QPractices    = "practices"
+	QClusterUse   = "cluster_use"
+	QClusterHours = "cluster_hours_week"
+	QGPUShare     = "gpu_share"
+	QModernTools  = "modern_tools"
+	QBottleneck   = "bottleneck"
+	QTraining     = "formal_training"
+)
+
+// ClusterUseOptions for the single-choice cluster usage frequency item.
+var ClusterUseOptions = []string{
+	"never",
+	"a few times a year",
+	"monthly",
+	"weekly",
+	"daily",
+}
+
+// Canonical returns the rcpt questionnaire. Construction cannot fail for
+// this static definition, so errors panic (exercised by tests).
+func Canonical() *Instrument {
+	asksCluster := func(r *Response) bool {
+		u := r.Choice(QClusterUse)
+		return u != "" && u != "never"
+	}
+	qs := []Question{
+		{ID: QField, Text: "What is your primary research field?",
+			Kind: SingleChoice, Options: Fields, Required: true},
+		{ID: QCareer, Text: "What is your career stage?",
+			Kind: SingleChoice, Options: CareerStages, Required: true},
+		{ID: QYearsCoding, Text: "For how many years have you written research software?",
+			Kind: Numeric, Min: 0, Max: 60, Required: true},
+		{ID: QTeamSize, Text: "How many people work on your main code base?",
+			Kind: Numeric, Min: 1, Max: 1000},
+		{ID: QLanguages, Text: "Which programming languages do you use for research? (select all)",
+			Kind: MultiChoice, Options: Languages, Required: true},
+		{ID: QParallelism, Text: "Which forms of parallel or large-scale computation do you use? (select all)",
+			Kind: MultiChoice, Options: ParallelismModes, Required: true},
+		{ID: QPractices, Text: "Which software-engineering practices does your group use? (select all)",
+			Kind: MultiChoice, Options: EngineeringPractices, Required: true},
+		{ID: QClusterUse, Text: "How often do you use a shared computing cluster?",
+			Kind: SingleChoice, Options: ClusterUseOptions, Required: true},
+		{ID: QClusterHours, Text: "Roughly how many hours of cluster compute do you consume per week?",
+			Kind: Numeric, Min: 0, Max: 100000, AskIf: asksCluster},
+		{ID: QGPUShare, Text: "What fraction of your compute uses GPUs? (percent)",
+			Kind: Numeric, Min: 0, Max: 100},
+		{ID: QModernTools, Text: "Which of these tools do you use? (select all; 2024 instrument only)",
+			Kind: MultiChoice, Options: ModernTools},
+		{ID: QBottleneck, Text: "In one sentence, what most limits your computational research?",
+			Kind: FreeText},
+		{ID: QTraining, Text: "Have you received formal software-development training? (1 none .. 5 extensive)",
+			Kind: Likert, Scale: 5, Required: true},
+	}
+	ins, err := NewInstrument("rcpt-2024", qs)
+	if err != nil {
+		panic("survey: canonical instrument invalid: " + err.Error())
+	}
+	return ins
+}

@@ -1,0 +1,195 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func testInstrument(t *testing.T) *Instrument {
+	t.Helper()
+	ins, err := NewInstrument("test", []Question{
+		{ID: "color", Text: "Favorite color?", Kind: SingleChoice,
+			Options: []string{"red", "blue", "green"}, Required: true},
+		{ID: "pets", Text: "Pets?", Kind: MultiChoice,
+			Options: []string{"cat", "dog", "fish"}},
+		{ID: "happy", Text: "Happiness", Kind: Likert, Scale: 5, Required: true},
+		{ID: "age", Text: "Age", Kind: Numeric, Min: 0, Max: 120},
+		{ID: "notes", Text: "Notes", Kind: FreeText},
+		{ID: "dog_name", Text: "Dog's name?", Kind: FreeText,
+			AskIf: func(r *Response) bool { return r.Selected("pets", "dog") }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func TestNewInstrumentRejectsBadDefinitions(t *testing.T) {
+	cases := []struct {
+		name string
+		qs   []Question
+	}{
+		{"empty name handled separately", nil},
+		{"dup id", []Question{
+			{ID: "a", Kind: FreeText}, {ID: "a", Kind: FreeText}}},
+		{"empty id", []Question{{ID: "", Kind: FreeText}}},
+		{"reserved char", []Question{{ID: "a,b", Kind: FreeText}}},
+		{"one option", []Question{{ID: "a", Kind: SingleChoice, Options: []string{"x"}}}},
+		{"dup option", []Question{{ID: "a", Kind: SingleChoice, Options: []string{"x", "x"}}}},
+		{"empty option", []Question{{ID: "a", Kind: MultiChoice, Options: []string{"x", ""}}}},
+		{"likert scale 1", []Question{{ID: "a", Kind: Likert, Scale: 1}}},
+		{"numeric bounds", []Question{{ID: "a", Kind: Numeric, Min: 5, Max: 5}}},
+		{"unknown kind", []Question{{ID: "a", Kind: QuestionKind(99)}}},
+	}
+	for _, c := range cases {
+		if _, err := NewInstrument("x", c.qs); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+	if _, err := NewInstrument("", []Question{{ID: "a", Kind: FreeText}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestQuestionLookup(t *testing.T) {
+	ins := testInstrument(t)
+	q, ok := ins.Question("happy")
+	if !ok || q.Kind != Likert {
+		t.Fatalf("lookup failed: %v %v", q, ok)
+	}
+	if _, ok := ins.Question("nope"); ok {
+		t.Fatal("found nonexistent question")
+	}
+	ids := ins.IDs()
+	if len(ids) != 6 || ids[0] != "color" {
+		t.Fatalf("ids=%v", ids)
+	}
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	ins := testInstrument(t)
+	r := NewResponse("r1", 2024)
+	r.SetChoice("color", "red")
+	r.SetChoices("pets", []string{"dog", "cat"})
+	r.SetRating("happy", 4)
+	r.SetValue("age", 33)
+	r.SetText("dog_name", "Rex")
+	if errs := ins.Validate(r); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+func TestValidateCatchesEverything(t *testing.T) {
+	ins := testInstrument(t)
+	r := NewResponse("r2", 2024)
+	r.Weight = -1
+	r.SetChoice("color", "purple")           // not an option
+	r.SetChoices("pets", []string{"dragon"}) // not an option
+	r.SetRating("happy", 9)                  // out of scale
+	r.SetValue("age", 500)                   // out of range
+	r.SetText("dog_name", "Rex")             // skipped (no dog selected)
+	r.SetText("ghost", "boo")                // unknown question
+	errs := ins.Validate(r)
+	reasons := map[string]bool{}
+	for _, e := range errs {
+		reasons[e.QuestionID+":"+e.Reason] = true
+	}
+	wantSubstrings := []string{
+		`color:choice "purple" not among options`,
+		`pets:choice "dragon" not among options`,
+		"happy:rating 9 outside 1..5",
+		"age:value 500 outside [0,120]",
+		"dog_name:answered a skipped question",
+		"ghost:answer to unknown question",
+		":negative weight -1",
+	}
+	for _, w := range wantSubstrings {
+		if !reasons[w] {
+			t.Fatalf("missing validation error %q in %v", w, errs)
+		}
+	}
+}
+
+func TestValidateRequiredUnanswered(t *testing.T) {
+	ins := testInstrument(t)
+	r := NewResponse("r3", 2011)
+	errs := ins.Validate(r)
+	found := false
+	for _, e := range errs {
+		if e.QuestionID == "color" && strings.Contains(e.Reason, "required") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("required-unanswered not reported: %v", errs)
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	e := ValidationError{ResponseID: "r", QuestionID: "q", Reason: "bad"}
+	if !strings.Contains(e.Error(), "r") || !strings.Contains(e.Error(), "q") {
+		t.Fatalf("error message %q", e.Error())
+	}
+}
+
+func TestSetChoicesDedupSort(t *testing.T) {
+	r := NewResponse("x", 2024)
+	r.SetChoices("pets", []string{"dog", "cat", "dog"})
+	got := r.Choices("pets")
+	if len(got) != 2 || got[0] != "cat" || got[1] != "dog" {
+		t.Fatalf("choices=%v", got)
+	}
+	if !r.Selected("pets", "dog") || r.Selected("pets", "fish") {
+		t.Fatal("Selected wrong")
+	}
+}
+
+func TestResponseAccessorsUnanswered(t *testing.T) {
+	r := NewResponse("x", 2024)
+	if r.Has("q") || r.Choice("q") != "" || r.Choices("q") != nil ||
+		r.Rating("q") != 0 || r.Value("q") != 0 || r.Text("q") != "" {
+		t.Fatal("unanswered accessors should be zero values")
+	}
+}
+
+func TestCodebookMentionsEverything(t *testing.T) {
+	ins := testInstrument(t)
+	cb := ins.Codebook()
+	for _, want := range []string{"color", "red | blue | green", "scale: 1..5", "range: [0, 120]", "conditional", "required"} {
+		if !strings.Contains(cb, want) {
+			t.Fatalf("codebook missing %q:\n%s", want, cb)
+		}
+	}
+}
+
+func TestCanonicalInstrument(t *testing.T) {
+	ins := Canonical()
+	if len(ins.Questions) != 13 {
+		t.Fatalf("canonical has %d questions", len(ins.Questions))
+	}
+	// Skip logic: cluster hours only asked of cluster users.
+	r := NewResponse("r", 2024)
+	r.SetChoice(QClusterUse, "never")
+	r.SetValue(QClusterHours, 5)
+	errs := ins.Validate(r)
+	found := false
+	for _, e := range errs {
+		if e.QuestionID == QClusterHours && strings.Contains(e.Reason, "skipped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("skip logic not enforced: %v", errs)
+	}
+	// Option vocabularies stay in sync with the exported slices.
+	q, _ := ins.Question(QLanguages)
+	if len(q.Options) != len(Languages) {
+		t.Fatal("language options out of sync")
+	}
+}
+
+func TestQuestionKindString(t *testing.T) {
+	if SingleChoice.String() != "single" || QuestionKind(42).String() == "" {
+		t.Fatal("kind strings wrong")
+	}
+}

@@ -1,0 +1,307 @@
+// Package textcode implements the open-response coding pipeline: a
+// tokenizer and normalizer, a keyword taxonomy that maps free text to
+// analysis categories (with longest-phrase-first matching), TF-IDF
+// scoring for "what terms characterize this category", and term
+// co-occurrence counts. This is the machinery that turns the survey's
+// "what limits your computational research?" answers into the coded
+// categories of table R-T6.
+package textcode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases text and splits it into word tokens, treating any
+// non-letter/digit rune as a separator except intra-word '-', '/', '+'
+// and '.' (so "snakemake/nextflow", "c++" and "4.2" survive). Tokens are
+// trimmed of leading/trailing connector punctuation.
+func Tokenize(text string) []string {
+	text = strings.ToLower(text)
+	isWordRune := func(r rune) bool {
+		return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+			r == '-' || r == '/' || r == '+' || r == '.'
+	}
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := strings.Trim(b.String(), "-/.")
+		if tok != "" {
+			tokens = append(tokens, tok)
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		if isWordRune(r) {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stopwords is the small English stopword list used by TF-IDF; taxonomy
+// matching does not filter stopwords (phrases may contain them).
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true,
+	"have": true, "i": true, "in": true, "is": true, "it": true, "its": true,
+	"my": true, "of": true, "on": true, "or": true, "our": true, "so": true,
+	"that": true, "the": true, "their": true, "this": true, "to": true,
+	"too": true, "was": true, "we": true, "with": true, "you": true,
+	"most": true, "even": true, "keeps": true, "takes": true, "eat": true,
+}
+
+// IsStopword reports whether tok is on the stopword list.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// Taxonomy maps categories to trigger phrases. Matching is done on the
+// token stream: a phrase matches when its tokens appear contiguously.
+// Longer phrases are tried first so "queue wait" beats "wait".
+type Taxonomy struct {
+	categories []string
+	// phrases sorted by descending token length, each entry is
+	// (tokenized phrase, category index).
+	phrases []taxPhrase
+}
+
+type taxPhrase struct {
+	tokens []string
+	cat    int
+}
+
+// NewTaxonomy builds a taxonomy from category -> phrases. Every category
+// needs at least one phrase; phrases must tokenize to at least one token
+// and be unique across categories.
+func NewTaxonomy(def map[string][]string) (*Taxonomy, error) {
+	if len(def) == 0 {
+		return nil, errors.New("textcode: empty taxonomy")
+	}
+	cats := make([]string, 0, len(def))
+	for c := range def {
+		if c == "" {
+			return nil, errors.New("textcode: empty category name")
+		}
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	t := &Taxonomy{categories: cats}
+	seen := map[string]string{}
+	for ci, c := range cats {
+		phrases := def[c]
+		if len(phrases) == 0 {
+			return nil, fmt.Errorf("textcode: category %q has no phrases", c)
+		}
+		for _, p := range phrases {
+			toks := Tokenize(p)
+			if len(toks) == 0 {
+				return nil, fmt.Errorf("textcode: category %q phrase %q tokenizes to nothing", c, p)
+			}
+			key := strings.Join(toks, " ")
+			if prev, dup := seen[key]; dup {
+				return nil, fmt.Errorf("textcode: phrase %q in both %q and %q", p, prev, c)
+			}
+			seen[key] = c
+			t.phrases = append(t.phrases, taxPhrase{tokens: toks, cat: ci})
+		}
+	}
+	sort.SliceStable(t.phrases, func(a, b int) bool {
+		return len(t.phrases[a].tokens) > len(t.phrases[b].tokens)
+	})
+	return t, nil
+}
+
+// Categories returns the sorted category names.
+func (t *Taxonomy) Categories() []string { return t.categories }
+
+// Code returns the set of categories whose phrases match the text, in
+// sorted order. A text can code to multiple categories; no match returns
+// nil.
+func (t *Taxonomy) Code(text string) []string {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return nil
+	}
+	matched := map[int]bool{}
+	for _, p := range t.phrases {
+		if matched[p.cat] {
+			continue
+		}
+		if containsPhrase(toks, p.tokens) {
+			matched[p.cat] = true
+		}
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(matched))
+	for ci := range matched {
+		out = append(out, t.categories[ci])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CodeAll codes every text and returns per-category counts plus the
+// number of texts that matched nothing (the "other" bucket every coding
+// exercise must report).
+func (t *Taxonomy) CodeAll(texts []string) (counts map[string]int, uncoded int) {
+	counts = make(map[string]int, len(t.categories))
+	for _, c := range t.categories {
+		counts[c] = 0
+	}
+	for _, txt := range texts {
+		cats := t.Code(txt)
+		if len(cats) == 0 {
+			uncoded++
+			continue
+		}
+		for _, c := range cats {
+			counts[c]++
+		}
+	}
+	return counts, uncoded
+}
+
+func containsPhrase(toks, phrase []string) bool {
+	if len(phrase) > len(toks) {
+		return false
+	}
+outer:
+	for i := 0; i+len(phrase) <= len(toks); i++ {
+		for j, p := range phrase {
+			if toks[i+j] != p {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// BottleneckTaxonomy is the coding frame for the QBottleneck free-text
+// item, aligned with the population generator's phrase bank.
+func BottleneckTaxonomy() *Taxonomy {
+	t, err := NewTaxonomy(map[string][]string{
+		"compute capacity": {
+			"compute time", "queue wait", "gpu hours", "cluster", "simulations take",
+		},
+		"software engineering": {
+			"legacy code", "no tests", "dependency", "environment problems",
+			"porting", "codebase",
+		},
+		"people and training": {
+			"software training", "graduated", "hiring", "learn better tools",
+			"research software engineers",
+		},
+		"data management": {
+			"datasets", "data cleaning", "i/o", "sharing data", "storing",
+		},
+	})
+	if err != nil {
+		panic("textcode: bottleneck taxonomy invalid: " + err.Error())
+	}
+	return t
+}
+
+// Corpus accumulates documents for TF-IDF and co-occurrence analysis.
+type Corpus struct {
+	docs [][]string
+	df   map[string]int
+}
+
+// NewCorpus creates an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{df: map[string]int{}} }
+
+// Add tokenizes and stores one document, dropping stopwords.
+func (c *Corpus) Add(text string) {
+	toks := Tokenize(text)
+	kept := make([]string, 0, len(toks))
+	seen := map[string]bool{}
+	for _, tok := range toks {
+		if IsStopword(tok) {
+			continue
+		}
+		kept = append(kept, tok)
+		if !seen[tok] {
+			seen[tok] = true
+			c.df[tok]++
+		}
+	}
+	c.docs = append(c.docs, kept)
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.docs) }
+
+// TermScore is a term with its aggregate TF-IDF weight.
+type TermScore struct {
+	Term  string
+	Score float64
+}
+
+// TopTerms returns the k highest TF-IDF terms across the corpus
+// (smoothed idf = ln(1 + N/df)), ties broken alphabetically.
+func (c *Corpus) TopTerms(k int) []TermScore {
+	if k <= 0 || len(c.docs) == 0 {
+		return nil
+	}
+	n := float64(len(c.docs))
+	agg := map[string]float64{}
+	for _, doc := range c.docs {
+		if len(doc) == 0 {
+			continue
+		}
+		tf := map[string]float64{}
+		for _, tok := range doc {
+			tf[tok]++
+		}
+		for tok, f := range tf {
+			idf := math.Log(1 + n/float64(c.df[tok]))
+			agg[tok] += (f / float64(len(doc))) * idf
+		}
+	}
+	out := make([]TermScore, 0, len(agg))
+	for term, s := range agg {
+		out = append(out, TermScore{Term: term, Score: s})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Term < out[b].Term
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+// Cooccurrence returns how many documents contain both a and b.
+func (c *Corpus) Cooccurrence(a, b string) int {
+	count := 0
+	for _, doc := range c.docs {
+		hasA, hasB := false, false
+		for _, tok := range doc {
+			if tok == a {
+				hasA = true
+			}
+			if tok == b {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSWFExportImportRoundTrip(t *testing.T) {
+	jobs, err := CampusModel(2020).Generate(rng.New(3), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = jobs[:500]
+	var buf bytes.Buffer
+	if err := ExportSWF(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportSWF(&buf, 2020, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(got), len(jobs))
+	}
+	for i, g := range got {
+		orig := jobs[i]
+		if g.ID != orig.ID || g.Submit != orig.Submit || g.Elapsed != orig.Elapsed {
+			t.Fatalf("job %d: core fields lost: %+v vs %+v", i, g, orig)
+		}
+		// SWF carries flat processor counts: total cores preserved.
+		if g.Cores() != orig.Cores() {
+			t.Fatalf("job %d: cores %d vs %d", i, g.Cores(), orig.Cores())
+		}
+		if (g.Partition == "gpu") != (orig.Partition == "gpu") {
+			t.Fatalf("job %d: partition lost", i)
+		}
+		if g.Limit < g.Elapsed {
+			t.Fatalf("job %d: limit below runtime", i)
+		}
+		// Documented loss: account and language are synthesized.
+		if g.Account != "swf" || g.Language != "unknown" {
+			t.Fatalf("job %d: synthesized fields wrong: %+v", i, g)
+		}
+	}
+}
+
+func TestSWFStatusMapping(t *testing.T) {
+	j := validJob()
+	j.State = StateFailed
+	j.Elapsed = 100
+	var buf bytes.Buffer
+	if err := ExportSWF(&buf, []Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportSWF(&buf, 2024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].State != StateFailed {
+		t.Fatalf("state %q", got[0].State)
+	}
+	// Timeout degrades to failed (SWF has no timeout status).
+	j.State = StateTimeout
+	j.Elapsed = j.Limit
+	buf.Reset()
+	_ = ExportSWF(&buf, []Job{j})
+	got, _ = ImportSWF(&buf, 2024, 0)
+	if got[0].State != StateFailed {
+		t.Fatalf("timeout mapped to %q", got[0].State)
+	}
+}
+
+func TestImportSWFHandlesArchiveQuirks(t *testing.T) {
+	input := `; comment header
+; more comments
+1 0 -1 100 4 -1 -1 4 200 -1 1 7 -1 -1 -1 1 -1 -1
+2 50 -1 -1 4 -1 -1 4 200 -1 1 7 -1 -1 -1 1 -1 -1
+3 60 -1 100 -1 -1 -1 8 200 -1 1 7 -1 -1 -1 1 -1 -1
+4 70 -1 300 2 -1 -1 2 100 -1 1 -1 -1 -1 -1 1 -1 -1
+`
+	jobs, err := ImportSWF(strings.NewReader(input), 2015, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 2 has runtime -1 → skipped. Job 3 falls back to requested
+	// procs. Job 4 has limit < runtime → clamped, and uid -1 → synthetic
+	// user.
+	if len(jobs) != 3 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	if jobs[1].Cores() != 8 {
+		t.Fatalf("requested-procs fallback: %d", jobs[1].Cores())
+	}
+	if jobs[2].Limit != 300 {
+		t.Fatalf("limit clamp: %d", jobs[2].Limit)
+	}
+	if jobs[2].User != "swf-unknown" {
+		t.Fatalf("user %q", jobs[2].User)
+	}
+	if jobs[0].User != "u0007" {
+		t.Fatalf("user %q", jobs[0].User)
+	}
+}
+
+func TestImportSWFErrors(t *testing.T) {
+	cases := []string{
+		"",        // empty
+		"1 2 3\n", // too few fields
+		"x 0 -1 100 4 -1 -1 4 200 -1 1 7 -1 -1 -1 1 -1 -1\n", // bad int
+	}
+	for i, c := range cases {
+		if _, err := ImportSWF(strings.NewReader(c), 2015, 0); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if _, err := ImportSWF(strings.NewReader("; x\n"), 0, 0); err == nil {
+		t.Fatal("year 0 accepted")
+	}
+}
+
+func TestImportedSWFSchedulable(t *testing.T) {
+	// Imported archive jobs must drive the simulator directly.
+	input := "; archive\n" +
+		"1 0 -1 600 16 -1 -1 16 700 -1 1 1 -1 -1 -1 1 -1 -1\n" +
+		"2 10 -1 600 16 -1 -1 16 700 -1 1 2 -1 -1 -1 1 -1 -1\n"
+	jobs, err := ImportSWF(strings.NewReader(input), 2015, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUserNumber(t *testing.T) {
+	cases := map[string]int{"u0042": 42, "alice": -1, "x9": 9, "": -1, "123": 123}
+	for in, want := range cases {
+		if got := userNumber(in); got != want {
+			t.Fatalf("userNumber(%q)=%d want %d", in, got, want)
+		}
+	}
+}

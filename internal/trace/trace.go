@@ -1,0 +1,280 @@
+// Package trace models cluster accounting data: job records, a
+// Slurm-sacct-style text encoding with a strict parser, and a synthetic
+// workload generator whose per-year job mix follows the cohort model
+// (GPU share rising, widths heavy-tailed). It substitutes for the
+// Princeton Research Computing accounting logs the paper analyzed; the
+// downstream analysis (tables R-T5, figures R-F2/F3/F7 and the
+// scheduler simulation) consumes only the Job type, so a real sacct
+// export can be dropped in via ParseAccounting.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// JobState is the terminal state of a job in the accounting log.
+type JobState string
+
+// Job states mirroring the sacct vocabulary the parser accepts.
+const (
+	StateCompleted JobState = "COMPLETED"
+	StateFailed    JobState = "FAILED"
+	StateTimeout   JobState = "TIMEOUT"
+	StateCancelled JobState = "CANCELLED"
+)
+
+func validState(s JobState) bool {
+	switch s {
+	case StateCompleted, StateFailed, StateTimeout, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Job is one accounting record. Times are in seconds relative to the
+// trace epoch (the simulator and generators agree on this convention).
+type Job struct {
+	ID        uint64
+	User      string
+	Account   string // research field the allocation belongs to
+	Partition string // "cpu", "gpu", or "bigmem"
+	Year      int    // calendar year of submission
+	Submit    int64  // seconds since trace epoch
+	Nodes     int
+	CoresPer  int   // cores per node
+	GPUs      int   // total GPUs
+	Limit     int64 // requested walltime, seconds
+	Elapsed   int64 // actual runtime, seconds
+	State     JobState
+	Language  string // dominant toolchain, for survey/telemetry concordance
+}
+
+// Cores returns total cores (nodes × cores per node).
+func (j Job) Cores() int { return j.Nodes * j.CoresPer }
+
+// CPUHours returns core-hours consumed.
+func (j Job) CPUHours() float64 { return float64(j.Cores()) * float64(j.Elapsed) / 3600 }
+
+// GPUHours returns GPU-hours consumed.
+func (j Job) GPUHours() float64 { return float64(j.GPUs) * float64(j.Elapsed) / 3600 }
+
+// Validate checks internal consistency.
+func (j Job) Validate() error {
+	switch {
+	case j.User == "":
+		return fmt.Errorf("trace: job %d has no user", j.ID)
+	case j.Account == "":
+		return fmt.Errorf("trace: job %d has no account", j.ID)
+	case j.Partition == "":
+		return fmt.Errorf("trace: job %d has no partition", j.ID)
+	case j.Nodes <= 0:
+		return fmt.Errorf("trace: job %d has %d nodes", j.ID, j.Nodes)
+	case j.CoresPer <= 0:
+		return fmt.Errorf("trace: job %d has %d cores/node", j.ID, j.CoresPer)
+	case j.GPUs < 0:
+		return fmt.Errorf("trace: job %d has %d gpus", j.ID, j.GPUs)
+	case j.Submit < 0:
+		return fmt.Errorf("trace: job %d submitted at %d", j.ID, j.Submit)
+	case j.Limit <= 0:
+		return fmt.Errorf("trace: job %d has limit %d", j.ID, j.Limit)
+	case j.Elapsed < 0 || j.Elapsed > j.Limit:
+		return fmt.Errorf("trace: job %d elapsed %d outside [0, limit %d]", j.ID, j.Elapsed, j.Limit)
+	case !validState(j.State):
+		return fmt.Errorf("trace: job %d has unknown state %q", j.ID, j.State)
+	}
+	return nil
+}
+
+// accountingHeader is the first line of the text format.
+const accountingHeader = "JobID|User|Account|Partition|Year|Submit|NNodes|CoresPerNode|NGPUs|Timelimit|Elapsed|State|Language"
+
+// WriteAccounting streams jobs in the pipe-separated accounting format.
+func WriteAccounting(w io.Writer, jobs []Job) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, accountingHeader); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if strings.Contains(j.User, "|") || strings.Contains(j.Account, "|") || strings.Contains(j.Language, "|") {
+			return fmt.Errorf("trace: job %d has a field containing the separator", j.ID)
+		}
+		_, err := fmt.Fprintf(bw, "%d|%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%s|%s\n",
+			j.ID, j.User, j.Account, j.Partition, j.Year, j.Submit,
+			j.Nodes, j.CoresPer, j.GPUs, j.Limit, j.Elapsed, j.State, j.Language)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseAccounting reads the accounting format, validating each record.
+// Errors carry the 1-based line number.
+func ParseAccounting(r io.Reader) ([]Job, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	var jobs []Job
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if line == 1 {
+			if text != accountingHeader {
+				return nil, fmt.Errorf("trace: line 1: bad header %q", text)
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "|")
+		if len(fields) != 13 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 13", line, len(fields))
+		}
+		var j Job
+		var err error
+		if j.ID, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d: job id: %w", line, err)
+		}
+		j.User, j.Account, j.Partition = fields[1], fields[2], fields[3]
+		ints := []struct {
+			dst  *int64
+			name string
+			idx  int
+		}{
+			{&j.Submit, "submit", 5},
+			{&j.Limit, "timelimit", 9},
+			{&j.Elapsed, "elapsed", 10},
+		}
+		if y, err := strconv.Atoi(fields[4]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: year: %w", line, err)
+		} else {
+			j.Year = y
+		}
+		for _, f := range ints {
+			v, err := strconv.ParseInt(fields[f.idx], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %s: %w", line, f.name, err)
+			}
+			*f.dst = v
+		}
+		if j.Nodes, err = strconv.Atoi(fields[6]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: nodes: %w", line, err)
+		}
+		if j.CoresPer, err = strconv.Atoi(fields[7]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: cores: %w", line, err)
+		}
+		if j.GPUs, err = strconv.Atoi(fields[8]); err != nil {
+			return nil, fmt.Errorf("trace: line %d: gpus: %w", line, err)
+		}
+		j.State = JobState(fields[11])
+		j.Language = fields[12]
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if line == 0 {
+		return nil, errors.New("trace: empty input")
+	}
+	return jobs, nil
+}
+
+// YearSummary aggregates one calendar year of accounting data, the row
+// type of table R-T5.
+type YearSummary struct {
+	Year        int
+	Jobs        int
+	CPUHours    float64
+	GPUHours    float64
+	GPUJobShare float64 // fraction of jobs requesting any GPU
+	MedianCores float64
+	MeanCores   float64
+	P99Cores    float64
+	FailedShare float64
+}
+
+// SummarizeByYear groups jobs by year and computes per-year summaries,
+// sorted by year ascending.
+func SummarizeByYear(jobs []Job) []YearSummary {
+	byYear := map[int][]Job{}
+	for _, j := range jobs {
+		byYear[j.Year] = append(byYear[j.Year], j)
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearSummary, 0, len(years))
+	for _, y := range years {
+		js := byYear[y]
+		s := YearSummary{Year: y, Jobs: len(js)}
+		cores := make([]float64, len(js))
+		gpuJobs, failed := 0, 0
+		for i, j := range js {
+			s.CPUHours += j.CPUHours()
+			s.GPUHours += j.GPUHours()
+			cores[i] = float64(j.Cores())
+			if j.GPUs > 0 {
+				gpuJobs++
+			}
+			if j.State == StateFailed || j.State == StateTimeout {
+				failed++
+			}
+		}
+		sort.Float64s(cores)
+		s.MedianCores = quantileSorted(cores, 0.5)
+		s.P99Cores = quantileSorted(cores, 0.99)
+		sum := 0.0
+		for _, c := range cores {
+			sum += c
+		}
+		s.MeanCores = sum / float64(len(cores))
+		s.GPUJobShare = float64(gpuJobs) / float64(len(js))
+		s.FailedShare = float64(failed) / float64(len(js))
+		out = append(out, s)
+	}
+	return out
+}
+
+// quantileSorted is a local type-7 quantile on sorted data (duplicated
+// from stats to keep trace dependency-light; covered by tests).
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// UserUsage aggregates core-hours (CPU + GPU-weighted) per user over a
+// job set, the input to the usage-concentration analysis.
+func UserUsage(jobs []Job) map[string]float64 {
+	out := map[string]float64{}
+	for _, j := range jobs {
+		out[j.User] += j.CPUHours() + j.GPUHours()
+	}
+	return out
+}

@@ -1,0 +1,437 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func validJob() Job {
+	return Job{
+		ID: 1, User: "u1", Account: "physics", Partition: "cpu",
+		Year: 2024, Submit: 100, Nodes: 2, CoresPer: 16, GPUs: 0,
+		Limit: 3600, Elapsed: 1800, State: StateCompleted, Language: "python",
+	}
+}
+
+func TestJobDerivedQuantities(t *testing.T) {
+	j := validJob()
+	if j.Cores() != 32 {
+		t.Fatalf("cores=%d", j.Cores())
+	}
+	if j.CPUHours() != 16 {
+		t.Fatalf("cpu-hours=%g", j.CPUHours())
+	}
+	j.GPUs = 4
+	j.Elapsed = 3600
+	if j.GPUHours() != 4 {
+		t.Fatalf("gpu-hours=%g", j.GPUHours())
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	if err := validJob().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Job){
+		func(j *Job) { j.User = "" },
+		func(j *Job) { j.Account = "" },
+		func(j *Job) { j.Partition = "" },
+		func(j *Job) { j.Nodes = 0 },
+		func(j *Job) { j.CoresPer = -1 },
+		func(j *Job) { j.GPUs = -2 },
+		func(j *Job) { j.Submit = -5 },
+		func(j *Job) { j.Limit = 0 },
+		func(j *Job) { j.Elapsed = -1 },
+		func(j *Job) { j.Elapsed = j.Limit + 1 },
+		func(j *Job) { j.State = "RUNNING" },
+	}
+	for i, mut := range mutations {
+		j := validJob()
+		mut(&j)
+		if err := j.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAccountingRoundTrip(t *testing.T) {
+	jobs := []Job{validJob()}
+	j2 := validJob()
+	j2.ID = 2
+	j2.GPUs = 8
+	j2.State = StateTimeout
+	j2.Elapsed = j2.Limit
+	j2.Language = "fortran"
+	jobs = append(jobs, j2)
+
+	var buf bytes.Buffer
+	if err := WriteAccounting(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAccounting(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d jobs", len(got))
+	}
+	for i := range jobs {
+		if got[i] != jobs[i] {
+			t.Fatalf("job %d: %+v != %+v", i, got[i], jobs[i])
+		}
+	}
+}
+
+func TestWriteAccountingRejectsInvalid(t *testing.T) {
+	bad := validJob()
+	bad.Nodes = 0
+	var buf bytes.Buffer
+	if err := WriteAccounting(&buf, []Job{bad}); err == nil {
+		t.Fatal("invalid job written")
+	}
+	sep := validJob()
+	sep.User = "a|b"
+	if err := WriteAccounting(&buf, []Job{sep}); err == nil {
+		t.Fatal("separator in field written")
+	}
+}
+
+func TestParseAccountingFailureInjection(t *testing.T) {
+	header := accountingHeader + "\n"
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "nope\n"},
+		{"too few fields", header + "1|u|a\n"},
+		{"bad id", header + "x|u|a|cpu|2024|0|1|1|0|100|50|COMPLETED|python\n"},
+		{"bad year", header + "1|u|a|cpu|twenty|0|1|1|0|100|50|COMPLETED|python\n"},
+		{"bad nodes", header + "1|u|a|cpu|2024|0|zero|1|0|100|50|COMPLETED|python\n"},
+		{"bad cores", header + "1|u|a|cpu|2024|0|1|x|0|100|50|COMPLETED|python\n"},
+		{"bad gpus", header + "1|u|a|cpu|2024|0|1|1|g|100|50|COMPLETED|python\n"},
+		{"bad submit", header + "1|u|a|cpu|2024|ten|1|1|0|100|50|COMPLETED|python\n"},
+		{"bad state", header + "1|u|a|cpu|2024|0|1|1|0|100|50|WAT|python\n"},
+		{"elapsed > limit", header + "1|u|a|cpu|2024|0|1|1|0|100|500|COMPLETED|python\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseAccounting(strings.NewReader(c.input)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+	// Blank lines are tolerated.
+	ok := header + "\n1|u|a|cpu|2024|0|1|1|0|100|50|COMPLETED|python\n\n"
+	jobs, err := ParseAccounting(strings.NewReader(ok))
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("blank-line input: %v %d", err, len(jobs))
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	m := CampusModel(2024)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := CampusModel(2024)
+	bad.Classes = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no classes accepted")
+	}
+	bad = CampusModel(2024)
+	bad.FailRate = 0.9
+	bad.TimeoutRate = 0.2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("rates > 1 accepted")
+	}
+	bad = CampusModel(2024)
+	bad.Users = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero users accepted")
+	}
+	bad = CampusModel(2024)
+	bad.Classes[0].NodesMax = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	m := CampusModel(2024)
+	jobs, err := m.Generate(rng.New(3), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 5000 {
+		t.Fatalf("only %d jobs for a 30-day month at ~420/day", len(jobs))
+	}
+	prev := int64(-1)
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if j.Submit < prev {
+			t.Fatal("jobs not sorted by submit time")
+		}
+		prev = j.Submit
+		if j.Year != 2024 {
+			t.Fatalf("year %d", j.Year)
+		}
+	}
+	if jobs[0].ID < 1000 {
+		t.Fatalf("first ID %d", jobs[0].ID)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := CampusModel(2018)
+	a, err := m.Generate(rng.New(7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Generate(rng.New(7), 0)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestGPUAdoptionGrowsAcrossYears(t *testing.T) {
+	r := rng.New(11)
+	shareFor := func(year int) float64 {
+		jobs, err := CampusModel(year).Generate(r.SplitNamed(fmt2(year)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu := 0
+		for _, j := range jobs {
+			if j.GPUs > 0 {
+				gpu++
+			}
+		}
+		return float64(gpu) / float64(len(jobs))
+	}
+	s2011 := shareFor(2011)
+	s2017 := shareFor(2017)
+	s2024 := shareFor(2024)
+	if !(s2011 < s2017 && s2017 < s2024) {
+		t.Fatalf("gpu job share not rising: 2011=%.3f 2017=%.3f 2024=%.3f", s2011, s2017, s2024)
+	}
+	if s2024 < 0.15 {
+		t.Fatalf("2024 gpu share %.3f too low", s2024)
+	}
+}
+
+func fmt2(y int) string { return "year-" + string(rune('a'+y-2011)) }
+
+func TestSummarizeByYear(t *testing.T) {
+	r := rng.New(13)
+	var jobs []Job
+	for _, y := range []int{2011, 2024} {
+		js, err := CampusModel(y).Generate(r.SplitNamed(fmt2(y)), uint64(y)*1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, js...)
+	}
+	sums := SummarizeByYear(jobs)
+	if len(sums) != 2 || sums[0].Year != 2011 || sums[1].Year != 2024 {
+		t.Fatalf("summaries %+v", sums)
+	}
+	for _, s := range sums {
+		if s.Jobs <= 0 || s.CPUHours <= 0 {
+			t.Fatalf("degenerate summary %+v", s)
+		}
+		if s.MedianCores > s.MeanCores {
+			t.Fatalf("year %d: median %g above mean %g — width tail missing",
+				s.Year, s.MedianCores, s.MeanCores)
+		}
+		if s.P99Cores < s.MedianCores {
+			t.Fatalf("year %d: p99 below median", s.Year)
+		}
+	}
+	if sums[1].GPUHours <= sums[0].GPUHours {
+		t.Fatal("gpu-hours did not grow 2011→2024")
+	}
+	if sums[1].GPUJobShare <= sums[0].GPUJobShare {
+		t.Fatal("gpu job share did not grow")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := SummarizeByYear(nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQuantileSortedLocal(t *testing.T) {
+	if quantileSorted(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	if quantileSorted([]float64{7}, 0.9) != 7 {
+		t.Fatal("single quantile")
+	}
+	if got := quantileSorted([]float64{1, 2, 3, 4}, 1.0); got != 4 {
+		t.Fatalf("q=1 gave %g", got)
+	}
+}
+
+// Property: accounting round-trip is the identity on valid jobs.
+func TestQuickAccountingRoundTrip(t *testing.T) {
+	f := func(id uint64, nodes, cores, gpus uint8, submit, elapsed uint16, lang uint8) bool {
+		j := Job{
+			ID: id, User: "u", Account: "bio", Partition: "gpu",
+			Year: 2020, Submit: int64(submit),
+			Nodes: int(nodes%64) + 1, CoresPer: int(cores%64) + 1,
+			GPUs:  int(gpus % 8),
+			Limit: int64(elapsed) + 100, Elapsed: int64(elapsed),
+			State:    StateCompleted,
+			Language: []string{"python", "c", "fortran"}[lang%3],
+		}
+		var buf bytes.Buffer
+		if err := WriteAccounting(&buf, []Job{j}); err != nil {
+			return false
+		}
+		got, err := ParseAccounting(&buf)
+		return err == nil && len(got) == 1 && got[0] == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalAndWeeklyStructure(t *testing.T) {
+	jobs, err := CampusModel(2024).Generate(rng.New(77), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workHours, nightHours int // 09-17 vs 00-08
+	var weekday, weekend int
+	for _, j := range jobs {
+		second := j.Submit % 86400
+		hour := second / 3600
+		switch {
+		case hour >= 9 && hour < 17:
+			workHours++
+		case hour < 8:
+			nightHours++
+		}
+		if (j.Submit/86400)%7 >= 5 {
+			weekend++
+		} else {
+			weekday++
+		}
+	}
+	if workHours < nightHours*3 {
+		t.Fatalf("no diurnal structure: work %d vs night %d", workHours, nightHours)
+	}
+	// Weekdays: 22 of 30 days at full rate; weekends 8 days at 0.45.
+	// Per-day weekday rate must dominate per-day weekend rate.
+	perWeekday := float64(weekday) / 22
+	perWeekend := float64(weekend) / 8
+	if perWeekday < perWeekend*1.5 {
+		t.Fatalf("no weekly structure: %f vs %f per day", perWeekday, perWeekend)
+	}
+}
+
+func TestUserUsage(t *testing.T) {
+	j1 := validJob() // 32 cores, 1800s => 16 cpu-hours
+	j2 := validJob()
+	j2.ID = 2
+	j2.User = "u2"
+	j3 := validJob()
+	j3.ID = 3 // same user as j1
+	usage := UserUsage([]Job{j1, j2, j3})
+	if len(usage) != 2 || usage["u1"] != 32 || usage["u2"] != 16 {
+		t.Fatalf("usage %v", usage)
+	}
+	if got := UserUsage(nil); len(got) != 0 {
+		t.Fatalf("empty usage %v", got)
+	}
+}
+
+func TestUsageIsConcentrated(t *testing.T) {
+	// The Zipf user-activity model must make usage heavy-tailed: the top
+	// 10% of users take well over a third of core-hours.
+	jobs, err := CampusModel(2024).Generate(rng.New(31), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := UserUsage(jobs)
+	vals := make([]float64, 0, len(usage))
+	for _, v := range usage {
+		vals = append(vals, v)
+	}
+	if len(vals) < 100 {
+		t.Fatalf("only %d users", len(vals))
+	}
+	sum, top := 0.0, 0.0
+	sorted := append([]float64(nil), vals...)
+	sortFloat64s(sorted)
+	for _, v := range sorted {
+		sum += v
+	}
+	k := len(sorted) / 10
+	for _, v := range sorted[len(sorted)-k:] {
+		top += v
+	}
+	if top/sum < 0.35 {
+		t.Fatalf("top-decile share %.2f not concentrated", top/sum)
+	}
+}
+
+func sortFloat64s(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestJobArraysEmitted(t *testing.T) {
+	jobs, err := CampusModel(2024).Generate(rng.New(41), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Array siblings: same user, 1-core serial shape, submitted seconds
+	// apart with consecutive IDs. Count runs of >= 4 consecutive-ID
+	// same-user serial jobs.
+	byID := make(map[uint64]Job, len(jobs))
+	var maxID uint64
+	for _, j := range jobs {
+		byID[j.ID] = j
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	bursts := 0
+	run := 1
+	for id := uint64(1); id <= maxID; id++ {
+		cur, ok1 := byID[id]
+		prev, ok2 := byID[id-1]
+		if ok1 && ok2 && cur.User == prev.User && cur.Cores() == 1 && prev.Cores() == 1 &&
+			cur.Submit-prev.Submit <= 2 && cur.Submit >= prev.Submit {
+			run++
+			if run == 4 {
+				bursts++
+			}
+		} else {
+			run = 1
+		}
+	}
+	if bursts < 20 {
+		t.Fatalf("only %d array bursts detected", bursts)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

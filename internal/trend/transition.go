@@ -1,0 +1,151 @@
+package trend
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/survey"
+)
+
+// Panel transition analysis: within-person change between waves, the
+// analysis only a longitudinal panel supports. All functions take
+// paired response slices (wave1[i] and wave2[i] are the same person).
+
+// Retention is one option's within-person dynamics between waves.
+type Retention struct {
+	Option string
+	// Keep = P(selected in wave 2 | selected in wave 1).
+	Keep float64
+	// Adopt = P(selected in wave 2 | not selected in wave 1).
+	Adopt float64
+	// KeepCI and AdoptCI are Wilson 95% intervals on the raw counts.
+	KeepCI, AdoptCI stats.Interval
+	HadN, NotN      int // wave-1 holders / non-holders
+}
+
+// Retentions computes keep and adopt rates for every option of a
+// multi-choice question over a panel.
+func Retentions(ins *survey.Instrument, qid string, wave1, wave2 []*survey.Response) ([]Retention, error) {
+	if len(wave1) == 0 || len(wave1) != len(wave2) {
+		return nil, fmt.Errorf("trend: panel waves must be equal-length and non-empty (%d vs %d)", len(wave1), len(wave2))
+	}
+	q, ok := ins.Question(qid)
+	if !ok {
+		return nil, fmt.Errorf("trend: unknown question %q", qid)
+	}
+	if q.Kind != survey.MultiChoice {
+		return nil, fmt.Errorf("trend: retentions need a multi-choice question, %q is %s", qid, q.Kind)
+	}
+	out := make([]Retention, 0, len(q.Options))
+	for _, opt := range q.Options {
+		var keptYes, hadN, adoptYes, notN int
+		for i := range wave1 {
+			had := wave1[i].Selected(qid, opt)
+			has := wave2[i].Selected(qid, opt)
+			if had {
+				hadN++
+				if has {
+					keptYes++
+				}
+			} else {
+				notN++
+				if has {
+					adoptYes++
+				}
+			}
+		}
+		ret := Retention{Option: opt, HadN: hadN, NotN: notN}
+		if hadN > 0 {
+			ret.Keep = float64(keptYes) / float64(hadN)
+			ci, err := stats.WilsonInterval(float64(keptYes), float64(hadN), 0.95)
+			if err != nil {
+				return nil, err
+			}
+			ret.KeepCI = ci
+		}
+		if notN > 0 {
+			ret.Adopt = float64(adoptYes) / float64(notN)
+			ci, err := stats.WilsonInterval(float64(adoptYes), float64(notN), 0.95)
+			if err != nil {
+				return nil, err
+			}
+			ret.AdoptCI = ci
+		}
+		out = append(out, ret)
+	}
+	return out, nil
+}
+
+// TransitionMatrix returns M[i][j] = P(person selects options[j] in
+// wave 2 | selected options[i] in wave 1), the conditional co-usage
+// heatmap of figure F11. Rows with no wave-1 holders are zero.
+func TransitionMatrix(ins *survey.Instrument, qid string, options []string, wave1, wave2 []*survey.Response) ([][]float64, error) {
+	if len(wave1) == 0 || len(wave1) != len(wave2) {
+		return nil, errors.New("trend: panel waves must be equal-length and non-empty")
+	}
+	q, ok := ins.Question(qid)
+	if !ok {
+		return nil, fmt.Errorf("trend: unknown question %q", qid)
+	}
+	if q.Kind != survey.MultiChoice {
+		return nil, fmt.Errorf("trend: transition matrix needs multi-choice, %q is %s", qid, q.Kind)
+	}
+	for _, o := range options {
+		found := false
+		for _, qo := range q.Options {
+			if qo == o {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("trend: option %q not on question %q", o, qid)
+		}
+	}
+	n := len(options)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		holders := 0
+		for p := range wave1 {
+			if !wave1[p].Selected(qid, options[i]) {
+				continue
+			}
+			holders++
+			for j := range options {
+				if wave2[p].Selected(qid, options[j]) {
+					m[i][j]++
+				}
+			}
+		}
+		if holders > 0 {
+			for j := range m[i] {
+				m[i][j] /= float64(holders)
+			}
+		}
+	}
+	return m, nil
+}
+
+// NetSwitchers counts people who dropped `from` and picked up `to`
+// between waves (the "MATLAB→Python switcher" headline number) and the
+// reverse flow.
+func NetSwitchers(qid, from, to string, wave1, wave2 []*survey.Response) (fromTo, toFrom int, err error) {
+	if len(wave1) == 0 || len(wave1) != len(wave2) {
+		return 0, 0, errors.New("trend: panel waves must be equal-length and non-empty")
+	}
+	for i := range wave1 {
+		hadFrom := wave1[i].Selected(qid, from)
+		hadTo := wave1[i].Selected(qid, to)
+		hasFrom := wave2[i].Selected(qid, from)
+		hasTo := wave2[i].Selected(qid, to)
+		if hadFrom && !hasFrom && !hadTo && hasTo {
+			fromTo++
+		}
+		if hadTo && !hasTo && !hadFrom && hasFrom {
+			toFrom++
+		}
+	}
+	return fromTo, toFrom, nil
+}

@@ -1,0 +1,153 @@
+package trend
+
+import (
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+func panelWaves(t *testing.T) (*survey.Instrument, []*survey.Response, []*survey.Response) {
+	t.Helper()
+	pg, err := population.NewPanelGenerator(population.Model2011(), population.Model2024(), population.PanelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel, err := pg.Generate(rng.New(11), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg.Instrument(), population.Wave1Responses(panel), population.Wave2Responses(panel)
+}
+
+func TestRetentions(t *testing.T) {
+	ins, w1, w2 := panelWaves(t)
+	rets, err := Retentions(ins, survey.QLanguages, w1, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOpt := map[string]Retention{}
+	for _, r := range rets {
+		byOpt[r.Option] = r
+		if r.Keep < 0 || r.Keep > 1 || r.Adopt < 0 || r.Adopt > 1 {
+			t.Fatalf("rates out of range: %+v", r)
+		}
+		if r.HadN+r.NotN != len(w1) {
+			t.Fatalf("counts don't partition the panel: %+v", r)
+		}
+	}
+	// Python: adoption among 2011 non-users must be high (the era shift),
+	// and retention among users near-total.
+	py := byOpt["python"]
+	if py.Adopt < 0.5 {
+		t.Fatalf("python adoption %.2f too low", py.Adopt)
+	}
+	if py.Keep < py.Adopt {
+		t.Fatalf("python retention %.2f below adoption %.2f", py.Keep, py.Adopt)
+	}
+	// Matlab: retention well below python's (people drop it), adoption low.
+	ml := byOpt["matlab"]
+	if ml.Adopt > 0.5 {
+		t.Fatalf("matlab adoption %.2f implausibly high", ml.Adopt)
+	}
+	if ml.Keep <= ml.Adopt {
+		t.Fatalf("matlab keep %.2f should still beat adoption %.2f (stickiness)", ml.Keep, ml.Adopt)
+	}
+}
+
+func TestRetentionsErrors(t *testing.T) {
+	ins, w1, w2 := panelWaves(t)
+	if _, err := Retentions(ins, survey.QLanguages, w1[:5], w2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Retentions(ins, survey.QLanguages, nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Retentions(ins, survey.QField, w1, w2); err == nil {
+		t.Fatal("single-choice accepted")
+	}
+	if _, err := Retentions(ins, "nope", w1, w2); err == nil {
+		t.Fatal("unknown question accepted")
+	}
+}
+
+func TestTransitionMatrix(t *testing.T) {
+	ins, w1, w2 := panelWaves(t)
+	opts := []string{"python", "matlab", "fortran", "r"}
+	m, err := TransitionMatrix(ins, survey.QLanguages, opts, w1, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 4 || len(m[0]) != 4 {
+		t.Fatal("matrix shape")
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] < 0 || m[i][j] > 1 {
+				t.Fatalf("cell (%d,%d)=%g", i, j, m[i][j])
+			}
+		}
+	}
+	// Row "matlab": P(python in w2 | matlab in w1) must exceed
+	// P(fortran in w2 | matlab in w1) — switchers go to python.
+	if m[1][0] <= m[1][2] {
+		t.Fatalf("matlab holders: python %.2f not above fortran %.2f", m[1][0], m[1][2])
+	}
+	if _, err := TransitionMatrix(ins, survey.QLanguages, []string{"cobol"}, w1, w2); err == nil {
+		t.Fatal("unknown option accepted")
+	}
+	if _, err := TransitionMatrix(ins, survey.QLanguages, opts, w1, nil); err == nil {
+		t.Fatal("mismatched waves accepted")
+	}
+}
+
+func TestNetSwitchers(t *testing.T) {
+	_, w1, w2 := panelWaves(t)
+	ml2py, py2ml, err := NetSwitchers(survey.QLanguages, "matlab", "python", w1, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml2py <= py2ml {
+		t.Fatalf("matlab->python %d not above python->matlab %d", ml2py, py2ml)
+	}
+	if _, _, err := NetSwitchers(survey.QLanguages, "a", "b", w1, nil); err == nil {
+		t.Fatal("mismatched waves accepted")
+	}
+}
+
+func TestTransitionMatrixHandMade(t *testing.T) {
+	ins, err := survey.NewInstrument("tm", []survey.Question{
+		{ID: "l", Kind: survey.MultiChoice, Options: []string{"a", "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string, w1opts, _ []string) *survey.Response {
+		r := survey.NewResponse(id, 2011)
+		r.SetChoices("l", w1opts)
+		return r
+	}
+	// Two people: p1 had {a}, now has {b}; p2 had {a}, still has {a}.
+	w1 := []*survey.Response{mk("1", []string{"a"}, nil), mk("2", []string{"a"}, nil)}
+	p1b := survey.NewResponse("1b", 2024)
+	p1b.SetChoices("l", []string{"b"})
+	p2b := survey.NewResponse("2b", 2024)
+	p2b.SetChoices("l", []string{"a"})
+	w2 := []*survey.Response{p1b, p2b}
+	m, err := TransitionMatrix(ins, "l", []string{"a", "b"}, w1, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0][0] != 0.5 || m[0][1] != 0.5 {
+		t.Fatalf("row a: %v", m[0])
+	}
+	// Nobody held b in wave 1: zero row.
+	if m[1][0] != 0 || m[1][1] != 0 {
+		t.Fatalf("row b: %v", m[1])
+	}
+	ab, ba, err := NetSwitchers("l", "a", "b", w1, w2)
+	if err != nil || ab != 1 || ba != 0 {
+		t.Fatalf("switchers %d/%d err=%v", ab, ba, err)
+	}
+}

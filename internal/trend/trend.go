@@ -1,0 +1,377 @@
+// Package trend implements the cohort-comparison engine: per-option
+// adoption deltas between survey waves with weighted shares,
+// effective-sample-size-adjusted tests, effect sizes, and FDR control;
+// plus the survey-vs-telemetry concordance computation. It is the layer
+// that turns two piles of responses into the rows of tables R-T3/T4/T6/T7.
+package trend
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/modlog"
+	"repro/internal/stats"
+	"repro/internal/survey"
+	"repro/internal/weighting"
+)
+
+// Delta is one option's cross-cohort comparison row.
+type Delta struct {
+	Option     string
+	ShareA     float64 // earlier cohort (e.g. 2011)
+	ShareB     float64 // later cohort (e.g. 2024)
+	CIA        stats.Interval
+	CIB        stats.Interval
+	Diff       float64 // ShareB - ShareA
+	OddsRatio  float64 // B:A odds, Haldane-corrected
+	ORLo, ORHi float64
+	CohenH     float64
+	Z          float64
+	P          float64 // raw two-proportion p
+	Q          float64 // BH-adjusted across the option set
+}
+
+// weightedAdoption returns the weighted share selecting option and the
+// Kish effective sample size of the answering base.
+func weightedAdoption(ins *survey.Instrument, qid, option string, rs []*survey.Response) (share, effN float64, err error) {
+	q, ok := ins.Question(qid)
+	if !ok {
+		return 0, 0, fmt.Errorf("trend: unknown question %q", qid)
+	}
+	if q.Kind != survey.SingleChoice && q.Kind != survey.MultiChoice {
+		return 0, 0, fmt.Errorf("trend: question %q is %s, need a choice question", qid, q.Kind)
+	}
+	var sumW, sumW2, hit float64
+	for _, r := range rs {
+		if !r.Has(qid) {
+			continue
+		}
+		w := r.Weight
+		sumW += w
+		sumW2 += w * w
+		selected := false
+		if q.Kind == survey.SingleChoice {
+			selected = r.Choice(qid) == option
+		} else {
+			selected = r.Selected(qid, option)
+		}
+		if selected {
+			hit += w
+		}
+	}
+	if sumW == 0 {
+		return 0, 0, fmt.Errorf("trend: no answers to %q", qid)
+	}
+	return hit / sumW, sumW * sumW / sumW2, nil
+}
+
+// CompareCohorts computes a Delta for each option of a choice question
+// between cohorts A (earlier) and B (later), with Wilson intervals at
+// the effective sample size and Benjamini–Hochberg adjustment across
+// the options. Options absent from the question are an error.
+func CompareCohorts(ins *survey.Instrument, qid string, options []string, cohortA, cohortB []*survey.Response) ([]Delta, error) {
+	if len(cohortA) == 0 || len(cohortB) == 0 {
+		return nil, errors.New("trend: both cohorts need responses")
+	}
+	q, ok := ins.Question(qid)
+	if !ok {
+		return nil, fmt.Errorf("trend: unknown question %q", qid)
+	}
+	if len(options) == 0 {
+		options = q.Options
+	}
+	for _, o := range options {
+		found := false
+		for _, qo := range q.Options {
+			if qo == o {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("trend: option %q not on question %q", o, qid)
+		}
+	}
+	deltas := make([]Delta, 0, len(options))
+	ps := make([]float64, 0, len(options))
+	for _, opt := range options {
+		sa, na, err := weightedAdoption(ins, qid, opt, cohortA)
+		if err != nil {
+			return nil, err
+		}
+		sb, nb, err := weightedAdoption(ins, qid, opt, cohortB)
+		if err != nil {
+			return nil, err
+		}
+		cia, err := stats.WilsonInterval(sa*na, na, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		cib, err := stats.WilsonInterval(sb*nb, nb, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		z, p, err := stats.TwoProportionZ(sb*nb, nb, sa*na, na)
+		if err != nil {
+			return nil, err
+		}
+		or, orLo, orHi, err := stats.Table2x2{
+			A: sb * nb, B: (1 - sb) * nb,
+			C: sa * na, D: (1 - sa) * na,
+		}.OddsRatio()
+		if err != nil {
+			return nil, err
+		}
+		h, err := stats.CohenH(sb, sa)
+		if err != nil {
+			return nil, err
+		}
+		deltas = append(deltas, Delta{
+			Option: opt, ShareA: sa, ShareB: sb, CIA: cia, CIB: cib,
+			Diff: sb - sa, OddsRatio: or, ORLo: orLo, ORHi: orHi,
+			CohenH: h, Z: z, P: p,
+		})
+		ps = append(ps, p)
+	}
+	qs, err := stats.BHAdjust(ps)
+	if err != nil {
+		return nil, err
+	}
+	for i := range deltas {
+		deltas[i].Q = qs[i]
+	}
+	// Largest absolute change first: the order trend tables print in.
+	sort.SliceStable(deltas, func(a, b int) bool {
+		da, db := abs(deltas[a].Diff), abs(deltas[b].Diff)
+		if da != db {
+			return da > db
+		}
+		return deltas[a].Option < deltas[b].Option
+	})
+	return deltas, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FieldBreakdown is the per-field adoption of one option within a single
+// cohort (table R-T6's row unit), with FDR-corrected per-field tests
+// against the cohort-wide rate.
+type FieldBreakdown struct {
+	Field string
+	Share float64
+	EffN  float64
+	CI    stats.Interval
+	P     float64 // vs cohort-wide share (two-proportion)
+	Q     float64
+}
+
+// ByField breaks one option's adoption down by research field within a
+// cohort, testing each field against the complement of the cohort.
+func ByField(ins *survey.Instrument, qid, option string, rs []*survey.Response) ([]FieldBreakdown, error) {
+	if len(rs) == 0 {
+		return nil, errors.New("trend: no responses")
+	}
+	byField := map[string][]*survey.Response{}
+	for _, r := range rs {
+		f := r.Choice(survey.QField)
+		if f == "" {
+			return nil, fmt.Errorf("trend: response %q has no field", r.ID)
+		}
+		byField[f] = append(byField[f], r)
+	}
+	fields := make([]string, 0, len(byField))
+	for f := range byField {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	out := make([]FieldBreakdown, 0, len(fields))
+	ps := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		inField := byField[f]
+		var rest []*survey.Response
+		for _, other := range fields {
+			if other != f {
+				rest = append(rest, byField[other]...)
+			}
+		}
+		s, n, err := weightedAdoption(ins, qid, option, inField)
+		if err != nil {
+			return nil, err
+		}
+		ci, err := stats.WilsonInterval(s*n, n, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		fb := FieldBreakdown{Field: f, Share: s, EffN: n, CI: ci, P: 1}
+		if len(rest) > 0 {
+			sr, nr, err := weightedAdoption(ins, qid, option, rest)
+			if err != nil {
+				return nil, err
+			}
+			_, p, err := stats.TwoProportionZ(s*n, n, sr*nr, nr)
+			if err != nil {
+				return nil, err
+			}
+			fb.P = p
+		}
+		out = append(out, fb)
+		ps = append(ps, fb.P)
+	}
+	qs, err := stats.BHAdjust(ps)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].Q = qs[i]
+	}
+	return out, nil
+}
+
+// Concordance is one row of the survey-vs-telemetry comparison: the
+// same construct measured two ways.
+type Concordance struct {
+	Construct      string
+	SurveyShare    float64
+	TelemetryShare float64
+	Gap            float64 // survey - telemetry
+	SameDirection  bool    // do both sources agree on the cross-cohort trend?
+}
+
+// LanguageConcordance compares self-reported language usage with
+// module-load telemetry for the languages both sources can see, and
+// checks whether the 2011→2024 direction of change agrees.
+// surveyModules maps survey language options to module names.
+func LanguageConcordance(ins *survey.Instrument,
+	cohortA, cohortB []*survey.Response,
+	telemetryA, telemetryB modlog.YearShares,
+	surveyModules map[string]string) ([]Concordance, error) {
+	if len(surveyModules) == 0 {
+		return nil, errors.New("trend: no language/module mapping")
+	}
+	langs := make([]string, 0, len(surveyModules))
+	for l := range surveyModules {
+		langs = append(langs, l)
+	}
+	sort.Strings(langs)
+	out := make([]Concordance, 0, len(langs))
+	for _, lang := range langs {
+		mod := surveyModules[lang]
+		sa, _, err := weightedAdoption(ins, survey.QLanguages, lang, cohortA)
+		if err != nil {
+			return nil, err
+		}
+		sb, _, err := weightedAdoption(ins, survey.QLanguages, lang, cohortB)
+		if err != nil {
+			return nil, err
+		}
+		ta := telemetryA.Shares[mod]
+		tb := telemetryB.Shares[mod]
+		out = append(out, Concordance{
+			Construct:      lang,
+			SurveyShare:    sb,
+			TelemetryShare: tb,
+			Gap:            sb - tb,
+			SameDirection:  sign(sb-sa) == sign(tb-ta),
+		})
+	}
+	return out, nil
+}
+
+// DefaultLanguageModuleMap maps survey language options onto module
+// names visible in modlog telemetry.
+func DefaultLanguageModuleMap() map[string]string {
+	return map[string]string{
+		"python":  "python",
+		"r":       "r",
+		"matlab":  "matlab",
+		"julia":   "julia",
+		"fortran": "fortran",
+	}
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// CoAdoption computes the phi coefficient between selecting optA and
+// optB on (possibly different) multi-choice questions within one cohort
+// — the cell value of the practice co-adoption heatmap (R-F6).
+// Fractional weighted counts are fine for phi (unlike Fisher).
+func CoAdoption(ins *survey.Instrument, qidA, optA, qidB, optB string, rs []*survey.Response) (float64, error) {
+	var t stats.Table2x2
+	answered := 0
+	for _, r := range rs {
+		if !r.Has(qidA) || !r.Has(qidB) {
+			continue
+		}
+		answered++
+		w := r.Weight
+		a := selectedOn(ins, r, qidA, optA)
+		b := selectedOn(ins, r, qidB, optB)
+		switch {
+		case a && b:
+			t.A += w
+		case a && !b:
+			t.B += w
+		case !a && b:
+			t.C += w
+		default:
+			t.D += w
+		}
+	}
+	if answered == 0 {
+		return 0, fmt.Errorf("trend: nobody answered both %q and %q", qidA, qidB)
+	}
+	return t.Phi()
+}
+
+func selectedOn(ins *survey.Instrument, r *survey.Response, qid, opt string) bool {
+	q, _ := ins.Question(qid)
+	if q.Kind == survey.SingleChoice {
+		return r.Choice(qid) == opt
+	}
+	return r.Selected(qid, opt)
+}
+
+// HeatmapLabel shortens "continuous integration" → "ci"-style labels for
+// the co-adoption figure axes.
+func HeatmapLabel(option string) string {
+	if i := strings.IndexAny(option, " (/"); i > 0 {
+		return option[:i]
+	}
+	return option
+}
+
+// EffectiveBases reports the Kish effective N per cohort for a question,
+// the footnote every weighted table needs.
+func EffectiveBases(ins *survey.Instrument, qid string, cohorts ...[]*survey.Response) ([]float64, error) {
+	out := make([]float64, 0, len(cohorts))
+	for _, rs := range cohorts {
+		answered := make([]*survey.Response, 0, len(rs))
+		for _, r := range rs {
+			if r.Has(qid) {
+				answered = append(answered, r)
+			}
+		}
+		n, err := weighting.KishEffectiveN(answered)
+		if err != nil {
+			return nil, fmt.Errorf("trend: effective base for %q: %w", qid, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

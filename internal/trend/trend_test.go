@@ -1,0 +1,251 @@
+package trend
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/modlog"
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+func cohorts(t *testing.T) (ins *survey.Instrument, r11, r24 []*survey.Response) {
+	t.Helper()
+	g11, err := population.NewGenerator(population.Model2011())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g24, err := population.NewGenerator(population.Model2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r11, err = g11.GenerateRespondents(rng.New(21), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r24, err = g24.GenerateRespondents(rng.New(22), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g11.Instrument(), r11, r24
+}
+
+func TestCompareCohortsLanguages(t *testing.T) {
+	ins, r11, r24 := cohorts(t)
+	deltas, err := CompareCohorts(ins, survey.QLanguages, nil, r11, r24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != len(survey.Languages) {
+		t.Fatalf("%d deltas", len(deltas))
+	}
+	byOpt := map[string]Delta{}
+	for _, d := range deltas {
+		byOpt[d.Option] = d
+		if d.P < 0 || d.P > 1 || d.Q < d.P-1e-12 {
+			t.Fatalf("bad p/q in %+v", d)
+		}
+		if d.CIA.Lo > d.ShareA || d.CIA.Hi < d.ShareA {
+			t.Fatalf("CI does not bracket share: %+v", d)
+		}
+		if math.Abs(d.Diff-(d.ShareB-d.ShareA)) > 1e-12 {
+			t.Fatalf("diff inconsistent: %+v", d)
+		}
+	}
+	py := byOpt["python"]
+	if py.Diff <= 0.2 || py.Q > 0.01 {
+		t.Fatalf("python rise not detected: %+v", py)
+	}
+	if py.OddsRatio <= 1 || py.ORLo <= 1 {
+		t.Fatalf("python OR should exceed 1: %+v", py)
+	}
+	if py.CohenH <= 0 {
+		t.Fatalf("python Cohen's h: %+v", py)
+	}
+	ml := byOpt["matlab"]
+	if ml.Diff >= 0 {
+		t.Fatalf("matlab should decline: %+v", ml)
+	}
+	// Sorted by |diff| descending.
+	for i := 1; i < len(deltas); i++ {
+		if math.Abs(deltas[i].Diff) > math.Abs(deltas[i-1].Diff)+1e-12 {
+			t.Fatal("deltas not sorted by |diff|")
+		}
+	}
+}
+
+func TestCompareCohortsErrors(t *testing.T) {
+	ins, r11, r24 := cohorts(t)
+	if _, err := CompareCohorts(ins, survey.QLanguages, nil, nil, r24); err == nil {
+		t.Fatal("empty cohort accepted")
+	}
+	if _, err := CompareCohorts(ins, "nope", nil, r11, r24); err == nil {
+		t.Fatal("unknown question accepted")
+	}
+	if _, err := CompareCohorts(ins, survey.QLanguages, []string{"cobol"}, r11, r24); err == nil {
+		t.Fatal("unknown option accepted")
+	}
+	if _, err := CompareCohorts(ins, survey.QYearsCoding, nil, r11, r24); err == nil {
+		t.Fatal("numeric question accepted")
+	}
+}
+
+func TestCompareCohortsSingleChoice(t *testing.T) {
+	ins, r11, r24 := cohorts(t)
+	deltas, err := CompareCohorts(ins, survey.QClusterUse, []string{"daily", "never"}, r11, r24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOpt := map[string]Delta{}
+	for _, d := range deltas {
+		byOpt[d.Option] = d
+	}
+	if byOpt["daily"].Diff <= 0 {
+		t.Fatalf("daily cluster use should rise: %+v", byOpt["daily"])
+	}
+	if byOpt["never"].Diff >= 0 {
+		t.Fatalf("never should fall: %+v", byOpt["never"])
+	}
+}
+
+func TestByField(t *testing.T) {
+	ins, _, r24 := cohorts(t)
+	rows, err := ByField(ins, survey.QPractices, "version control", r24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("only %d fields", len(rows))
+	}
+	var cs, soc FieldBreakdown
+	for _, fb := range rows {
+		if fb.Share < 0 || fb.Share > 1 || fb.Q < fb.P-1e-12 {
+			t.Fatalf("bad row %+v", fb)
+		}
+		if fb.Field == "computer science" {
+			cs = fb
+		}
+		if fb.Field == "sociology" {
+			soc = fb
+		}
+	}
+	if cs.Field == "" {
+		t.Fatal("no CS row")
+	}
+	// CS carries a strong positive latent shift; its VCS adoption must be
+	// high in absolute terms. (Point comparisons against tiny fields like
+	// sociology are sampling noise, so assert the base-size effect
+	// instead: the small field's interval is wider.)
+	if cs.Share < 0.8 {
+		t.Fatalf("cs vcs share %.2f implausibly low", cs.Share)
+	}
+	if soc.Field != "" && soc.CI.Width() <= cs.CI.Width() {
+		t.Fatalf("sociology CI width %.3f not wider than cs %.3f despite tiny base",
+			soc.CI.Width(), cs.CI.Width())
+	}
+	if _, err := ByField(ins, survey.QPractices, "version control", nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestLanguageConcordance(t *testing.T) {
+	ins, r11, r24 := cohorts(t)
+	r := rng.New(30)
+	evA, err := modlog.CampusModulesModel(2011).Generate(r.SplitNamed("2011"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := modlog.CampusModulesModel(2024).Generate(r.SplitNamed("2024"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggA := modlog.AggregateByYear(evA)[0]
+	aggB := modlog.AggregateByYear(evB)[0]
+	rows, err := LanguageConcordance(ins, r11, r24, aggA, aggB, DefaultLanguageModuleMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	agree := 0
+	for _, c := range rows {
+		if c.SurveyShare < 0 || c.SurveyShare > 1 || c.TelemetryShare < 0 || c.TelemetryShare > 1 {
+			t.Fatalf("bad row %+v", c)
+		}
+		if math.Abs(c.Gap-(c.SurveyShare-c.TelemetryShare)) > 1e-12 {
+			t.Fatalf("gap inconsistent %+v", c)
+		}
+		if c.SameDirection {
+			agree++
+		}
+	}
+	// Both sources were built from the same era trends: python, matlab,
+	// fortran, julia must agree on direction (≥4 of 5).
+	if agree < 4 {
+		t.Fatalf("only %d/5 constructs agree on direction: %+v", agree, rows)
+	}
+	if _, err := LanguageConcordance(ins, r11, r24, aggA, aggB, nil); err == nil {
+		t.Fatal("empty mapping accepted")
+	}
+}
+
+func TestCoAdoption(t *testing.T) {
+	ins, _, r24 := cohorts(t)
+	// CI and VCS are structurally linked by the generator: phi > 0.
+	phi, err := CoAdoption(ins, survey.QPractices, "continuous integration",
+		survey.QPractices, "version control", r24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi <= 0 {
+		t.Fatalf("ci/vcs phi = %g, want positive", phi)
+	}
+	// Across questions: gpu parallelism vs ai assistants both load on
+	// the same latent, expect non-negative.
+	phi2, err := CoAdoption(ins, survey.QParallelism, "gpu",
+		survey.QModernTools, "ai code assistants", r24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi2 < -0.3 {
+		t.Fatalf("implausibly negative cross-question phi %g", phi2)
+	}
+	if _, err := CoAdoption(ins, survey.QModernTools, "x", survey.QPractices, "y", nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestHeatmapLabel(t *testing.T) {
+	cases := map[string]string{
+		"version control":               "version",
+		"continuous integration":        "continuous",
+		"containers (docker/apptainer)": "containers",
+		"gpu":                           "gpu",
+		"mpi / multi-node":              "mpi",
+	}
+	for in, want := range cases {
+		if got := HeatmapLabel(in); got != want {
+			t.Fatalf("HeatmapLabel(%q)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestEffectiveBases(t *testing.T) {
+	ins, r11, r24 := cohorts(t)
+	ns, err := EffectiveBases(ins, survey.QLanguages, r11, r24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 || ns[0] != 500 || ns[1] != 800 {
+		t.Fatalf("unweighted effective bases %v", ns)
+	}
+	// After perturbing weights, effective N drops.
+	r24[0].Weight = 50
+	ns, _ = EffectiveBases(ins, survey.QLanguages, r24)
+	if ns[0] >= 800 {
+		t.Fatalf("weighted effective base %g not below raw", ns[0])
+	}
+	r24[0].Weight = 1
+}

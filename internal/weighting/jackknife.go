@@ -1,0 +1,128 @@
+package weighting
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+// JackknifeResult carries a delete-a-group jackknife estimate.
+type JackknifeResult struct {
+	Estimate float64 // estimator on the full sample
+	SE       float64 // jackknife standard error
+	Groups   int
+	// Replicates are the leave-one-group-out estimates, for diagnostics.
+	Replicates []float64
+}
+
+// JackknifeSE estimates the standard error of an arbitrary weighted
+// estimator by the delete-a-group jackknife: respondents are split into
+// groups random groups (deterministic in r), the estimator is
+// re-evaluated leaving each group out with the remaining weights scaled
+// by G/(G-1), and the variance is (G-1)/G × Σ (θ_g − θ̄)².
+//
+// This is the standard design-based variance method when full replicate
+// weights are unavailable. The estimator must not mutate the responses
+// it is given; weights are restored before returning.
+func JackknifeSE(r *rng.RNG, responses []*survey.Response, groups int,
+	estimator func([]*survey.Response) float64) (JackknifeResult, error) {
+	if len(responses) == 0 {
+		return JackknifeResult{}, errors.New("weighting: jackknife on no responses")
+	}
+	if groups < 2 {
+		return JackknifeResult{}, fmt.Errorf("weighting: jackknife needs >= 2 groups, got %d", groups)
+	}
+	if groups > len(responses) {
+		return JackknifeResult{}, fmt.Errorf("weighting: %d groups for %d responses", groups, len(responses))
+	}
+	if estimator == nil {
+		return JackknifeResult{}, errors.New("weighting: nil estimator")
+	}
+	full := estimator(responses)
+
+	// Random group assignment, deterministic in r.
+	assign := make([]int, len(responses))
+	for i := range assign {
+		assign[i] = i % groups
+	}
+	rng.Shuffle(r, assign)
+
+	// Save weights so the scaling below is side-effect free.
+	saved := make([]float64, len(responses))
+	for i, resp := range responses {
+		saved[i] = resp.Weight
+	}
+	defer func() {
+		for i, resp := range responses {
+			resp.Weight = saved[i]
+		}
+	}()
+
+	scale := float64(groups) / float64(groups-1)
+	reps := make([]float64, groups)
+	for g := 0; g < groups; g++ {
+		kept := make([]*survey.Response, 0, len(responses))
+		for i, resp := range responses {
+			if assign[i] == g {
+				continue
+			}
+			resp.Weight = saved[i] * scale
+			kept = append(kept, resp)
+		}
+		if len(kept) == 0 {
+			return JackknifeResult{}, fmt.Errorf("weighting: jackknife group %d removed every response", g)
+		}
+		reps[g] = estimator(kept)
+		// Restore weights before the next replicate.
+		for i, resp := range responses {
+			resp.Weight = saved[i]
+		}
+	}
+	mean := 0.0
+	for _, v := range reps {
+		mean += v
+	}
+	mean /= float64(groups)
+	ss := 0.0
+	for _, v := range reps {
+		d := v - mean
+		ss += d * d
+	}
+	se := math.Sqrt(float64(groups-1) / float64(groups) * ss)
+	return JackknifeResult{Estimate: full, SE: se, Groups: groups, Replicates: reps}, nil
+}
+
+// ShareEstimator returns an estimator closure for the weighted share of
+// respondents selecting option on a choice question — the common
+// jackknife target.
+func ShareEstimator(ins *survey.Instrument, qid, option string) func([]*survey.Response) float64 {
+	return func(rs []*survey.Response) float64 {
+		q, ok := ins.Question(qid)
+		if !ok {
+			return math.NaN()
+		}
+		var hit, base float64
+		for _, r := range rs {
+			if !r.Has(qid) {
+				continue
+			}
+			base += r.Weight
+			selected := false
+			if q.Kind == survey.SingleChoice {
+				selected = r.Choice(qid) == option
+			} else {
+				selected = r.Selected(qid, option)
+			}
+			if selected {
+				hit += r.Weight
+			}
+		}
+		if base == 0 {
+			return 0
+		}
+		return hit / base
+	}
+}

@@ -1,0 +1,143 @@
+package weighting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/survey"
+)
+
+func TestJackknifeSEOnKnownProportion(t *testing.T) {
+	// Bernoulli(0.3) sample of n=800: analytic SE = sqrt(p(1-p)/n) ≈ 0.0162.
+	g, err := population.NewGenerator(population.Model2024())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	ins, err := survey.NewInstrument("jk", []survey.Question{
+		{ID: "flag", Kind: survey.SingleChoice, Options: []string{"yes", "no"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	n := 800
+	rs := make([]*survey.Response, n)
+	for i := range rs {
+		resp := survey.NewResponse(string(rune('a'+i%26))+string(rune('0'+i%10)), 2024)
+		if r.Bool(0.3) {
+			resp.SetChoice("flag", "yes")
+		} else {
+			resp.SetChoice("flag", "no")
+		}
+		rs[i] = resp
+	}
+	est := ShareEstimator(ins, "flag", "yes")
+	res, err := JackknifeSE(rng.New(9), rs, 40, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Estimate
+	analytic := math.Sqrt(p * (1 - p) / float64(n))
+	if math.Abs(res.SE-analytic) > analytic {
+		t.Fatalf("jackknife SE %.5f far from analytic %.5f", res.SE, analytic)
+	}
+	if res.SE <= 0 {
+		t.Fatalf("se=%g", res.SE)
+	}
+	if len(res.Replicates) != 40 {
+		t.Fatalf("%d replicates", len(res.Replicates))
+	}
+}
+
+func TestJackknifeRestoresWeights(t *testing.T) {
+	ins, _ := survey.NewInstrument("jk", []survey.Question{
+		{ID: "flag", Kind: survey.SingleChoice, Options: []string{"yes", "no"}},
+	})
+	rs := make([]*survey.Response, 20)
+	for i := range rs {
+		resp := survey.NewResponse(string(rune('a'+i)), 2024)
+		resp.SetChoice("flag", "yes")
+		resp.Weight = 1 + float64(i)
+		rs[i] = resp
+	}
+	_, err := JackknifeSE(rng.New(1), rs, 4, ShareEstimator(ins, "flag", "yes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range rs {
+		if resp.Weight != 1+float64(i) {
+			t.Fatalf("weight %d not restored: %g", i, resp.Weight)
+		}
+	}
+}
+
+func TestJackknifeErrors(t *testing.T) {
+	ins, _ := survey.NewInstrument("jk", []survey.Question{
+		{ID: "flag", Kind: survey.SingleChoice, Options: []string{"yes", "no"}},
+	})
+	est := ShareEstimator(ins, "flag", "yes")
+	one := []*survey.Response{survey.NewResponse("a", 2024)}
+	if _, err := JackknifeSE(rng.New(1), nil, 4, est); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := JackknifeSE(rng.New(1), one, 1, est); err == nil {
+		t.Fatal("1 group accepted")
+	}
+	if _, err := JackknifeSE(rng.New(1), one, 5, est); err == nil {
+		t.Fatal("groups > n accepted")
+	}
+	if _, err := JackknifeSE(rng.New(1), one, 2, nil); err == nil {
+		t.Fatal("nil estimator accepted")
+	}
+}
+
+func TestShareEstimatorMultiChoice(t *testing.T) {
+	ins, _ := survey.NewInstrument("jk", []survey.Question{
+		{ID: "langs", Kind: survey.MultiChoice, Options: []string{"python", "c"}},
+	})
+	a := survey.NewResponse("a", 2024)
+	a.SetChoices("langs", []string{"python", "c"})
+	b := survey.NewResponse("b", 2024)
+	b.SetChoices("langs", []string{"c"})
+	c := survey.NewResponse("c", 2024) // unanswered, excluded from base
+	est := ShareEstimator(ins, "langs", "python")
+	if got := est([]*survey.Response{a, b, c}); got != 0.5 {
+		t.Fatalf("share %g", got)
+	}
+	if got := est(nil); got != 0 {
+		t.Fatalf("empty share %g", got)
+	}
+	bad := ShareEstimator(ins, "missing", "python")
+	if !math.IsNaN(bad([]*survey.Response{a})) {
+		t.Fatal("unknown question should yield NaN")
+	}
+}
+
+func TestJackknifeDeterministic(t *testing.T) {
+	ins, _ := survey.NewInstrument("jk", []survey.Question{
+		{ID: "flag", Kind: survey.SingleChoice, Options: []string{"yes", "no"}},
+	})
+	r := rng.New(2)
+	rs := make([]*survey.Response, 100)
+	for i := range rs {
+		resp := survey.NewResponse(string(rune('a'+i%26))+string(rune('A'+i/26)), 2024)
+		if r.Bool(0.4) {
+			resp.SetChoice("flag", "yes")
+		} else {
+			resp.SetChoice("flag", "no")
+		}
+		rs[i] = resp
+	}
+	est := ShareEstimator(ins, "flag", "yes")
+	a, err := JackknifeSE(rng.New(7), rs, 10, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := JackknifeSE(rng.New(7), rs, 10, est)
+	if a.SE != b.SE || a.Estimate != b.Estimate {
+		t.Fatal("jackknife not deterministic")
+	}
+}

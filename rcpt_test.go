@@ -1,0 +1,119 @@
+package rcpt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAll(t *testing.T) {
+	cfg := Config{
+		Seed: 3, N2011: 80, N2024: 160,
+		TraceYears: []int{2011, 2015, 2019, 2024}, SimYear: 2024, PanelN: 100,
+		Policy: EASYBackfill, Rake: true,
+	}
+	arts, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	files, err := WriteAll(arts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 tables × 2 formats + 13 figures + index.html + REPORT.md = 47 files.
+	if len(files) != 47 {
+		t.Fatalf("wrote %d files: %v", len(files), files)
+	}
+	for _, f := range files {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("empty artifact %s", f)
+		}
+	}
+	// Spot-check artifact contents.
+	b, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "python") {
+		t.Fatalf("table2 missing python:\n%s", b)
+	}
+	b, err = os.ReadFile(filepath.Join(dir, "figure1.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "<svg") {
+		t.Fatal("figure1 is not svg")
+	}
+	b, err = os.ReadFile(filepath.Join(dir, "REPORT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "### Table 2") || !strings.Contains(string(b), "| python |") {
+		t.Fatal("REPORT.md missing table content")
+	}
+}
+
+func TestLookupAndRegistry(t *testing.T) {
+	if len(Experiments()) != 29 {
+		t.Fatalf("%d experiments", len(Experiments()))
+	}
+	e, err := Lookup("F3")
+	if err != nil || e.Kind != KindFigure {
+		t.Fatalf("lookup: %v %v", e, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestByteDeterminism asserts the strongest reproducibility claim: two
+// independent runs of the same config produce byte-identical artifacts.
+func TestByteDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed: 11, N2011: 60, N2024: 90,
+		TraceYears: []int{2011, 2015, 2019, 2024}, SimYear: 2024,
+		Policy: EASYBackfill, Rake: true, PanelN: 40, NoiseRate: 0.1,
+	}
+	render := func() map[string][]byte {
+		arts, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		files, err := WriteAll(arts, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]byte{}
+		for _, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[filepath.Base(f)] = b
+		}
+		return out
+	}
+	a := render()
+	b := render()
+	if len(a) != len(b) {
+		t.Fatalf("file counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, data := range a {
+		if string(b[name]) != string(data) {
+			t.Fatalf("artifact %s differs between identical runs", name)
+		}
+	}
+}
