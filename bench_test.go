@@ -226,6 +226,40 @@ func BenchmarkFullPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkRunStaged and BenchmarkRunSequential compare the stage-graph
+// executor with multiple workers against the sequential reference
+// execution of the same graph. Both produce byte-identical artifacts
+// (see core's TestRunWorkerCountEquivalence); only wall-clock differs,
+// and only when GOMAXPROCS allows real parallelism.
+func BenchmarkRunStaged(b *testing.B) {
+	cfg := Config{
+		Seed: 1, N2011: 60, N2024: 120,
+		TraceYears: []int{2011, 2024}, SimYear: 2024,
+		Policy: EASYBackfill, Rake: true,
+		Workers: 8,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSequential(b *testing.B) {
+	cfg := Config{
+		Seed: 1, N2011: 60, N2024: 120,
+		TraceYears: []int{2011, 2024}, SimYear: 2024,
+		Policy: EASYBackfill, Rake: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunSequential(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTraceGeneration measures the accounting generator alone.
 func BenchmarkTraceGeneration(b *testing.B) {
 	m := trace.CampusModel(2024)

@@ -121,11 +121,33 @@ type Artifacts struct {
 	// SimConservative is the conservative-backfill run for the policy
 	// comparison table (T8).
 	SimConservative *sched.Result
+
+	// derived memoizes render-path aggregates (weighted tabulations,
+	// per-year job summaries, co-load matrices) so the 30+ experiments
+	// stop recomputing the same scans; see derived.go. It holds locks:
+	// Artifacts must not be copied by value once in use.
+	derived derivations
 }
 
-// Run executes the full pipeline. Deterministic in cfg.Seed for any
-// worker count.
+// Run executes the full pipeline as a concurrent stage graph (see
+// buildGraph for the DAG). Deterministic in cfg.Seed for any worker
+// count: every stage draws from an rng stream split by name before the
+// graph starts, so scheduling order cannot perturb output. Run and
+// RunSequential produce byte-identical artifacts.
 func Run(cfg Config) (*Artifacts, error) {
+	return run(cfg, cfg.Workers)
+}
+
+// RunSequential executes the same stage graph one stage at a time, in a
+// deterministic topological order. It is the reference implementation
+// the staged/concurrent equivalence tests and benchmarks compare
+// against; per-stage fan-out (cohort generation chunks) still honors
+// cfg.Workers.
+func RunSequential(cfg Config) (*Artifacts, error) {
+	return run(cfg, 1)
+}
+
+func run(cfg Config, stageWorkers int) (*Artifacts, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -136,8 +158,35 @@ func Run(cfg Config) (*Artifacts, error) {
 		Model2024:  population.Model2024(),
 		JobsByYr:   map[int][]trace.Job{},
 	}
+	g, err := buildGraph(cfg, a)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Run(stageWorkers); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
 
-	// 1. Survey cohorts.
+// buildGraph wires the pipeline DAG:
+//
+//	cohort-2011 ──► rake-2011
+//	cohort-2024 ──► rake-2024
+//	panel
+//	trace-<y> (per year) ──► jobs-merge
+//	trace-<simyear> ──► sim-easy │ sim-fcfs │ sim-conservative
+//	modlog-<y> (per year) ──► modlog-merge
+//
+// Every stage owns the artifact fields it writes; concurrent stages
+// never share mutable state, and all rng streams are split off the
+// seed-derived root here — before any stage runs — per the determinism
+// convention in internal/parallel.
+func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
+	root := rng.New(cfg.Seed)
+	g := parallel.NewGraph()
+
+	// 1. Survey cohorts: generate, optionally inject noise, screen, and
+	// drop hard-flagged responses. One stage per cohort.
 	g11, err := population.NewGenerator(a.Model2011)
 	if err != nil {
 		return nil, fmt.Errorf("core: 2011 generator: %w", err)
@@ -146,121 +195,168 @@ func Run(cfg Config) (*Artifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: 2024 generator: %w", err)
 	}
-	root := rng.New(cfg.Seed)
-	if a.Cohort2011, err = g11.GenerateParallel(root.SplitNamed("cohort-2011").Uint64(), cfg.N2011, cfg.Workers); err != nil {
-		return nil, fmt.Errorf("core: generating 2011 cohort: %w", err)
-	}
-	if a.Cohort2024, err = g24.GenerateParallel(root.SplitNamed("cohort-2024").Uint64(), cfg.N2024, cfg.Workers); err != nil {
-		return nil, fmt.Errorf("core: generating 2024 cohort: %w", err)
-	}
-
-	// 1a. Data-quality stage: optional noise injection, then screening;
-	// hard-flagged responses are dropped before any analysis.
-	rules := survey.CanonicalRules()
-	for _, c := range []struct {
-		cohort *[]*survey.Response
-		report *survey.QualityReport
-		name   string
-	}{
-		{&a.Cohort2011, &a.Quality2011, "2011"},
-		{&a.Cohort2024, &a.Quality2024, "2024"},
-	} {
-		if cfg.NoiseRate > 0 {
-			noisy, _, err := population.InjectNoise(root.SplitNamed("noise-"+c.name), *c.cohort, cfg.NoiseRate)
+	cohortStage := func(gen *population.Generator, name string, n int, dst *[]*survey.Response, report *survey.QualityReport) func() error {
+		seed := root.SplitNamed("cohort-" + name).Uint64()
+		noiseRng := root.SplitNamed("noise-" + name)
+		return func() error {
+			rs, err := gen.GenerateParallel(seed, n, cfg.Workers)
 			if err != nil {
-				return nil, fmt.Errorf("core: injecting noise into %s: %w", c.name, err)
+				return fmt.Errorf("core: generating %s cohort: %w", name, err)
 			}
-			*c.cohort = noisy
-		}
-		*c.report = survey.Screen(a.Instrument, *c.cohort, rules)
-		*c.cohort = survey.DropHard(*c.cohort, *c.report)
-		if len(*c.cohort) == 0 {
-			return nil, fmt.Errorf("core: screening removed the entire %s cohort", c.name)
-		}
-	}
-
-	// 1b. Longitudinal panel (optional).
-	if cfg.PanelN > 0 {
-		pg, err := population.NewPanelGenerator(a.Model2011, a.Model2024, population.PanelOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("core: panel generator: %w", err)
-		}
-		if a.Panel, err = pg.Generate(root.SplitNamed("panel"), cfg.PanelN); err != nil {
-			return nil, fmt.Errorf("core: generating panel: %w", err)
-		}
-	}
-
-	// 2. Post-stratification. Margins are restricted to observed
-	// categories so a small cohort that happens to miss a rare stratum
-	// still rakes (the standard collapsed-stratum fallback).
-	if cfg.Rake {
-		rake := func(rs []*survey.Response, model *population.Model, name string) (weighting.Result, error) {
-			margins := make([]weighting.Margin, 0, 2)
-			for _, m := range weighting.FrameMargins(model.FieldShare, model.CareerShare) {
-				rm, err := weighting.RestrictToObserved(m, rs)
+			if cfg.NoiseRate > 0 {
+				noisy, _, err := population.InjectNoise(noiseRng, rs, cfg.NoiseRate)
 				if err != nil {
-					return weighting.Result{}, fmt.Errorf("core: raking %s: %w", name, err)
+					return fmt.Errorf("core: injecting noise into %s: %w", name, err)
 				}
-				margins = append(margins, rm)
+				rs = noisy
 			}
-			res, err := weighting.Rake(rs, margins, weighting.Options{TrimRatio: 6})
+			*report = survey.Screen(a.Instrument, rs, survey.CanonicalRules())
+			rs = survey.DropHard(rs, *report)
+			if len(rs) == 0 {
+				return fmt.Errorf("core: screening removed the entire %s cohort", name)
+			}
+			*dst = rs
+			return nil
+		}
+	}
+	g.Add("cohort-2011", cohortStage(g11, "2011", cfg.N2011, &a.Cohort2011, &a.Quality2011))
+	g.Add("cohort-2024", cohortStage(g24, "2024", cfg.N2024, &a.Cohort2024, &a.Quality2024))
+
+	// 1b. Longitudinal panel (optional), independent of the cohorts.
+	if cfg.PanelN > 0 {
+		panelRng := root.SplitNamed("panel")
+		g.Add("panel", func() error {
+			pg, err := population.NewPanelGenerator(a.Model2011, a.Model2024, population.PanelOptions{})
 			if err != nil {
-				return weighting.Result{}, fmt.Errorf("core: raking %s: %w", name, err)
+				return fmt.Errorf("core: panel generator: %w", err)
 			}
-			return res, nil
-		}
-		if a.Rake2011, err = rake(a.Cohort2011, a.Model2011, "2011"); err != nil {
-			return nil, err
-		}
-		if a.Rake2024, err = rake(a.Cohort2024, a.Model2024, "2024"); err != nil {
-			return nil, err
-		}
+			if a.Panel, err = pg.Generate(panelRng, cfg.PanelN); err != nil {
+				return fmt.Errorf("core: generating panel: %w", err)
+			}
+			return nil
+		})
 	}
 
-	// 3. Cluster accounting traces, one year per parallel task.
-	jobsPartials, err := parallel.Map(cfg.Workers, cfg.TraceYears, func(_ int, year int) ([]trace.Job, error) {
-		r := rng.New(cfg.Seed).SplitNamed(fmt.Sprintf("trace-%d", year))
-		return trace.CampusModel(year).Generate(r, uint64(year)*10_000_000)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: generating traces: %w", err)
+	// 2. Post-stratification, each cohort independently once it lands.
+	// Margins are restricted to observed categories so a small cohort
+	// that happens to miss a rare stratum still rakes (the standard
+	// collapsed-stratum fallback).
+	if cfg.Rake {
+		rakeStage := func(name string, cohort *[]*survey.Response, model *population.Model, dst *weighting.Result) func() error {
+			return func() error {
+				margins := make([]weighting.Margin, 0, 2)
+				for _, m := range weighting.FrameMargins(model.FieldShare, model.CareerShare) {
+					rm, err := weighting.RestrictToObserved(m, *cohort)
+					if err != nil {
+						return fmt.Errorf("core: raking %s: %w", name, err)
+					}
+					margins = append(margins, rm)
+				}
+				res, err := weighting.Rake(*cohort, margins, weighting.Options{TrimRatio: 6})
+				if err != nil {
+					return fmt.Errorf("core: raking %s: %w", name, err)
+				}
+				*dst = res
+				return nil
+			}
+		}
+		g.Add("rake-2011", rakeStage("2011", &a.Cohort2011, a.Model2011, &a.Rake2011), "cohort-2011")
+		g.Add("rake-2024", rakeStage("2024", &a.Cohort2024, a.Model2024, &a.Rake2024), "cohort-2024")
 	}
+
+	// 3+4. Cluster accounting traces and module-load telemetry, one
+	// stage per year each, merged (and preallocated to the known totals)
+	// once every year has landed.
+	jobsPartials := make([][]trace.Job, len(cfg.TraceYears))
+	modPartials := make([][]modlog.Event, len(cfg.TraceYears))
+	traceStages := make([]string, len(cfg.TraceYears))
+	modStages := make([]string, len(cfg.TraceYears))
+	simStage := ""
 	for i, year := range cfg.TraceYears {
-		a.JobsByYr[year] = jobsPartials[i]
-		a.Jobs = append(a.Jobs, jobsPartials[i]...)
+		i, year := i, year
+		traceStages[i] = fmt.Sprintf("trace-%d", year)
+		modStages[i] = fmt.Sprintf("modlog-%d", year)
+		if year == cfg.SimYear {
+			simStage = traceStages[i]
+		}
+		traceRng := root.SplitNamed(traceStages[i])
+		g.Add(traceStages[i], func() error {
+			jobs, err := trace.CampusModel(year).Generate(traceRng, uint64(year)*10_000_000)
+			if err != nil {
+				return fmt.Errorf("core: generating %d trace: %w", year, err)
+			}
+			jobsPartials[i] = jobs
+			return nil
+		})
+		modRng := root.SplitNamed(modStages[i])
+		g.Add(modStages[i], func() error {
+			events, err := modlog.CampusModulesModel(year).Generate(modRng)
+			if err != nil {
+				return fmt.Errorf("core: generating %d module log: %w", year, err)
+			}
+			modPartials[i] = events
+			return nil
+		})
 	}
+	g.Add("jobs-merge", func() error {
+		total := 0
+		for _, p := range jobsPartials {
+			total += len(p)
+		}
+		a.Jobs = make([]trace.Job, 0, total)
+		for i, year := range cfg.TraceYears {
+			a.JobsByYr[year] = jobsPartials[i]
+			a.Jobs = append(a.Jobs, jobsPartials[i]...)
+		}
+		return nil
+	}, traceStages...)
+	g.Add("modlog-merge", func() error {
+		total := 0
+		for _, p := range modPartials {
+			total += len(p)
+		}
+		events := make([]modlog.Event, 0, total)
+		for i, p := range modPartials {
+			events = append(events, p...)
+			if cfg.TraceYears[i] == cfg.SimYear {
+				a.ModEventsSim = p
+			}
+		}
+		a.ModAgg = modlog.AggregateByYear(events)
+		return nil
+	}, modStages...)
 
-	// 4. Module-load telemetry.
-	modPartials, err := parallel.Map(cfg.Workers, cfg.TraceYears, func(_ int, year int) ([]modlog.Event, error) {
-		r := rng.New(cfg.Seed).SplitNamed(fmt.Sprintf("modlog-%d", year))
-		return modlog.CampusModulesModel(year).Generate(r)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: generating module logs: %w", err)
-	}
-	var events []modlog.Event
-	for i, p := range modPartials {
-		events = append(events, p...)
-		if cfg.TraceYears[i] == cfg.SimYear {
-			a.ModEventsSim = p
+	// 5. Scheduler simulations on the sim year: the requested policy
+	// plus the FCFS and conservative baselines, concurrently as soon as
+	// the sim-year trace lands (they need only that year, not the
+	// merge). The generator emits arrival order, so sched skips its
+	// defensive copy+sort.
+	cluster := sched.DefaultCampusCluster()
+	simRun := func(dst **sched.Result, opt sched.Options, what string) func() error {
+		return func() error {
+			res, err := sched.Simulate(cluster, jobsPartials[simIndex(cfg)], opt)
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", what, err)
+			}
+			*dst = res
+			return nil
 		}
 	}
-	a.ModAgg = modlog.AggregateByYear(events)
+	g.Add("sim-policy", simRun(&a.Sim, sched.Options{Policy: cfg.Policy, Fairshare: true}, "scheduler simulation"), simStage)
+	g.Add("sim-fcfs", simRun(&a.SimFCFS, sched.Options{Policy: sched.FCFS}, "FCFS baseline"), simStage)
+	g.Add("sim-conservative", simRun(&a.SimConservative, sched.Options{Policy: sched.ConservativeBackfill}, "conservative baseline"), simStage)
+	return g, nil
+}
 
-	// 5. Scheduler simulation on the sim year, requested policy plus the
-	// FCFS baseline for the ablation.
-	cluster := sched.DefaultCampusCluster()
-	if a.Sim, err = sched.Simulate(cluster, a.JobsByYr[cfg.SimYear], sched.Options{Policy: cfg.Policy, Fairshare: true}); err != nil {
-		return nil, fmt.Errorf("core: scheduler simulation: %w", err)
+// simIndex returns the position of cfg.SimYear within cfg.TraceYears
+// (guaranteed present by Validate).
+func simIndex(cfg Config) int {
+	for i, y := range cfg.TraceYears {
+		if y == cfg.SimYear {
+			return i
+		}
 	}
-	if a.SimFCFS, err = sched.Simulate(cluster, a.JobsByYr[cfg.SimYear], sched.Options{Policy: sched.FCFS}); err != nil {
-		return nil, fmt.Errorf("core: FCFS baseline: %w", err)
-	}
-	if a.SimConservative, err = sched.Simulate(cluster, a.JobsByYr[cfg.SimYear],
-		sched.Options{Policy: sched.ConservativeBackfill}); err != nil {
-		return nil, fmt.Errorf("core: conservative baseline: %w", err)
-	}
-	return a, nil
+	panic(fmt.Sprintf("core: sim year %d not in trace years", cfg.SimYear))
 }
 
 // ModAggFor returns the telemetry aggregate for one year.

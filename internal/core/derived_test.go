@@ -1,0 +1,133 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/survey"
+	"repro/internal/trace"
+)
+
+func TestTabulationMatchesDirectAndCaches(t *testing.T) {
+	a := artifacts(t)
+	direct, err := a.Instrument.Tabulate(survey.QLanguages, a.Cohort2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := a.Tabulation(2024, survey.QLanguages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, cached) {
+		t.Fatal("cached tabulation differs from direct computation")
+	}
+	again, err := a.Tabulation(2024, survey.QLanguages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same underlying map, not a recomputation.
+	if reflect.ValueOf(again.Counts).Pointer() != reflect.ValueOf(cached.Counts).Pointer() {
+		t.Fatal("second lookup recomputed the tabulation")
+	}
+	if _, err := a.Tabulation(1999, survey.QLanguages); err == nil {
+		t.Fatal("unknown cohort year accepted")
+	}
+	if _, err := a.Tabulation(2024, "no-such-question"); err == nil {
+		t.Fatal("unknown question accepted")
+	}
+}
+
+func TestJobSummariesCachedAndEquivalent(t *testing.T) {
+	a := artifacts(t)
+	want := trace.SummarizeByYear(a.Jobs)
+	got := a.JobSummaries()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("cached job summaries differ from direct computation")
+	}
+	if &got[0] != &a.JobSummaries()[0] {
+		t.Fatal("second call recomputed the summaries")
+	}
+}
+
+func TestUserUsageForCachedSortedAndChecked(t *testing.T) {
+	a := artifacts(t)
+	vals, err := a.UserUsageFor(a.Config.SimYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) == 0 {
+		t.Fatal("no usage values")
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1] > vals[i] {
+			t.Fatal("usage vector not sorted")
+		}
+	}
+	again, err := a.UserUsageFor(a.Config.SimYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &vals[0] != &again[0] {
+		t.Fatal("second call recomputed the usage vector")
+	}
+	if _, err := a.UserUsageFor(1999); err == nil {
+		t.Fatal("missing year accepted")
+	}
+}
+
+func TestCoLoadPairsAndPanelWavesCached(t *testing.T) {
+	a := artifacts(t)
+	pairs, err := a.CoLoadPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no co-load pairs")
+	}
+	again, _ := a.CoLoadPairs()
+	if &pairs[0] != &again[0] {
+		t.Fatal("second call recomputed co-loads")
+	}
+	w1, w2, err := a.PanelWaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) != len(a.Panel) || len(w2) != len(a.Panel) {
+		t.Fatalf("wave sizes %d/%d for %d members", len(w1), len(w2), len(a.Panel))
+	}
+	var empty Artifacts
+	if _, _, err := empty.PanelWaves(); err == nil {
+		t.Fatal("missing panel accepted")
+	}
+}
+
+// TestDerivationsConcurrentAccess hammers the cache from many
+// goroutines; the race detector turns any unsynchronized access into a
+// failure.
+func TestDerivationsConcurrentAccess(t *testing.T) {
+	a := artifacts(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, qid := range []string{survey.QLanguages, survey.QPractices, survey.QParallelism} {
+				if _, err := a.Tabulation(2024, qid); err != nil {
+					t.Error(err)
+				}
+			}
+			a.JobSummaries()
+			if _, err := a.UserUsageFor(a.Config.SimYear); err != nil {
+				t.Error(err)
+			}
+			if _, err := a.CoLoadPairs(); err != nil {
+				t.Error(err)
+			}
+			if _, _, err := a.PanelWaves(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

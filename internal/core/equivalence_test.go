@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// equivConfig is deliberately small (two early trace years, modest
+// cohorts) so three full pipeline runs stay cheap even under -race.
+func equivConfig() Config {
+	return Config{
+		Seed:       99,
+		N2011:      60,
+		N2024:      80,
+		TraceYears: []int{2011, 2013},
+		SimYear:    2013,
+		Policy:     sched.EASYBackfill,
+		Rake:       true,
+		PanelN:     50,
+		NoiseRate:  0.05,
+	}
+}
+
+// assertArtifactsEqual compares every analysis-bearing field of two
+// runs. Any divergence means the determinism contract of the stage
+// graph is broken.
+func assertArtifactsEqual(t *testing.T, labelA, labelB string, x, y *Artifacts) {
+	t.Helper()
+	check := func(field string, a, b any) {
+		t.Helper()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s vs %s: %s differs", labelA, labelB, field)
+		}
+	}
+	check("Cohort2011", x.Cohort2011, y.Cohort2011)
+	check("Cohort2024", x.Cohort2024, y.Cohort2024)
+	check("Rake2011", x.Rake2011, y.Rake2011)
+	check("Rake2024", x.Rake2024, y.Rake2024)
+	check("Jobs", x.Jobs, y.Jobs)
+	check("JobsByYr", x.JobsByYr, y.JobsByYr)
+	check("ModAgg", x.ModAgg, y.ModAgg)
+	check("ModEventsSim", x.ModEventsSim, y.ModEventsSim)
+	check("Quality2011", x.Quality2011, y.Quality2011)
+	check("Quality2024", x.Quality2024, y.Quality2024)
+	check("Panel", x.Panel, y.Panel)
+	check("Sim", x.Sim, y.Sim)
+	check("SimFCFS", x.SimFCFS, y.SimFCFS)
+	check("SimConservative", x.SimConservative, y.SimConservative)
+
+	// Byte-identity on the serialized forms, the strongest statement of
+	// "same artifacts": identical accounting files and survey exports.
+	var ja, jb bytes.Buffer
+	if err := trace.WriteAccounting(&ja, x.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteAccounting(&jb, y.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatalf("%s vs %s: serialized accounting differs", labelA, labelB)
+	}
+	var ca, cb bytes.Buffer
+	if err := x.Instrument.WriteJSON(&ca, x.Cohort2024); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.Instrument.WriteJSON(&cb, y.Cohort2024); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		t.Fatalf("%s vs %s: serialized 2024 cohort differs", labelA, labelB)
+	}
+}
+
+// TestRunWorkerCountEquivalence guards the determinism contract of the
+// stage graph: Workers=1 and Workers=8 must produce deeply-equal,
+// byte-identical artifacts, and both must match the sequential
+// reference execution of the same graph.
+func TestRunWorkerCountEquivalence(t *testing.T) {
+	cfg := equivConfig()
+	cfg.Workers = 1
+	one, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	eight, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertArtifactsEqual(t, "workers=1", "workers=8", one, eight)
+	assertArtifactsEqual(t, "workers=8", "sequential", eight, seq)
+}

@@ -10,7 +10,6 @@ import (
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/survey"
-	"repro/internal/trace"
 	"repro/internal/trend"
 )
 
@@ -97,11 +96,11 @@ func table1(a *Artifacts) (*report.Table, error) {
 		{"field", survey.QField, survey.Fields, a.Model2024.FieldShare},
 		{"career", survey.QCareer, survey.CareerStages, a.Model2024.CareerShare},
 	} {
-		tab11, err := a.Instrument.Tabulate(spec.qid, a.Cohort2011)
+		tab11, err := a.Tabulation(2011, spec.qid)
 		if err != nil {
 			return nil, err
 		}
-		tab24, err := a.Instrument.Tabulate(spec.qid, a.Cohort2024)
+		tab24, err := a.Tabulation(2024, spec.qid)
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +188,7 @@ func table4(a *Artifacts) (*report.Table, error) {
 }
 
 func table5(a *Artifacts) (*report.Table, error) {
-	sums := trace.SummarizeByYear(a.Jobs)
+	sums := a.JobSummaries()
 	t := report.NewTable("Table 5: Cluster workload mix by year",
 		"year", "jobs", "cpu-hours", "gpu-hours", "gpu-job share", "median cores", "mean cores", "p99 cores", "failed")
 	for _, s := range sums {
@@ -215,12 +214,13 @@ func table6(a *Artifacts) (*report.Table, error) {
 		minF, maxF string
 	}
 	rows := make([]row, 0, len(survey.ModernTools))
+	// One weighted tabulation serves every tool's overall share.
+	overallTab, err := a.Tabulation(2024, survey.QModernTools)
+	if err != nil {
+		return nil, err
+	}
 	for _, tool := range survey.ModernTools {
 		byField, err := trend.ByField(a.Instrument, survey.QModernTools, tool, a.Cohort2024)
-		if err != nil {
-			return nil, err
-		}
-		overallTab, err := a.Instrument.Tabulate(survey.QModernTools, a.Cohort2024)
 		if err != nil {
 			return nil, err
 		}
@@ -353,7 +353,7 @@ func figure1(a *Artifacts, w io.Writer) error {
 }
 
 func figure2(a *Artifacts, w io.Writer) error {
-	sums := trace.SummarizeByYear(a.Jobs)
+	sums := a.JobSummaries()
 	xs := make([]float64, len(sums))
 	gpuShare := make([]float64, len(sums))
 	gpuJobShare := make([]float64, len(sums))

@@ -91,10 +91,7 @@ func table9(a *Artifacts) (*report.Table, error) {
 }
 
 func table10(a *Artifacts) (*report.Table, error) {
-	if len(a.ModEventsSim) == 0 {
-		return nil, fmt.Errorf("core: table10: no telemetry events for sim year")
-	}
-	pairs, err := modlog.CoLoads(a.ModEventsSim, a.Config.SimYear)
+	pairs, err := a.CoLoadPairs()
 	if err != nil {
 		return nil, err
 	}

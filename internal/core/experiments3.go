@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/population"
 	"repro/internal/report"
 	"repro/internal/survey"
 	"repro/internal/trend"
@@ -21,10 +20,7 @@ func panelExperiments() []Experiment {
 }
 
 func panelWavesOf(a *Artifacts) ([]*survey.Response, []*survey.Response, error) {
-	if len(a.Panel) == 0 {
-		return nil, nil, fmt.Errorf("core: panel experiments need Config.PanelN > 0")
-	}
-	return population.Wave1Responses(a.Panel), population.Wave2Responses(a.Panel), nil
+	return a.PanelWaves()
 }
 
 func table11(a *Artifacts) (*report.Table, error) {

@@ -13,7 +13,6 @@ import (
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/internal/trace"
 )
 
 func concentrationExperiments() []Experiment {
@@ -23,29 +22,13 @@ func concentrationExperiments() []Experiment {
 	}
 }
 
-// userUsageValues extracts the per-user usage vector for one year,
-// sorted for determinism.
-func userUsageValues(a *Artifacts, year int) ([]float64, error) {
-	jobs, ok := a.JobsByYr[year]
-	if !ok {
-		return nil, fmt.Errorf("core: no jobs for year %d", year)
-	}
-	usage := trace.UserUsage(jobs)
-	vals := make([]float64, 0, len(usage))
-	for _, v := range usage {
-		vals = append(vals, v)
-	}
-	sort.Float64s(vals)
-	return vals, nil
-}
-
 func table15(a *Artifacts) (*report.Table, error) {
 	t := report.NewTable("Table 15: Core-hour concentration across users",
 		"year", "users", "gini", "top 1%", "top 10%", "median user (h)")
 	years := append([]int(nil), a.Config.TraceYears...)
 	sort.Ints(years)
 	for _, y := range years {
-		vals, err := userUsageValues(a, y)
+		vals, err := a.UserUsageFor(y)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +62,7 @@ func figure12(a *Artifacts, w io.Writer) error {
 	var series []report.LineSeries
 	var first []float64
 	for _, y := range []int{2011, a.Config.SimYear} {
-		vals, err := userUsageValues(a, y)
+		vals, err := a.UserUsageFor(y)
 		if err != nil {
 			return err
 		}

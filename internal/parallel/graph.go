@@ -1,0 +1,235 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Stage is one node of a Graph: a named unit of work plus the names of
+// the stages whose outputs it consumes. Run must be internally
+// deterministic (derive any randomness from streams split before the
+// graph starts); the executor guarantees only ordering, not scheduling.
+type Stage struct {
+	Name string
+	Deps []string
+	Run  func() error
+}
+
+// Graph is an explicit stage DAG executed by a bounded worker pool.
+// Stages with no unmet dependencies run concurrently; the first error
+// (or panic, converted to an error) cancels every stage that has not
+// yet started, while in-flight stages finish. Because stages exchange
+// data only through their declared dependency edges, the output is
+// identical for any worker count — the property the pipeline's
+// rng-split determinism convention exists to exploit.
+//
+// Build with Add, then call Run once. A Graph is not reusable.
+type Graph struct {
+	stages []Stage
+	index  map[string]int
+	addErr error
+}
+
+// NewGraph returns an empty stage graph.
+func NewGraph() *Graph {
+	return &Graph{index: map[string]int{}}
+}
+
+// Add registers a stage. Dependencies may be registered before or after
+// the stages that declare them; they are resolved at Run. Registration
+// errors (duplicate name, nil func) are deferred to Run so call sites
+// can stay declarative.
+func (g *Graph) Add(name string, run func() error, deps ...string) {
+	if g.addErr != nil {
+		return
+	}
+	if name == "" {
+		g.addErr = fmt.Errorf("parallel: graph stage with empty name")
+		return
+	}
+	if run == nil {
+		g.addErr = fmt.Errorf("parallel: graph stage %q has nil func", name)
+		return
+	}
+	if _, dup := g.index[name]; dup {
+		g.addErr = fmt.Errorf("parallel: duplicate graph stage %q", name)
+		return
+	}
+	g.index[name] = len(g.stages)
+	g.stages = append(g.stages, Stage{Name: name, Deps: deps, Run: run})
+}
+
+// Len returns the number of registered stages.
+func (g *Graph) Len() int { return len(g.stages) }
+
+// Run executes the graph with at most workers concurrent stages
+// (workers <= 0 means GOMAXPROCS). It returns the first stage error,
+// wrapped with the stage name.
+func (g *Graph) Run(workers int) error {
+	return g.RunContext(context.Background(), workers)
+}
+
+// RunContext is Run with external cancellation: once ctx is done, no
+// new stage starts and ctx.Err() is returned (unless a stage already
+// failed, in which case that error wins).
+func (g *Graph) RunContext(ctx context.Context, workers int) error {
+	if g.addErr != nil {
+		return g.addErr
+	}
+	n := len(g.stages)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Resolve edges and verify acyclicity (Kahn) before starting work.
+	remaining := make([]int, n)    // unmet dependency count per stage
+	dependents := make([][]int, n) // reverse edges
+	for i, st := range g.stages {
+		remaining[i] = len(st.Deps)
+		for _, d := range st.Deps {
+			j, ok := g.index[d]
+			if !ok {
+				return fmt.Errorf("parallel: stage %q depends on unknown stage %q", st.Name, d)
+			}
+			if j == i {
+				return fmt.Errorf("parallel: stage %q depends on itself", st.Name)
+			}
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+	if err := checkAcyclic(g.stages, g.index); err != nil {
+		return err
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		ready    []int
+		done     int
+		firstErr error
+	)
+	for i := range g.stages {
+		if remaining[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Wake blocked workers when the context dies.
+	stopWatch := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		fail(ctx.Err())
+		mu.Unlock()
+		cond.Broadcast()
+	})
+	defer stopWatch()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			for {
+				for firstErr == nil && done < n && len(ready) == 0 {
+					cond.Wait()
+				}
+				// Check the context synchronously so no stage is
+				// dispatched after cancellation, regardless of when the
+				// AfterFunc wakeup lands.
+				if firstErr == nil && ctx.Err() != nil {
+					fail(ctx.Err())
+				}
+				if firstErr != nil || done == n {
+					cond.Broadcast()
+					return
+				}
+				i := ready[0]
+				ready = ready[1:]
+				st := g.stages[i]
+				mu.Unlock()
+				err := runStage(st)
+				mu.Lock()
+				done++
+				if err != nil {
+					fail(err)
+				} else {
+					for _, dep := range dependents[i] {
+						remaining[dep]--
+						if remaining[dep] == 0 {
+							ready = append(ready, dep)
+						}
+					}
+				}
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runStage invokes one stage, converting panics into errors so a bad
+// stage cannot take down the whole process.
+func runStage(st Stage) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("parallel: stage %q panicked: %v", st.Name, p)
+		}
+	}()
+	if err := st.Run(); err != nil {
+		return fmt.Errorf("parallel: stage %q: %w", st.Name, err)
+	}
+	return nil
+}
+
+// checkAcyclic runs Kahn's algorithm over the stage set and names one
+// stage on any cycle found.
+func checkAcyclic(stages []Stage, index map[string]int) error {
+	n := len(stages)
+	indeg := make([]int, n)
+	next := make([][]int, n)
+	for i, st := range stages {
+		indeg[i] = len(st.Deps)
+		for _, d := range st.Deps {
+			next[index[d]] = append(next[index[d]], i)
+		}
+	}
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, j := range next[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if seen != n {
+		for i, d := range indeg {
+			if d > 0 {
+				return fmt.Errorf("parallel: stage graph has a cycle through %q", stages[i].Name)
+			}
+		}
+	}
+	return nil
+}

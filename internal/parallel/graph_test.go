@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGraphRunsAllStagesInDependencyOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	mark := func(name string) func() error {
+		return func() error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}
+	}
+	g := NewGraph()
+	g.Add("c", mark("c"), "a", "b")
+	g.Add("a", mark("a"))
+	g.Add("b", mark("b"), "a")
+	g.Add("d", mark("d"), "c")
+	if err := g.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %d stages: %v", len(order), order)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, edge := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}, {"c", "d"}} {
+		if pos[edge[0]] > pos[edge[1]] {
+			t.Fatalf("%s ran after %s: %v", edge[0], edge[1], order)
+		}
+	}
+}
+
+func TestGraphDataFlowsAlongEdges(t *testing.T) {
+	// Diamond: two producers feed a consumer; the consumer must observe
+	// both writes for every worker count.
+	for _, workers := range []int{1, 2, 8} {
+		var x, y, sum int
+		g := NewGraph()
+		g.Add("x", func() error { x = 2; return nil })
+		g.Add("y", func() error { y = 3; return nil })
+		g.Add("sum", func() error { sum = x + y; return nil }, "x", "y")
+		if err := g.Run(workers); err != nil {
+			t.Fatal(err)
+		}
+		if sum != 5 {
+			t.Fatalf("workers=%d: sum=%d", workers, sum)
+		}
+	}
+}
+
+func TestGraphBoundsConcurrency(t *testing.T) {
+	const stages, workers = 12, 3
+	var cur, max atomic.Int64
+	g := NewGraph()
+	for i := 0; i < stages; i++ {
+		g.Add(string(rune('a'+i)), func() error {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Run(workers); err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Fatalf("observed %d concurrent stages with %d workers", m, workers)
+	}
+}
+
+func TestGraphFirstErrorCancelsPendingStages(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	g := NewGraph()
+	g.Add("bad", func() error { return boom })
+	g.Add("after", func() error { ran.Add(1); return nil }, "bad")
+	g.Add("also-after", func() error { ran.Add(1); return nil }, "after")
+	err := g.Run(1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if !strings.Contains(err.Error(), `"bad"`) {
+		t.Fatalf("error does not name the stage: %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d dependent stages ran after the failure", ran.Load())
+	}
+}
+
+func TestGraphCapturesPanics(t *testing.T) {
+	g := NewGraph()
+	g.Add("p", func() error { panic("kaboom") })
+	err := g.Run(2)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), `"p"`) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestGraphRejectsBadShapes(t *testing.T) {
+	g := NewGraph()
+	g.Add("a", func() error { return nil }, "missing")
+	if err := g.Run(1); err == nil || !strings.Contains(err.Error(), "unknown stage") {
+		t.Fatalf("unknown dep accepted: %v", err)
+	}
+
+	g = NewGraph()
+	g.Add("a", func() error { return nil }, "b")
+	g.Add("b", func() error { return nil }, "a")
+	if err := g.Run(1); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle accepted: %v", err)
+	}
+
+	g = NewGraph()
+	g.Add("a", func() error { return nil }, "a")
+	if err := g.Run(1); err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Fatalf("self-dependency accepted: %v", err)
+	}
+
+	g = NewGraph()
+	g.Add("dup", func() error { return nil })
+	g.Add("dup", func() error { return nil })
+	if err := g.Run(1); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate stage accepted: %v", err)
+	}
+
+	g = NewGraph()
+	g.Add("nil", nil)
+	if err := g.Run(1); err == nil {
+		t.Fatal("nil stage func accepted")
+	}
+}
+
+func TestGraphEmptyIsNoop(t *testing.T) {
+	if err := NewGraph().Run(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var late atomic.Int64
+	g := NewGraph()
+	g.Add("slow", func() error {
+		close(started)
+		<-release
+		return nil
+	})
+	g.Add("after", func() error { late.Add(1); return nil }, "slow")
+	done := make(chan error, 1)
+	go func() { done <- g.RunContext(ctx, 2) }()
+	<-started
+	cancel()
+	close(release)
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+	if late.Load() != 0 {
+		t.Fatal("dependent stage started after cancellation")
+	}
+}

@@ -186,8 +186,18 @@ func jainFairness(results []JobResult) float64 {
 	if len(perUser) == 0 {
 		return 0
 	}
+	// Accumulate in sorted user order: float addition is not
+	// associative, so summing in (randomized) map order would make the
+	// index differ in its last bits from run to run — breaking the
+	// byte-identical artifact contract the pipeline promises.
+	users := make([]string, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
 	var sum, sumsq float64
-	for _, agg := range perUser {
+	for _, u := range users {
+		agg := perUser[u]
 		mean := agg[0] / agg[1]
 		sum += mean
 		sumsq += mean * mean

@@ -243,19 +243,52 @@ func (h runHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
 func (h *runHeap) Push(x any)   { *h = append(*h, x.(runEntry)) }
 func (h *runHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-func newSim(cluster Cluster, jobs []trace.Job, opt Options) *sim {
-	sorted := make([]trace.Job, len(jobs))
-	copy(sorted, jobs)
-	sort.Slice(sorted, func(a, b int) bool {
-		if sorted[a].Submit != sorted[b].Submit {
-			return sorted[a].Submit < sorted[b].Submit
+// JobsSorted reports whether jobs are already in simulation arrival
+// order: ascending submit time, ties broken by ascending ID.
+func JobsSorted(jobs []trace.Job) bool {
+	for i := 1; i < len(jobs); i++ {
+		a, b := jobs[i-1], jobs[i]
+		if a.Submit > b.Submit || (a.Submit == b.Submit && a.ID > b.ID) {
+			return false
 		}
-		return sorted[a].ID < sorted[b].ID
-	})
+	}
+	return true
+}
+
+func newSim(cluster Cluster, jobs []trace.Job, opt Options) *sim {
+	// The generator emits each year's trace already in arrival order, so
+	// the common case skips the defensive copy+sort entirely. The sim
+	// never mutates pending entries, so aliasing the caller's slice is
+	// safe; an unsorted input still gets the copy+sort fallback.
+	pending := jobs
+	if !JobsSorted(jobs) {
+		sorted := make([]trace.Job, len(jobs))
+		copy(sorted, jobs)
+		sort.Slice(sorted, func(a, b int) bool {
+			if sorted[a].Submit != sorted[b].Submit {
+				return sorted[a].Submit < sorted[b].Submit
+			}
+			return sorted[a].ID < sorted[b].ID
+		})
+		pending = sorted
+	}
+	// Preallocate the event-queue structures to their known or easily
+	// bounded sizes: every job produces exactly one result, the run heap
+	// holds at most the running set, and the sample count is bounded by
+	// the submit span (completions can extend past it, so keep slack).
+	sampleCap := 64
+	if n := len(pending); n > 0 && opt.UtilSampleEvery > 0 {
+		span := pending[n-1].Submit - pending[0].Submit
+		sampleCap += int(span / opt.UtilSampleEvery)
+	}
 	return &sim{
 		cluster: cluster,
 		opt:     opt,
-		pending: sorted,
+		pending: pending,
+		queue:   make([]*queued, 0, 64),
+		running: make(runHeap, 0, 256),
+		results: make([]JobResult, 0, len(pending)),
+		samples: make([]UtilSample, 0, sampleCap),
 		cpuFree: cluster.cpuCapacity(),
 		gpuCore: cluster.gpuCoreCap(),
 		gpuFree: cluster.gpuCapacity(),

@@ -391,3 +391,84 @@ func TestPolicyString(t *testing.T) {
 		t.Fatal("unknown policy string empty")
 	}
 }
+
+func TestJobsSorted(t *testing.T) {
+	sorted := []trace.Job{mkJob(1, 0, 1, 1, 10), mkJob(2, 0, 1, 1, 10), mkJob(3, 5, 1, 1, 10)}
+	if !JobsSorted(nil) || !JobsSorted(sorted[:1]) || !JobsSorted(sorted) {
+		t.Fatal("sorted input reported unsorted")
+	}
+	bySubmit := []trace.Job{mkJob(1, 9, 1, 1, 10), mkJob(2, 3, 1, 1, 10)}
+	byID := []trace.Job{mkJob(7, 0, 1, 1, 10), mkJob(2, 0, 1, 1, 10)}
+	if JobsSorted(bySubmit) || JobsSorted(byID) {
+		t.Fatal("unsorted input reported sorted")
+	}
+}
+
+// TestSimulateOrderInvariant: feeding the same jobs pre-sorted (the
+// fast path, no copy) and shuffled (copy+sort fallback) must produce
+// identical schedules, and neither run may mutate the caller's slice.
+func TestSimulateOrderInvariant(t *testing.T) {
+	r := rng.New(11)
+	jobs := make([]trace.Job, 0, 60)
+	for i := 0; i < 60; i++ {
+		j := mkJob(uint64(i+1), int64(r.Intn(5000)), 1+r.Intn(2), 1+r.Intn(8), int64(60+r.Intn(2000)))
+		jobs = append(jobs, j)
+	}
+	shuffled := make([]trace.Job, len(jobs))
+	copy(shuffled, jobs)
+	rng.Shuffle(rng.New(12), shuffled)
+	shuffledBefore := make([]trace.Job, len(shuffled))
+	copy(shuffledBefore, shuffled)
+
+	a, err := Simulate(smallCluster(), shuffled, Options{Policy: EASYBackfill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-sort into arrival order and run again via the no-copy path.
+	presorted := make([]trace.Job, len(jobs))
+	copy(presorted, shuffledBefore)
+	sortJobsForTest(presorted)
+	if !JobsSorted(presorted) {
+		t.Fatal("test setup: presorted slice not sorted")
+	}
+	presortedBefore := make([]trace.Job, len(presorted))
+	copy(presortedBefore, presorted)
+	b, err := Simulate(smallCluster(), presorted, Options{Policy: EASYBackfill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a.Results[i], b.Results[i])
+		}
+	}
+	if a.Metrics != b.Metrics {
+		t.Fatalf("metrics differ: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+	for i := range shuffled {
+		if shuffled[i] != shuffledBefore[i] {
+			t.Fatalf("Simulate mutated the shuffled input at %d", i)
+		}
+	}
+	for i := range presorted {
+		if presorted[i] != presortedBefore[i] {
+			t.Fatalf("Simulate mutated the pre-sorted input at %d", i)
+		}
+	}
+}
+
+func sortJobsForTest(jobs []trace.Job) {
+	for i := 1; i < len(jobs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := jobs[j-1], jobs[j]
+			if a.Submit > b.Submit || (a.Submit == b.Submit && a.ID > b.ID) {
+				jobs[j-1], jobs[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -56,7 +56,14 @@ const (
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Run executes the full study pipeline deterministically in cfg.Seed.
+// Independent stages run concurrently on cfg.Workers goroutines; the
+// artifacts are byte-identical for any worker count.
 func Run(cfg Config) (*Artifacts, error) { return core.Run(cfg) }
+
+// RunSequential executes the same stage graph as Run on a single
+// worker, one stage at a time. It exists as the determinism reference:
+// its artifacts are byte-identical to Run's.
+func RunSequential(cfg Config) (*Artifacts, error) { return core.RunSequential(cfg) }
 
 // Experiments returns the registry of tables and figures in
 // presentation order.
