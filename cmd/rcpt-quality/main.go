@@ -25,7 +25,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	in := flag.String("in", "-", "input NDJSON file ('-' for stdin)")
 	out := flag.String("out", "", "write cleaned responses here (empty: report only)")
 	verbose := flag.Bool("v", false, "print every flag, not just the summary")
@@ -40,7 +40,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// Read-only file: a close error after a successful read carries
+		// no data, so discard it explicitly.
+		defer func() { _ = f.Close() }()
 		src = f
 	}
 	responses, err := ins.ReadJSON(src)
@@ -81,11 +83,17 @@ func run() error {
 	}
 	if *out != "" {
 		cleaned := survey.DropHard(responses, qr)
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		// The close error is the write error for a buffered file: losing
+		// it could silently truncate the cleaned output.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing %s: %w", *out, cerr)
+			}
+		}()
 		if err := ins.WriteJSON(f, cleaned); err != nil {
 			return err
 		}

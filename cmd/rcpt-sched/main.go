@@ -48,7 +48,9 @@ func run() error {
 		if ferr != nil {
 			return ferr
 		}
-		defer f.Close()
+		// Read-only file: a close error after a successful parse carries
+		// no data, so discard it explicitly.
+		defer func() { _ = f.Close() }()
 		jobs, err = trace.ParseAccounting(f)
 	}
 	if err != nil {

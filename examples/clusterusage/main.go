@@ -25,7 +25,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	years := []int{2011, 2015, 2019, 2024}
 	root := rng.New(7)
 
@@ -94,7 +94,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A deferred close that drops its error can silently truncate the
+	// buffered SVG; fold it into the function result instead.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if err := report.LineChart(f, "Module adoption", xs, series, "year", "share of users", true); err != nil {
 		return err
 	}
@@ -124,7 +130,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer f2.Close()
+	defer func() {
+		if cerr := f2.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if err := report.CDFChart(f2, "Job-size CDF", cdfSeries, pointSets, "cores (log)"); err != nil {
 		return err
 	}

@@ -1,0 +1,263 @@
+// Package analysis is rcpt's self-contained static-analysis framework:
+// a module-aware package loader (load.go) plus a small analyzer API that
+// encodes the pipeline's reproducibility contract as machine-checkable
+// rules. It is intentionally std-lib only (go/ast, go/parser, go/types,
+// go/token) so the repo keeps its zero-dependency go.mod.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Findings. The driver (cmd/rcptlint) loads packages, runs every
+// registered analyzer, filters findings through //rcpt:allow suppression
+// comments, and renders the survivors as "file:line: [analyzer] message"
+// lines or JSON.
+//
+// Suppression: a comment of the form
+//
+//	//rcpt:allow <analyzer>[,<analyzer>...] [rationale]
+//
+// on the flagged line, or alone on the line directly above it, silences
+// those analyzers for that line. The rationale text is free-form and
+// ignored by the parser.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects the package held by the
+// Pass and reports findings via Pass.Reportf; it returns an error only
+// for internal failures (a clean package is a nil error and no reports).
+type Analyzer struct {
+	Name string // short lower-case identifier, used in output and //rcpt:allow
+	Doc  string // one-line description of the invariant the analyzer encodes
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported rule violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the canonical "file:line: [analyzer]
+// message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Run executes every analyzer over every package, applies //rcpt:allow
+// suppression, and returns the surviving findings sorted by file, line,
+// column, and analyzer. Duplicate (analyzer, position) reports are
+// collapsed to the first.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		allow := allowMap(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(f Finding) {
+				if !allow.suppressed(f) {
+					all = append(all, f)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	// Collapse exact duplicates (same analyzer, same position) that can
+	// arise when two rules of one analyzer match the same expression.
+	out := all[:0]
+	for i, f := range all {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.Analyzer == f.Analyzer && p.Pos.Filename == f.Pos.Filename &&
+				p.Pos.Line == f.Pos.Line && p.Pos.Column == f.Pos.Column {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// allowances maps file -> line -> set of analyzer names allowed there.
+type allowances map[string]map[int]map[string]bool
+
+// allowMap scans a package's comments for //rcpt:allow directives.
+func allowMap(pkg *Package) allowances {
+	al := allowances{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := al[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					al[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					byLine[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return al
+}
+
+// suppressed reports whether f is covered by an allow directive on its
+// own line or the line directly above.
+func (al allowances) suppressed(f Finding) bool {
+	byLine := al[f.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if byLine[line][f.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllow extracts analyzer names from an //rcpt:allow comment.
+// Accepted forms: "//rcpt:allow errdrop", "// rcpt:allow maporder,errdrop
+// stderr diagnostics". Name parsing stops at the first token that is not
+// a plain lower-case identifier, so a trailing rationale is ignored.
+func parseAllow(comment string) ([]string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "rcpt:allow") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "rcpt:allow"))
+	var names []string
+	for _, field := range strings.Fields(rest) {
+		stop := false
+		for _, name := range strings.Split(field, ",") {
+			if name == "" {
+				continue
+			}
+			if !isAnalyzerName(name) {
+				stop = true
+				break
+			}
+			names = append(names, name)
+		}
+		if stop {
+			break
+		}
+	}
+	return names, len(names) > 0
+}
+
+func isAnalyzerName(s string) bool {
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// --- shared type helpers used by the analyzers ---
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isRNGStream reports whether t is *rng.RNG (a deterministic stream from
+// internal/rng).
+func isRNGStream(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil && obj.Pkg().Name() == "rng"
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi].
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// useObj resolves an identifier to the variable it uses, or nil.
+func useObj(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}

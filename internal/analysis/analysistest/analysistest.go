@@ -1,0 +1,135 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their findings against inline `// want "regexp"` annotations, the same
+// convention the upstream go/analysis ecosystem uses:
+//
+//	sum += v // want `float accumulation`
+//
+// Each annotation must be matched by a finding on its line, and every
+// finding must be matched by an annotation; either mismatch fails the
+// test. Multiple quoted patterns on one line expect multiple findings.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package directory (relative to the calling
+// test's working directory, conventionally "testdata/src/<name>") and
+// checks analyzer a against the fixtures' want annotations. Suppression
+// comments are honored, so fixtures can also exercise //rcpt:allow.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDirs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("creating loader: %v", err)
+	}
+	pkgs, err := loader.Load(fixtureDirs...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixtureDirs, err)
+	}
+	wants := map[string][]*want{}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s does not type-check: %v", pkg.PkgPath, terr)
+		}
+		collectWants(t, pkg, wants)
+	}
+	if t.Failed() {
+		return
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected finding at %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no %s finding matched %q", key, a.Name, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func key(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+// collectWants parses `// want ...` comments into per-line expectations.
+func collectWants(t *testing.T, pkg *analysis.Package, wants map[string][]*want) {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, quoted := range wantRE.FindAllString(rest, -1) {
+					pattern, err := unquoteWant(quoted)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, quoted, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					k := key(pos.Filename, pos.Line)
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	sanityCheckWantFiles(t, pkg)
+}
+
+func unquoteWant(quoted string) (string, error) {
+	if strings.HasPrefix(quoted, "`") {
+		return strings.Trim(quoted, "`"), nil
+	}
+	return strconv.Unquote(quoted)
+}
+
+// sanityCheckWantFiles guards against fixtures whose files parsed but
+// contain no code (e.g. a stray empty file).
+func sanityCheckWantFiles(t *testing.T, pkg *analysis.Package) {
+	t.Helper()
+	for _, f := range pkg.Files {
+		if len(f.Decls) == 0 {
+			var name string
+			ast.Inspect(f, func(ast.Node) bool { return false })
+			name = pkg.Fset.Position(f.Pos()).Filename
+			t.Errorf("fixture file %s has no declarations", name)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose
+// pattern matches the message; it reports whether one was found.
+func claim(wants map[string][]*want, f analysis.Finding) bool {
+	for _, w := range wants[key(f.Pos.Filename, f.Pos.Line)] {
+		if !w.matched && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

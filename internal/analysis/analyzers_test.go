@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer is exercised against a fixture package holding `// want`
+// annotated true positives alongside negative cases that must stay
+// clean; analysistest fails on both missed and unexpected findings.
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "testdata/src/maporder")
+}
+
+func TestRNGPurity(t *testing.T) {
+	analysistest.Run(t, analysis.RNGPurity,
+		"testdata/src/rngpurity/core", "testdata/src/rngpurity/render")
+}
+
+func TestSplitShare(t *testing.T) {
+	analysistest.Run(t, analysis.SplitShare, "testdata/src/splitshare")
+}
+
+func TestFloatFold(t *testing.T) {
+	analysistest.Run(t, analysis.FloatFold, "testdata/src/floatfold")
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysis.ErrDrop,
+		"testdata/src/errdrop/report", "testdata/src/errdrop/other")
+}
+
+// TestSuppression drives //rcpt:allow handling end to end: annotated
+// lines are silenced (same line and line-above forms), unannotated ones
+// still report.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "testdata/src/suppress")
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range analysis.All() {
+		if got := analysis.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want the registered analyzer", a.Name, got)
+		}
+	}
+	if got := analysis.ByName("nosuch"); got != nil {
+		t.Errorf("ByName(nosuch) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spawnerMethods name the call sinks that execute a function literal
+// concurrently with its siblings: goroutine pools, stage graphs.
+var spawnerMethods = map[string]bool{
+	"Submit": true, // parallel.Pool
+	"Add":    true, // parallel.Graph stages
+	"Stage":  true,
+	"Go":     true,
+}
+
+// FloatFold flags float reductions whose accumulation order is decided
+// by goroutine completion rather than by data: accumulating into an
+// outer float while ranging over a channel, and compound float updates
+// (or float-slice appends) to captured variables inside concurrently
+// executed closures — the "shared accumulator guarded only by a mutex"
+// pattern. Float addition is not associative, so these fold to different
+// bits run-to-run even when every partial value is identical. The
+// deterministic alternative is parallel.Fold over index-ordered chunk
+// partials.
+var FloatFold = &Analyzer{
+	Name: "floatfold",
+	Doc:  "float reductions must fold partials in a fixed order, not goroutine completion order",
+	Run:  runFloatFold,
+}
+
+func runFloatFold(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					checkOrderSensitiveBody(pass, n.Body, n.Pos(), n.End(),
+						"while ranging over a channel: receive order is completion order")
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkOrderSensitiveBody(pass, lit.Body, lit.Pos(), lit.End(),
+						"inside a goroutine: update order is completion order")
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !spawnerMethods[sel.Sel.Name] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkOrderSensitiveBody(pass, lit.Body, lit.Pos(), lit.End(),
+							"inside a concurrently executed closure: update order is completion order")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkOrderSensitiveBody reports float accumulation into, and
+// float-slice appends to, variables declared outside [lo, hi].
+func checkOrderSensitiveBody(pass *Pass, body *ast.BlockStmt, lo, hi token.Pos, context string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Don't descend into nested function literals here; if they are
+		// themselves spawned they get their own visit from runFloatFold.
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != lo {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Lhs) != 1 {
+				return true
+			}
+			if v := outerPlainVar(pass, as.Lhs[0], lo, hi); v != nil && isFloat(v.Type()) {
+				pass.Reportf(as.Pos(),
+					"float accumulation into shared %q %s; fold index-ordered partials instead", v.Name(), context)
+			}
+		case token.ASSIGN:
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				v := outerPlainVar(pass, lhs, lo, hi)
+				if v == nil {
+					continue
+				}
+				if isSelfAppend(pass, as.Rhs[i], v) && floatElemSlice(v.Type()) {
+					pass.Reportf(as.Pos(),
+						"append of float values to shared %q %s; collect per-worker partials and merge in index order", v.Name(), context)
+				} else if isFloat(v.Type()) && isSelfArithmetic(pass, as.Rhs[i], v) {
+					pass.Reportf(as.Pos(),
+						"float accumulation into shared %q %s; fold index-ordered partials instead", v.Name(), context)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// outerPlainVar resolves lhs to a variable declared outside [lo, hi].
+func outerPlainVar(pass *Pass, lhs ast.Expr, lo, hi token.Pos) *types.Var {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := useObj(pass.Info, id)
+	if v == nil || declaredWithin(v, lo, hi) {
+		return nil
+	}
+	return v
+}
+
+// floatElemSlice reports whether t is a slice of floats.
+func floatElemSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isFloat(s.Elem())
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// JSONFinding is the stable wire form of one finding. Downstream tooling
+// (CI annotators, editors) may rely on these field names; the golden
+// test in json_test.go pins the shape.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the top-level -json document.
+type JSONReport struct {
+	Count    int           `json:"count"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// WriteJSON renders findings as an indented JSONReport. File names are
+// rewritten relative to base when base is non-empty (and the rewrite
+// succeeds), so output is stable across checkouts.
+func WriteJSON(w io.Writer, findings []Finding, base string) error {
+	rep := JSONReport{Count: len(findings), Findings: make([]JSONFinding, 0, len(findings))}
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File:     file,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,62 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestJSONGolden pins the rcptlint -json output shape byte-for-byte so
+// downstream tooling (CI annotators, editors) can depend on it. The
+// fixture has one errdrop and one maporder violation; file names are
+// rewritten relative to the module root so the golden file is stable
+// across checkouts.
+func TestJSONGolden(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("testdata/src/golden")
+	if err != nil {
+		t.Fatalf("Load golden fixture: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Fatalf("golden fixture does not type-check: %v", terr)
+		}
+	}
+	findings, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("golden fixture produced no findings")
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, findings, loader.ModuleRoot); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	const goldenPath = "testdata/rcptlint.golden.json"
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s: %v (regenerate by writing the got output below)", goldenPath, err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output drifted from %s.\ngot:\n%s\nwant:\n%s", goldenPath, buf.Bytes(), want)
+	}
+}
+
+// TestJSONEmpty checks the clean-tree shape: count 0 and an empty (not
+// null) findings array.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.WriteJSON(&buf, nil, ""); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want := "{\n  \"count\": 0,\n  \"findings\": []\n}\n"
+	if buf.String() != want {
+		t.Errorf("empty report = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	PkgPath string // import path within the module (e.g. "repro/internal/core")
+	Dir     string // absolute directory
+	Fset    *token.FileSet
+	Files   []*ast.File // non-test files, sorted by file name
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors collects type-checker diagnostics. A package that fails
+	// to type-check is still returned (with partial type information) so
+	// the driver can surface the diagnostics instead of panicking, but
+	// analyzers should not be trusted on it.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of a single Go module without
+// invoking the go tool. Module-internal imports are resolved against the
+// module root recursively; standard-library imports are type-checked
+// from GOROOT source via go/importer. Loading is memoized per import
+// path, and the entire loader shares one FileSet so positions compose.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string // absolute directory containing go.mod
+	ModulePath string // module path declared in go.mod
+	baseDir    string // directory relative patterns are resolved against
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader finds the enclosing module of dir (walking up to the
+// go.mod) and returns a loader whose relative patterns resolve against
+// dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: resolving %s: %w", dir, err)
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		baseDir:    abs,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}
+
+// Load resolves package patterns and returns the matched packages sorted
+// by import path. Supported patterns: "./...", "./dir/...", "./dir", and
+// plain directory paths, all relative to the directory NewLoader was
+// given. Directories named testdata or vendor, and hidden or
+// underscore-prefixed directories, are skipped by "..." expansion (but
+// can still be named directly, which is how fixture tests load them).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirSet := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !dirSet[d] {
+			dirSet[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.baseDir, dir)
+		}
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q: not a directory: %s", pat, dir)
+		}
+		if !rec {
+			add(dir)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: walking %s: %w", dir, err)
+		}
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && buildableGoFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildableGoFile reports whether name is a non-test Go source file that
+// the loader should include.
+func buildableGoFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// loadDir loads the package in an absolute directory.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadPath(path)
+}
+
+// loadPath loads (or returns the memoized) package for a module-internal
+// import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var fileNames []string
+	for _, e := range entries {
+		if !e.IsDir() && buildableGoFile(e.Name()) {
+			fileNames = append(fileNames, e.Name())
+		}
+	}
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(fileNames)
+
+	pkg := &Package{PkgPath: path, Dir: dir, Fset: l.Fset}
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(l.importDep),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns an error when TypeErrors is non-empty; the package is
+	// still populated with whatever type information survived, which is
+	// exactly the graceful-degradation behavior we want.
+	tpkg, _ := conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importDep resolves one import during type checking: module-internal
+// paths recurse through the loader, everything else goes to the
+// GOROOT source importer.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("analysis: dependency %s has type errors: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

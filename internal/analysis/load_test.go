@@ -1,0 +1,110 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestLoadWholeModule loads and type-checks every package in the repo
+// the way cmd/rcptlint does, proving the loader resolves module-internal
+// and standard-library imports without the go tool.
+func TestLoadWholeModule(t *testing.T) {
+	loader, err := analysis.NewLoader("../..")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if loader.ModulePath != "repro" {
+		t.Fatalf("module path = %q, want repro", loader.ModulePath)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded %d packages, want >= 15 (repo has root, cmd/*, examples/*, internal/*)", len(pkgs))
+	}
+	byPath := map[string]*analysis.Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+		for _, terr := range p.TypeErrors {
+			t.Errorf("%s: unexpected type error: %v", p.PkgPath, terr)
+		}
+	}
+	for _, want := range []string{"repro", "repro/internal/core", "repro/internal/rng", "repro/cmd/rcptlint"} {
+		if byPath[want] == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	if core := byPath["repro/internal/core"]; core != nil {
+		if core.Types == nil || core.Types.Name() != "core" {
+			t.Errorf("core package not type-checked: %+v", core.Types)
+		}
+		if len(core.Files) == 0 {
+			t.Errorf("core package has no files")
+		}
+	}
+	// "..." expansion must not descend into fixture trees.
+	for path := range byPath {
+		if strings.Contains(path, "testdata") {
+			t.Errorf("Load ./... picked up fixture package %s", path)
+		}
+	}
+}
+
+// TestLoadTypeError loads a deliberately broken fixture: the loader must
+// return the package with diagnostics attached, not panic or refuse.
+func TestLoadTypeError(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("testdata/src/broken")
+	if err != nil {
+		t.Fatalf("Load broken fixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatalf("broken fixture produced no type errors")
+	}
+	found := false
+	for _, terr := range pkg.TypeErrors {
+		if strings.Contains(terr.Error(), "cannot use") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics %v do not mention the int/string mismatch", pkg.TypeErrors)
+	}
+}
+
+// TestLoadBadPattern covers the not-a-directory error path.
+func TestLoadBadPattern(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := loader.Load("./no/such/dir"); err == nil {
+		t.Fatalf("Load of missing directory succeeded, want error")
+	}
+}
+
+// TestLoadMemoized checks that two patterns resolving to one package
+// yield one Package value, so analyzers never see duplicates.
+func TestLoadMemoized(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("testdata/src/maporder", "testdata/src/maporder")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("duplicate pattern loaded %d packages, want 1", len(pkgs))
+	}
+}

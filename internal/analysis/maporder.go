@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body either accumulates into a
+// floating-point variable declared outside the loop or appends to a
+// slice declared outside the loop. Go randomizes map iteration order, so
+// both patterns make the result depend on the iteration schedule: float
+// addition is not associative, and an escaping slice keeps the visit
+// order. This is the exact class of the jainFairness bug PR 1's
+// worker-count equivalence test exposed. The fix is to collect and sort
+// the keys, then range over the sorted slice — the standard
+// collect-then-sort idiom (append inside the loop, sort.Strings/Slice
+// right after) erases the order and is recognized as clean.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map must not do order-sensitive accumulation (float folds, unsorted escaping appends)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		sorted := sortCallPositions(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRangeBody(pass, rs, sorted)
+			return true
+		})
+	}
+	return nil
+}
+
+// sortCallPositions maps each variable to the positions where a
+// sort/slices call reorders it (sort.Strings(v), sort.Slice(v, ...),
+// slices.SortFunc(v, ...), including through a one-level conversion like
+// sort.Sort(byName(v))).
+func sortCallPositions(pass *Pass, f *ast.File) map[*types.Var][]token.Pos {
+	out := map[*types.Var][]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+		if !ok || !isSortFunc(pkgName.Imported().Path(), sel.Sel.Name) {
+			return true
+		}
+		arg := call.Args[0]
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			arg = inner.Args[0]
+		}
+		if argID, ok := arg.(*ast.Ident); ok {
+			if v := useObj(pass.Info, argID); v != nil {
+				out[v] = append(out[v], call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isSortFunc(pkgPath, name string) bool {
+	switch pkgPath {
+	case "sort":
+		switch name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return name == "Sort" || name == "SortFunc" || name == "SortStableFunc"
+	}
+	return false
+}
+
+// sortedAfter reports whether v is passed to a sort call somewhere after
+// pos — the collect-then-sort idiom.
+func sortedAfter(sorted map[*types.Var][]token.Pos, v *types.Var, pos token.Pos) bool {
+	for _, p := range sorted[v] {
+		if p > pos {
+			return true
+		}
+	}
+	return false
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, sorted map[*types.Var][]token.Pos) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if len(as.Lhs) != 1 {
+				return true
+			}
+			if v := escapingAccumulator(pass, as.Lhs[0], rs); v != nil && isFloat(v.Type()) {
+				pass.Reportf(as.Pos(),
+					"float accumulation into %q inside range over map: result depends on map iteration order; iterate over sorted keys", v.Name())
+			}
+		case token.ASSIGN:
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				v := escapingAccumulator(pass, lhs, rs)
+				if v == nil {
+					continue
+				}
+				if isSelfAppend(pass, as.Rhs[i], v) {
+					if !sortedAfter(sorted, v, rs.End()) {
+						pass.Reportf(as.Pos(),
+							"append to %q inside range over map: element order follows map iteration order; sort %q afterwards or iterate over sorted keys", v.Name(), v.Name())
+					}
+				} else if isFloat(v.Type()) && isSelfArithmetic(pass, as.Rhs[i], v) {
+					pass.Reportf(as.Pos(),
+						"float accumulation into %q inside range over map: result depends on map iteration order; iterate over sorted keys", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapingAccumulator resolves lhs to a plain variable declared outside
+// the range statement, i.e. one that survives the loop. Indexed or
+// field targets (m[k] = ..., s.f += ...) are keyed per element and left
+// alone.
+func escapingAccumulator(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt) *types.Var {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := useObj(pass.Info, id)
+	if v == nil || declaredWithin(v, rs.Pos(), rs.End()) {
+		return nil
+	}
+	return v
+}
+
+// isSelfAppend reports whether rhs is append(v, ...).
+func isSelfAppend(pass *Pass, rhs ast.Expr, v *types.Var) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && useObj(pass.Info, arg) == v
+}
+
+// isSelfArithmetic reports whether rhs is a binary +,-,*,/ expression
+// with v as one operand (the `x = x + y` spelling of accumulation).
+func isSelfArithmetic(pass *Pass, rhs ast.Expr, v *types.Var) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	for _, side := range [2]ast.Expr{bin.X, bin.Y} {
+		if id, ok := side.(*ast.Ident); ok && useObj(pass.Info, id) == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+package analysis
+
+// All returns the full analyzer suite in a stable order. cmd/rcptlint
+// runs exactly this set; fixture tests exercise each member alone.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ErrDrop,
+		FloatFold,
+		MapOrder,
+		RNGPurity,
+		SplitShare,
+	}
+}
+
+// ByName resolves an analyzer by its Name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// pipelinePackages are the deterministic pipeline packages: everything a
+// study run's artifacts are computed from. Inside them, all randomness
+// must come from internal/rng streams and all "now"-like inputs must be
+// injected through configuration, or a run stops being a pure function
+// of its seed.
+var pipelinePackages = map[string]bool{
+	"core":       true,
+	"sched":      true,
+	"trace":      true,
+	"population": true,
+	"survey":     true,
+	"weighting":  true,
+	"trend":      true,
+	"growth":     true,
+	"modlog":     true,
+	"stats":      true,
+}
+
+// forbiddenCalls maps package import path -> function names whose call
+// sites smuggle ambient nondeterminism into a pipeline package.
+var forbiddenCalls = map[string]map[string]bool{
+	"time": {"Now": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true},
+}
+
+// RNGPurity forbids ambient nondeterminism inside the deterministic
+// pipeline packages: importing math/rand (v1 or v2), and calling
+// time.Now or reading the environment. Only internal/rng streams, split
+// by name before fan-out, are legal randomness sources there.
+var RNGPurity = &Analyzer{
+	Name: "rngpurity",
+	Doc:  "pipeline packages must draw randomness only from internal/rng and take time/env via config",
+	Run:  runRNGPurity,
+}
+
+func runRNGPurity(pass *Pass) error {
+	if pass.Pkg == nil || !pipelinePackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"deterministic pipeline package %q imports %s; use internal/rng streams instead", pass.Pkg.Name(), path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if names := forbiddenCalls[pkgName.Imported().Path()]; names[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"call to %s.%s in deterministic pipeline package %q; inject the value through config so runs stay a pure function of the seed",
+					pkgName.Imported().Path(), sel.Sel.Name, pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

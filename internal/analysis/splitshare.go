@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SplitShare flags an *rng.RNG stream that is captured by more than one
+// closure (or passed into more than one `go` call) within a function.
+// Such closures typically become parallel.Graph stages or pool tasks,
+// and an RNG stream is single-consumer state: two concurrent users race,
+// and even without a race the interleaving perturbs the stream. The
+// pipeline's convention is to derive one child per consumer with
+// SplitNamed *before* the fan-out; captures that only call SplitNamed
+// are therefore allowed (it reads but never advances the parent).
+var SplitShare = &Analyzer{
+	Name: "splitshare",
+	Doc:  "an rng stream must not be shared across closures/stages; derive SplitNamed children instead",
+	Run:  runSplitShare,
+}
+
+func runSplitShare(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncForSharedStreams(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// concurrencyUnit is one potential concurrent consumer: an outermost
+// function literal, or the call of a `go` statement that invokes a named
+// function (its arguments escape to another goroutine).
+type concurrencyUnit struct {
+	node ast.Node
+}
+
+// streamCapture accumulates, for one RNG variable, which units reference
+// it and where the order-sensitive ("consuming") uses are.
+type streamCapture struct {
+	obj       *types.Var
+	units     map[ast.Node]bool
+	consuming []token.Pos // positions of non-SplitNamed uses, in source order
+}
+
+func checkFuncForSharedStreams(pass *Pass, body *ast.BlockStmt) {
+	var units []concurrencyUnit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			units = append(units, concurrencyUnit{node: n})
+			return false // nested literals count as part of this unit
+		case *ast.GoStmt:
+			if _, isLit := n.Call.Fun.(*ast.FuncLit); !isLit {
+				units = append(units, concurrencyUnit{node: n.Call})
+				return false
+			}
+		}
+		return true
+	})
+	if len(units) < 2 {
+		return
+	}
+
+	caps := map[*types.Var]*streamCapture{}
+	for _, u := range units {
+		// Identify idents that appear only as the receiver of a
+		// SplitNamed call; those are derivation-only uses.
+		derivation := map[*ast.Ident]bool{}
+		ast.Inspect(u.node, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "SplitNamed" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				derivation[id] = true
+			}
+			return true
+		})
+		lo, hi := u.node.Pos(), u.node.End()
+		ast.Inspect(u.node, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v := useObj(pass.Info, id)
+			if v == nil || !isRNGStream(v.Type()) || declaredWithin(v, lo, hi) {
+				return true
+			}
+			c := caps[v]
+			if c == nil {
+				c = &streamCapture{obj: v, units: map[ast.Node]bool{}}
+				caps[v] = c
+			}
+			c.units[u.node] = true
+			if !derivation[id] {
+				c.consuming = append(c.consuming, id.Pos())
+			}
+			return true
+		})
+	}
+
+	shared := make([]*streamCapture, 0, len(caps))
+	for _, c := range caps {
+		if len(c.units) >= 2 && len(c.consuming) > 0 {
+			shared = append(shared, c)
+		}
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i].obj.Pos() < shared[j].obj.Pos() })
+	for _, c := range shared {
+		sort.Slice(c.consuming, func(i, j int) bool { return c.consuming[i] < c.consuming[j] })
+		pass.Reportf(c.consuming[0],
+			"rng stream %q is captured by %d closures/goroutines; derive a child per consumer with SplitNamed before the fan-out",
+			c.obj.Name(), len(c.units))
+	}
+}

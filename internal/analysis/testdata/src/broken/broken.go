@@ -1,0 +1,9 @@
+// Fixture for loader error handling: this package deliberately fails to
+// type-check, and the loader must surface a diagnostic instead of
+// panicking.
+package broken
+
+func Mismatched() int {
+	var n int = "not an int"
+	return n
+}

@@ -1,0 +1,15 @@
+// Fixture for the errdrop analyzer, negative case: package "other" is
+// neither a report renderer nor a CLI, so it is out of scope even when
+// it drops a Close error.
+package other
+
+import "os"
+
+func Touch(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

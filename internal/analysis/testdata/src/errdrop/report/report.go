@@ -1,0 +1,68 @@
+// Fixture for the errdrop analyzer: this package is named "report", so
+// silently dropped writer/closer errors are findings.
+package report
+
+import (
+	"io"
+	"os"
+	"strings"
+)
+
+// writeSilently drops every write-path error on the floor.
+func writeSilently(path, body string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	io.WriteString(f, body) // want `error from io.WriteString is discarded`
+	f.Close()               // want `error from \*os.File.Close is discarded`
+}
+
+// deferredClose is the classic buffered-write data loss: the deferred
+// Close error vanishes.
+func deferredClose(path, body string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `error from \*os.File.Close is discarded`
+	_, err = io.WriteString(f, body)
+	return err
+}
+
+// copySilently discards io.Copy's error.
+func copySilently(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want `error from io.Copy is discarded`
+}
+
+// handled propagates everything: the shape the package should have.
+func handled(path, body string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = io.WriteString(f, body)
+	return err
+}
+
+// builderWrites hit an error-free sink; strings.Builder never fails, so
+// discarding its results is idiomatic and clean.
+func builderWrites(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// explicitDiscard is visible at the call site, which is the point: the
+// reader can see the decision, so the analyzer leaves it alone.
+func explicitDiscard(f *os.File) {
+	_ = f.Close()
+}

@@ -1,0 +1,20 @@
+// Fixture for the rcptlint -json golden test: a main package (so
+// errdrop applies) with one errdrop and one maporder violation, pinned
+// so the JSON output shape stays stable for downstream tooling.
+package main
+
+import "os"
+
+func main() {
+	f, err := os.Create("scratch.txt")
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	shares := map[string]float64{"cpu": 0.6, "gpu": 0.4}
+	total := 0.0
+	for _, v := range shares {
+		total += v
+	}
+	_ = total
+}

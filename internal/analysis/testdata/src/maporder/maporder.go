@@ -1,0 +1,87 @@
+// Fixture for the maporder analyzer: order-sensitive work inside range
+// over a map. `// want` lines are true positives; everything else must
+// stay clean.
+package maporder
+
+import "sort"
+
+// meanShare folds floats in map iteration order — the jainFairness bug.
+func meanShare(shares map[string]float64) float64 {
+	total := 0.0
+	for _, v := range shares {
+		total += v // want `float accumulation into "total" inside range over map`
+	}
+	return total / float64(len(shares))
+}
+
+// plusSpelling catches the x = x + v spelling of the same fold.
+func plusSpelling(shares map[string]float64) float64 {
+	total := 0.0
+	for _, v := range shares {
+		total = total + v // want `float accumulation into "total" inside range over map`
+	}
+	return total
+}
+
+// collectUnsorted lets map iteration order escape through a slice.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map`
+	}
+	return keys
+}
+
+// collectSorted is the blessed idiom: the sort right after the loop
+// erases the iteration order, so it must not be flagged.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSortSlice is the comparator variant of the blessed idiom.
+func collectSortSlice(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
+	return keys
+}
+
+// intCount is exact integer arithmetic: commutative, so order-free.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyedWrites write through the key, which is deterministic per entry.
+func keyedWrites(m map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// localAccumulator is reset every iteration; nothing escapes.
+func localAccumulator(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		if s > 1 {
+			n++
+		}
+	}
+	return n
+}

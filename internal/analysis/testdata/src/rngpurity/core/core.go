@@ -1,0 +1,31 @@
+// Fixture for the rngpurity analyzer: this package is named "core", so
+// it is treated as a deterministic pipeline package.
+package core
+
+import (
+	"math/rand" // want `deterministic pipeline package "core" imports math/rand`
+	"os"
+	"time"
+)
+
+// Timeout uses the time package legitimately: durations are fine, only
+// ambient "now" reads are not.
+const Timeout = 5 * time.Second
+
+func stamp() int64 {
+	return time.Now().Unix() // want `call to time.Now in deterministic pipeline package "core"`
+}
+
+func ambientSeed() string {
+	return os.Getenv("RCPT_SEED") // want `call to os.Getenv in deterministic pipeline package "core"`
+}
+
+func draw() float64 {
+	return rand.Float64()
+}
+
+// hostname is allowed: only env reads are ambient inputs the analyzer
+// polices (file IO is the caller's explicit choice).
+func hostname() (string, error) {
+	return os.Hostname()
+}

@@ -1,0 +1,16 @@
+// Fixture for the rngpurity analyzer, negative case: "render" is not a
+// pipeline package, so wall-clock reads and env lookups are fine here.
+package render
+
+import (
+	"os"
+	"time"
+)
+
+func Stamp() string {
+	return time.Now().Format(time.RFC3339)
+}
+
+func Theme() string {
+	return os.Getenv("RCPT_THEME")
+}

@@ -1,0 +1,90 @@
+// Fixture for the splitshare analyzer: one *rng.RNG stream consumed by
+// more than one closure or goroutine.
+package splitshare
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// sharedAcrossStages captures one stream in two stage closures: the
+// stage schedule decides who draws first, so output depends on workers.
+func sharedAcrossStages(seed uint64) error {
+	r := rng.New(seed)
+	var a, b float64
+	g := parallel.NewGraph()
+	g.Add("a", func() error {
+		a = r.Float64() // want `rng stream "r" is captured by 2 closures/goroutines`
+		return nil
+	})
+	g.Add("b", func() error {
+		b = r.Float64()
+		return nil
+	})
+	if err := g.Run(0); err != nil {
+		return err
+	}
+	_, _ = a, b
+	return nil
+}
+
+// sharedAcrossGoroutines passes one stream into two named-function
+// goroutines; same race, different spelling.
+func sharedAcrossGoroutines(seed uint64) {
+	r := rng.New(seed)
+	go consume(r) // want `rng stream "r" is captured by 2 closures/goroutines`
+	go consume(r)
+}
+
+func consume(r *rng.RNG) { r.Uint64() }
+
+// splitPerStage is the blessed convention: each consumer gets its own
+// SplitNamed child before the fan-out, so captures are distinct streams.
+func splitPerStage(seed uint64) error {
+	root := rng.New(seed)
+	ra := root.SplitNamed("a")
+	rb := root.SplitNamed("b")
+	var a, b float64
+	g := parallel.NewGraph()
+	g.Add("a", func() error {
+		a = ra.Float64()
+		return nil
+	})
+	g.Add("b", func() error {
+		b = rb.Float64()
+		return nil
+	})
+	if err := g.Run(0); err != nil {
+		return err
+	}
+	_, _ = a, b
+	return nil
+}
+
+// derivationOnly captures the parent in both closures but only to derive
+// named children; SplitNamed never advances the parent, so this is safe.
+func derivationOnly(seed uint64) error {
+	root := rng.New(seed)
+	var a, b float64
+	g := parallel.NewGraph()
+	g.Add("a", func() error {
+		a = root.SplitNamed("a").Float64()
+		return nil
+	})
+	g.Add("b", func() error {
+		b = root.SplitNamed("b").Float64()
+		return nil
+	})
+	if err := g.Run(0); err != nil {
+		return err
+	}
+	_, _ = a, b
+	return nil
+}
+
+// singleConsumer is one closure drawing from one stream: fine.
+func singleConsumer(seed uint64) float64 {
+	r := rng.New(seed)
+	f := func() float64 { return r.Float64() }
+	return f()
+}

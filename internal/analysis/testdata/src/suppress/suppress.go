@@ -1,0 +1,19 @@
+// Fixture for //rcpt:allow suppression handling: the first two folds are
+// annotated (same line, line above) and must be silenced; the third is
+// not and must still be reported.
+package suppress
+
+func sums(m map[string]float64) (float64, float64, float64) {
+	var a, b, c float64
+	for _, v := range m {
+		a += v //rcpt:allow maporder fixture: deliberately tolerated
+	}
+	for _, v := range m {
+		//rcpt:allow maporder
+		b += v
+	}
+	for _, v := range m {
+		c += v // want `float accumulation into "c" inside range over map`
+	}
+	return a, b, c
+}

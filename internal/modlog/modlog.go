@@ -173,8 +173,17 @@ func (m *GeneratorModel) Validate() error {
 	if len(m.ModuleShare) == 0 {
 		return errors.New("modlog: empty module share")
 	}
+	// Fold weights in sorted-name order so the zero-sum check below is
+	// not at the mercy of map iteration order (float addition is not
+	// associative; see the maporder lint rule).
+	names := make([]string, 0, len(m.ModuleShare))
+	for name := range m.ModuleShare {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	sum := 0.0
-	for name, w := range m.ModuleShare {
+	for _, name := range names {
+		w := m.ModuleShare[name]
 		if w < 0 {
 			return fmt.Errorf("modlog: module %q has negative weight", name)
 		}

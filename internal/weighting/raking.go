@@ -30,8 +30,17 @@ func (m Margin) validate() error {
 	if len(m.Target) < 2 {
 		return fmt.Errorf("weighting: margin %q needs >= 2 categories", m.QuestionID)
 	}
+	// Sum shares in sorted-key order: float addition is not associative,
+	// so folding in map iteration order would make the tolerance check
+	// below depend on the run (the maporder lint rule).
+	cats := make([]string, 0, len(m.Target))
+	for cat := range m.Target {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
 	sum := 0.0
-	for cat, share := range m.Target {
+	for _, cat := range cats {
+		share := m.Target[cat]
 		if share < 0 {
 			return fmt.Errorf("weighting: margin %q category %q has negative share %g", m.QuestionID, cat, share)
 		}
