@@ -1,0 +1,132 @@
+// rcpt-serve runs the study apparatus as a long-running HTTP service:
+// tables and figures off a cached deterministic pipeline run,
+// parameterized runs, survey-response validation, on-demand statistics,
+// and Prometheus metrics.
+//
+// Usage:
+//
+//	rcpt-serve [-addr :8080] [-seed 42] [-n2011 200] [-n2024 600]
+//	           [-years 2011,2013,...] [-cache-mb 64] [-warm]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: readiness flips to
+// 503, in-flight requests finish (bounded by -drain-timeout), and the
+// process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Uint64("seed", 42, "base study seed")
+	n2011 := flag.Int("n2011", 200, "base 2011 cohort size")
+	n2024 := flag.Int("n2024", 600, "base 2024 cohort size")
+	years := flag.String("years", "", "comma-separated trace years (default: the standard study years)")
+	workers := flag.Int("workers", 0, "pipeline workers per run (0 = GOMAXPROCS)")
+	cacheMB := flag.Int64("cache-mb", 64, "rendered-artifact cache bound in MiB")
+	runCache := flag.Int("run-cache", 4, "completed runs retained for re-rendering")
+	maxCohort := flag.Int("max-cohort", 20000, "per-cohort size cap for POST /v1/run")
+	renderLimit := flag.Int("max-render", 32, "concurrent render requests")
+	runLimit := flag.Int("max-runs", 2, "concurrent pipeline runs")
+	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "max time a request waits for capacity")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	warm := flag.Bool("warm", false, "run the base pipeline before accepting traffic")
+	flag.Parse()
+
+	cfg := rcpt.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.N2011 = *n2011
+	cfg.N2024 = *n2024
+	cfg.Workers = *workers
+	if *years != "" {
+		ys, err := parseYears(*years)
+		if err != nil {
+			return err
+		}
+		cfg.TraceYears = ys
+		cfg.SimYear = ys[len(ys)-1]
+	}
+
+	srv, err := serve.New(serve.Options{
+		BaseConfig:      cfg,
+		CacheBytes:      *cacheMB << 20,
+		RunCacheEntries: *runCache,
+		MaxCohort:       *maxCohort,
+		RenderLimit:     *renderLimit,
+		RunLimit:        *runLimit,
+		QueueTimeout:    *queueTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *warm {
+		fmt.Fprintf(os.Stderr, "rcpt-serve: warming base run %s\n", srv.BaseFingerprint())
+		if err := srv.Warm(); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rcpt-serve: listening on %s (base config %s)\n",
+		ln.Addr(), srv.BaseFingerprint()[:12])
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener died before any signal: that is a hard failure.
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "rcpt-serve: draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Both error paths are propagated: a failed Shutdown (e.g. the drain
+	// deadline expired with requests still in flight) and any error the
+	// serve loop surfaced while winding down.
+	return errors.Join(srv.Shutdown(drainCtx), <-serveErr)
+}
+
+// parseYears parses "-years 2011,2013" into a sorted-as-given int list.
+func parseYears(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	years := make([]int, 0, len(parts))
+	for _, p := range parts {
+		y, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad year %q in -years", p)
+		}
+		years = append(years, y)
+	}
+	return years, nil
+}

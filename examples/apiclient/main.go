@@ -1,0 +1,262 @@
+// Apiclient: drive the rcpt-serve HTTP API end to end. By default it
+// starts an in-process server on an ephemeral port (with a small, fast
+// configuration) so the example is self-contained; point -addr at a
+// running `rcpt-serve` to exercise a real daemon instead.
+//
+// The walk-through: list experiments, fetch a table as JSON twice to
+// demonstrate the ETag/304 round-trip, launch a parameterized run and
+// fetch a table from it, validate survey responses, and call a stats
+// endpoint.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/population"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "", "address of a running rcpt-serve (empty: start one in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		var shutdown func() error
+		var err error
+		base, shutdown, err = startLocal()
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := shutdown(); err != nil {
+				log.Printf("shutdown: %v", err)
+			}
+		}()
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// 1. What does this server expose?
+	var experiments []struct {
+		ID, Title, Kind, Path string
+	}
+	if err := getJSON(client, base+"/v1/experiments", &experiments); err != nil {
+		return err
+	}
+	fmt.Printf("server exposes %d experiments; first few:\n", len(experiments))
+	for _, e := range experiments[:min(3, len(experiments))] {
+		fmt.Printf("  %-4s %-6s %s\n", e.ID, e.Kind, e.Title)
+	}
+
+	// 2. A table as JSON — then again with If-None-Match to show the
+	// cache answering 304 from the content-hash ETag.
+	resp, err := client.Get(base + "/v1/tables/T5?format=json")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/tables/T5: %s: %s", resp.Status, body)
+	}
+	etag := resp.Header.Get("ETag")
+	fmt.Printf("\nT5 (%d bytes, ETag %.18s…):\n%s", len(body), etag, firstLines(body, 3))
+
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/tables/T5?format=json", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	if err := resp2.Body.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("revalidation with If-None-Match: %s\n", resp2.Status)
+
+	// 3. A parameterized run: different seed, smaller cohorts. The
+	// response carries the run's fingerprint; tables of that run are
+	// addressable via ?run=<fingerprint>.
+	var summary struct {
+		Fingerprint string
+		Scheduler   struct {
+			Policy   string
+			MeanWait float64
+			P95Wait  float64
+		}
+	}
+	runReq := `{"seed": 7, "n2011": 40, "n2024": 60}`
+	if err := postJSON(client, base+"/v1/run", runReq, &summary); err != nil {
+		return err
+	}
+	fmt.Printf("\nrun %.12s…: policy=%s meanWait=%.1f p95Wait=%.1f\n",
+		summary.Fingerprint, summary.Scheduler.Policy,
+		summary.Scheduler.MeanWait, summary.Scheduler.P95Wait)
+
+	var table struct {
+		Title string
+		Rows  [][]string
+	}
+	if err := getJSON(client, base+"/v1/tables/T1?run="+summary.Fingerprint, &table); err != nil {
+		return err
+	}
+	fmt.Printf("T1 of that run: %q, %d rows\n", table.Title, len(table.Rows))
+
+	// 4. Survey-response validation: two synthesized well-formed
+	// responses plus one hand-broken line (an off-instrument field
+	// choice, and every required question unanswered).
+	ndjson, err := buildResponses()
+	if err != nil {
+		return err
+	}
+	var report struct {
+		Received, Valid, Invalid int
+		Results                  []struct {
+			ID     string
+			Valid  bool
+			Errors []struct{ Question, Reason string }
+		}
+	}
+	if err := postJSON(client, base+"/v1/responses", ndjson, &report); err != nil {
+		return err
+	}
+	fmt.Printf("\nvalidated %d responses: %d valid, %d invalid\n",
+		report.Received, report.Valid, report.Invalid)
+	for _, res := range report.Results {
+		for _, e := range res.Errors[:min(2, len(res.Errors))] {
+			fmt.Printf("  %s/%s: %s\n", res.ID, e.Question, e.Reason)
+		}
+	}
+
+	// 5. Stats on demand: the paper's Python-vs-MATLAB shift as a 2×2.
+	var chi struct {
+		Stat, P, CramerV float64
+		DF               int
+	}
+	if err := getJSON(client, base+"/v1/stats/chisquare?rows=2&cols=2&counts=30,45,82,20", &chi); err != nil {
+		return err
+	}
+	fmt.Printf("\nchi-square(30,45 / 82,20): stat=%.2f df=%d p=%.4g V=%.3f\n",
+		chi.Stat, chi.DF, chi.P, chi.CramerV)
+	return nil
+}
+
+// buildResponses synthesizes two valid 2024 responses with the study's
+// population generator, serializes them as NDJSON, and appends one
+// deliberately broken line.
+func buildResponses() (string, error) {
+	gen, err := population.NewGenerator(population.Model2024())
+	if err != nil {
+		return "", err
+	}
+	responses, err := gen.GenerateRespondents(rng.New(11), 2)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := gen.Instrument().WriteJSON(&buf, responses); err != nil {
+		return "", err
+	}
+	buf.WriteString(`{"id":"r-bad","cohort":2024,"weight":1,"answers":{"field":{"kind":"single","choice":"astrology"}}}` + "\n")
+	return buf.String(), nil
+}
+
+// startLocal boots an in-process server on an ephemeral port with a
+// deliberately small configuration so the example runs in seconds.
+func startLocal() (addr string, shutdown func() error, err error) {
+	cfg := rcpt.DefaultConfig()
+	cfg.N2011, cfg.N2024 = 40, 60
+	cfg.TraceYears = []int{2011}
+	cfg.SimYear = 2011
+	cfg.PanelN = 0
+
+	srv, err := serve.New(serve.Options{BaseConfig: cfg})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("started in-process rcpt-serve on %s\n\n", ln.Addr())
+	return ln.Addr().String(), func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-serveErr
+	}, nil
+}
+
+// getJSON fetches url and decodes the JSON body into out.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeBody(resp, url, out)
+}
+
+// postJSON posts a body and decodes the JSON response into out.
+func postJSON(client *http.Client, url, body string, out any) error {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeBody(resp, url, out)
+}
+
+func decodeBody(resp *http.Response, url string, out any) error {
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	// /v1/responses answers 422 when some responses are invalid — for
+	// this walk-through that body is still the payload we want to show.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, out)
+}
+
+func firstLines(b []byte, n int) string {
+	lines := strings.SplitAfterN(string(b), "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "")
+}

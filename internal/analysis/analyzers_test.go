@@ -30,7 +30,8 @@ func TestFloatFold(t *testing.T) {
 
 func TestErrDrop(t *testing.T) {
 	analysistest.Run(t, analysis.ErrDrop,
-		"testdata/src/errdrop/report", "testdata/src/errdrop/other")
+		"testdata/src/errdrop/report", "testdata/src/errdrop/other",
+		"testdata/src/errdrop/serve")
 }
 
 // TestSuppression drives //rcpt:allow handling end to end: annotated

@@ -18,6 +18,9 @@ var writerCloserMethods = map[string]bool{
 	"Close":       true,
 	"Flush":       true,
 	"Sync":        true,
+	// json.Encoder.Encode and similar: in an HTTP handler a failed
+	// Encode means a truncated response body went out with a 200.
+	"Encode": true,
 }
 
 // writerCloserFuncs are package-level functions with the same failure
@@ -28,10 +31,13 @@ var writerCloserFuncs = map[string]map[string]bool{
 }
 
 // errdropScopePackages limits the analyzer to where dropped write errors
-// corrupt study artifacts: the report renderers and the CLI binaries
-// (package main covers cmd/* and examples/*).
+// corrupt study artifacts: the report renderers, the HTTP serving layer
+// (a dropped ResponseWriter or encoder error ships a truncated body with
+// a success status), and the CLI binaries (package main covers cmd/* and
+// examples/*).
 var errdropScopePackages = map[string]bool{
 	"report": true,
+	"serve":  true,
 	"main":   true,
 }
 

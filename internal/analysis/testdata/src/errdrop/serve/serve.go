@@ -1,0 +1,53 @@
+// Fixture for the errdrop analyzer's serve scope: HTTP-handler-shaped
+// code where a dropped write or encode error ships a truncated response
+// body under a success status. The ResponseWriter stand-in is local so
+// the fixture loads without pulling in net/http.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// responseWriter mirrors the error-returning surface of
+// http.ResponseWriter.
+type responseWriter interface {
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// handlerDropsWrite is the classic handler bug: the body write's error
+// disappears, so a half-sent response still looks like a 200 served.
+func handlerDropsWrite(w responseWriter, body []byte) {
+	w.WriteHeader(200)
+	w.Write(body) // want `error from responseWriter.Write is discarded`
+}
+
+// handlerDropsEncode loses the json.Encoder error the same way.
+func handlerDropsEncode(w responseWriter, payload any) {
+	w.WriteHeader(200)
+	json.NewEncoder(w).Encode(payload) // want `error from \*encoding/json.Encoder.Encode is discarded`
+}
+
+// deferredFlush drops the buffered writer's flush on the way out.
+func deferredFlush(w io.Writer, body []byte) error {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush() // want `error from \*bufio.Writer.Flush is discarded`
+	_, err := bw.Write(body)
+	return err
+}
+
+// handlerCountsFailure is the shape the serving layer uses: the write
+// error feeds a metric instead of vanishing.
+func handlerCountsFailure(w responseWriter, body []byte, failures *int) {
+	w.WriteHeader(200)
+	if _, err := w.Write(body); err != nil {
+		*failures++
+	}
+}
+
+// handlerPropagatesEncode returns the encoder error to the caller.
+func handlerPropagatesEncode(w responseWriter, payload any) error {
+	return json.NewEncoder(w).Encode(payload)
+}

@@ -135,7 +135,19 @@ type Artifacts struct {
 // graph starts, so scheduling order cannot perturb output. Run and
 // RunSequential produce byte-identical artifacts.
 func Run(cfg Config) (*Artifacts, error) {
-	return run(cfg, cfg.Workers)
+	return run(cfg, cfg.Workers, nil)
+}
+
+// StageObserver receives per-stage wall-clock timings from a run. It is
+// telemetry only (the serving layer feeds it into a metrics histogram)
+// and may be called concurrently.
+type StageObserver func(stage string, seconds float64)
+
+// RunObserved is Run with a per-stage timing hook. The observer must
+// not influence behaviour: artifacts stay byte-identical whether or not
+// one is installed.
+func RunObserved(cfg Config, obs StageObserver) (*Artifacts, error) {
+	return run(cfg, cfg.Workers, obs)
 }
 
 // RunSequential executes the same stage graph one stage at a time, in a
@@ -144,10 +156,10 @@ func Run(cfg Config) (*Artifacts, error) {
 // against; per-stage fan-out (cohort generation chunks) still honors
 // cfg.Workers.
 func RunSequential(cfg Config) (*Artifacts, error) {
-	return run(cfg, 1)
+	return run(cfg, 1, nil)
 }
 
-func run(cfg Config, stageWorkers int) (*Artifacts, error) {
+func run(cfg Config, stageWorkers int, obs StageObserver) (*Artifacts, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -161,6 +173,9 @@ func run(cfg Config, stageWorkers int) (*Artifacts, error) {
 	g, err := buildGraph(cfg, a)
 	if err != nil {
 		return nil, err
+	}
+	if obs != nil {
+		g.SetObserver(obs)
 	}
 	if err := g.Run(stageWorkers); err != nil {
 		return nil, err

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a content-addressed key for the artifacts this
+// configuration produces: the SHA-256 of a canonical, versioned
+// encoding of every artifact-affecting field. Two configs with equal
+// fingerprints produce byte-identical artifacts, so the fingerprint is
+// safe to use as a cache key and as the basis for HTTP ETags.
+//
+// Config.Workers is deliberately excluded: the determinism contract
+// (DESIGN.md "Pipeline concurrency & determinism", enforced by
+// TestRunWorkerCountEquivalence) guarantees artifacts are byte-identical
+// for any worker count, so runs differing only in fan-out must share a
+// cache slot.
+//
+// The encoding is versioned ("rcpt-cfg/1") so a future field addition
+// that changes artifacts can bump the prefix and invalidate every
+// previously derived key at once.
+func (c Config) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("rcpt-cfg/1\n")
+	fmt.Fprintf(&b, "seed=%d\n", c.Seed)
+	fmt.Fprintf(&b, "n2011=%d\n", c.N2011)
+	fmt.Fprintf(&b, "n2024=%d\n", c.N2024)
+	b.WriteString("traceyears=")
+	for i, y := range c.TraceYears {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", y)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "simyear=%d\n", c.SimYear)
+	fmt.Fprintf(&b, "policy=%d\n", int(c.Policy))
+	fmt.Fprintf(&b, "rake=%t\n", c.Rake)
+	fmt.Fprintf(&b, "paneln=%d\n", c.PanelN)
+	// %b prints the exact bit pattern, so two floats hash equal iff they
+	// are the same value (no decimal rounding ambiguity).
+	fmt.Fprintf(&b, "noiserate=%b\n", c.NoiseRate)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+func TestFingerprintWorkerInvariance(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.Workers = 7
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint varies with Workers; the contract says artifacts do not")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := DefaultConfig()
+	mutations := map[string]func(*Config){
+		"seed":       func(c *Config) { c.Seed++ },
+		"n2011":      func(c *Config) { c.N2011++ },
+		"n2024":      func(c *Config) { c.N2024++ },
+		"traceyears": func(c *Config) { c.TraceYears = append(append([]int(nil), c.TraceYears...), 2025) },
+		"simyear":    func(c *Config) { c.SimYear = c.TraceYears[0] },
+		"policy":     func(c *Config) { c.Policy++ },
+		"rake":       func(c *Config) { c.Rake = !c.Rake },
+		"paneln":     func(c *Config) { c.PanelN++ },
+		"noiserate":  func(c *Config) { c.NoiseRate += 0.01 },
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, mutate := range mutations {
+		c := base
+		c.TraceYears = append([]int(nil), base.TraceYears...)
+		mutate(&c)
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutating %s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestFingerprintStableAcrossCalls(t *testing.T) {
+	c := DefaultConfig()
+	if c.Fingerprint() != c.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	if got := len(c.Fingerprint()); got != 64 {
+		t.Fatalf("fingerprint length = %d, want 64 hex chars", got)
+	}
+}

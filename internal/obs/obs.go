@@ -1,0 +1,278 @@
+// Package obs is a small std-lib-only metrics registry for the serving
+// layer: counters, gauges, and latency histograms, optionally labelled,
+// exported in the Prometheus text exposition format. All metric types
+// are safe for concurrent use, and the exposition output is
+// deterministic — families sorted by name, series sorted by label
+// values — so /metrics bodies are stable and goldenable.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// Registry holds metric families. The zero value is not usable; create
+// with NewRegistry. Registration is expected at construction time
+// (duplicate names panic — a wiring bug, not a runtime condition).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric family with zero or more labelled series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string // label names, fixed at registration
+
+	mu     sync.Mutex
+	series map[string]series // key = joined label values
+}
+
+// series is one sample set within a family.
+type series interface {
+	// write appends exposition lines for this series.
+	write(b *strings.Builder, name string, labels []string, values []string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels ...string) *family {
+	if name == "" {
+		panic("obs: metric with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, series: map[string]series{}}
+	r.families[name] = f
+	return f
+}
+
+// seriesKey joins label values with an unprintable separator so the key
+// is unambiguous.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// get returns the series for the given label values, creating it with
+// mk on first use.
+func (f *family) get(values []string, mk func() series) series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q got %d label values for %d labels", f.name, len(values), len(f.labels)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+	}
+	return s
+}
+
+// ---- counter ----
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(b *strings.Builder, name string, labels, values []string) {
+	writeSample(b, name, labels, values, formatUint(c.v.Load()))
+}
+
+// Counter registers an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter)
+	return f.get(nil, func() series { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: counter vec %q needs at least one label", name))
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels...)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() series { return &Counter{} }).(*Counter)
+}
+
+// ---- gauge ----
+
+// Gauge is a value that can go up and down. It stores int64 — every
+// gauge in this system (in-flight requests, queue depth, cache bytes,
+// cache entries) is integral.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(b *strings.Builder, name string, labels, values []string) {
+	writeSample(b, name, labels, values, formatInt(g.v.Load()))
+}
+
+// Gauge registers an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge)
+	return f.get(nil, func() series { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: gauge vec %q needs at least one label", name))
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels...)}
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() series { return &Gauge{} }).(*Gauge)
+}
+
+// ---- histogram ----
+
+// Histogram observes float64 values (typically seconds) into fixed
+// cumulative buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	counts  []uint64  // per-bucket (non-cumulative), len = len(bounds)+1
+	sum     float64
+	samples uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+func (h *Histogram) write(b *strings.Builder, name string, labels, values []string) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, samples := h.sum, h.samples
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, bound := range bounds {
+		cum += counts[i]
+		writeSample(b, name+"_bucket", append(labels, "le"), append(values, formatFloat(bound)), formatUint(cum))
+	}
+	cum += counts[len(bounds)]
+	writeSample(b, name+"_bucket", append(labels, "le"), append(values, "+Inf"), formatUint(cum))
+	writeSample(b, name+"_sum", labels, values, formatFloat(sum))
+	writeSample(b, name+"_count", labels, values, formatUint(samples))
+}
+
+// DefBuckets returns the default latency buckets in seconds, spanning
+// cache hits (sub-millisecond) to full pipeline runs (tens of seconds).
+func DefBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("obs: histogram with no buckets")
+	}
+	bounds := append([]float64(nil), buckets...)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending at %g", bounds[i]))
+		}
+	}
+	if math.IsInf(bounds[len(bounds)-1], +1) {
+		bounds = bounds[:len(bounds)-1] // +Inf is implicit
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Histogram registers an unlabelled histogram with the given ascending
+// upper bounds (an +Inf bucket is appended automatically).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram)
+	return f.get(nil, func() series { return newHistogram(buckets) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: histogram vec %q needs at least one label", name))
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels...), buckets: append([]float64(nil), buckets...)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values, func() series { return newHistogram(v.buckets) }).(*Histogram)
+}

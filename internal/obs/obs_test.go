@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("in_flight", "in-flight requests")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge = %d, want 11", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge after Set = %d, want -3", got)
+	}
+}
+
+func TestCounterVecSeriesAreIndependent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "requests by route and code", "route", "code")
+	v.With("/v1/tables/{id}", "200").Add(3)
+	v.With("/v1/tables/{id}", "404").Inc()
+	v.With("/v1/run", "200").Inc()
+	if got := v.With("/v1/tables/{id}", "200").Value(); got != 3 {
+		t.Fatalf("series value = %d, want 3", got)
+	}
+	// With returns the same counter for the same label values.
+	if v.With("/v1/run", "200") != v.With("/v1/run", "200") {
+		t.Fatal("With not stable for identical label values")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// 0.05 and 0.1 land in le="0.1" (upper bound inclusive), 0.5 in
+	// le="1", 2 in le="10", 100 in +Inf; buckets are cumulative.
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 102.65`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicAndSorted(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		v := r.CounterVec("zz_total", "last family", "route")
+		v.With("b").Inc()
+		v.With("a").Add(2)
+		r.Gauge("aa_gauge", "first family").Set(7)
+		r.Histogram("mm_seconds", "middle", []float64{1}).Observe(0.5)
+		return r
+	}
+	var b1, b2 strings.Builder
+	if err := build().WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("two identical registries rendered differently:\n%s\n----\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	ia := strings.Index(out, "aa_gauge")
+	im := strings.Index(out, "mm_seconds")
+	iz := strings.Index(out, "zz_total")
+	if !(ia < im && im < iz) {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+	if sa, sb := strings.Index(out, `zz_total{route="a"}`), strings.Index(out, `zz_total{route="b"}`); sa == -1 || sb == -1 || sa > sb {
+		t.Fatalf("series not sorted by label values:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c_total", "with\nnewline", "route").With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `c_total{route="a\"b\\c\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP c_total with\nnewline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	v := r.CounterVec("v_total", "v", "k")
+	h := r.Histogram("h_seconds", "h", DefBuckets())
+	g := r.Gauge("g", "g")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				v.With(string(rune('a' + i%3))).Inc()
+				h.Observe(float64(j) / 100)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(i)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil { // render concurrently with writers
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup", "one")
+	r.Counter("dup", "two")
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4). Output is deterministic:
+// families are sorted by name and series by label values, so two
+// registries holding the same samples render byte-identical bodies.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		snap := make([]series, len(keys))
+		for i, k := range keys {
+			snap[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(snap) == 0 {
+			continue
+		}
+		b.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+		b.WriteString("# TYPE " + f.name + " " + string(f.kind) + "\n")
+		for i, s := range snap {
+			var values []string
+			if keys[i] != "" || len(f.labels) > 0 {
+				values = strings.Split(keys[i], "\x1f")
+			}
+			// Clone so histogram "le" appends cannot alias across calls.
+			labels := append([]string(nil), f.labels...)
+			s.write(&b, f.name, labels, append([]string(nil), values...))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample appends one exposition line: name{l1="v1",...} value.
+func writeSample(b *strings.Builder, name string, labels, values []string, value string) {
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+func formatInt(v int64) string   { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

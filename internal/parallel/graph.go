@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Stage is one node of a Graph: a named unit of work plus the names of
@@ -26,9 +27,10 @@ type Stage struct {
 //
 // Build with Add, then call Run once. A Graph is not reusable.
 type Graph struct {
-	stages []Stage
-	index  map[string]int
-	addErr error
+	stages   []Stage
+	index    map[string]int
+	addErr   error
+	observer func(stage string, seconds float64)
 }
 
 // NewGraph returns an empty stage graph.
@@ -62,6 +64,14 @@ func (g *Graph) Add(name string, run func() error, deps ...string) {
 
 // Len returns the number of registered stages.
 func (g *Graph) Len() int { return len(g.stages) }
+
+// SetObserver installs a per-stage timing hook: after each stage
+// finishes (success or failure), obs is called with the stage name and
+// its wall-clock duration in seconds. Observation is telemetry only —
+// it must not feed back into stage behaviour, or runs stop being pure
+// functions of their inputs. The hook may be invoked concurrently from
+// multiple workers and must be safe for that.
+func (g *Graph) SetObserver(obs func(stage string, seconds float64)) { g.observer = obs }
 
 // Run executes the graph with at most workers concurrent stages
 // (workers <= 0 means GOMAXPROCS). It returns the first stage error,
@@ -159,7 +169,14 @@ func (g *Graph) RunContext(ctx context.Context, workers int) error {
 				ready = ready[1:]
 				st := g.stages[i]
 				mu.Unlock()
+				var start time.Time
+				if g.observer != nil {
+					start = time.Now()
+				}
 				err := runStage(st)
+				if g.observer != nil {
+					g.observer(st.Name, time.Since(start).Seconds())
+				}
 				mu.Lock()
 				done++
 				if err != nil {

@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestGraphObserver checks every stage is observed exactly once with a
+// non-negative duration, including failed stages.
+func TestGraphObserver(t *testing.T) {
+	g := NewGraph()
+	g.Add("a", func() error { return nil })
+	g.Add("b", func() error { return nil }, "a")
+	g.Add("c", func() error { return nil }, "a")
+	var mu sync.Mutex
+	got := map[string]float64{}
+	g.SetObserver(func(stage string, seconds float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := got[stage]; dup {
+			t.Errorf("stage %q observed twice", stage)
+		}
+		got[stage] = seconds
+	})
+	if err := g.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(got))
+	for name, secs := range got {
+		names = append(names, name)
+		if secs < 0 {
+			t.Errorf("stage %q observed negative duration %g", name, secs)
+		}
+	}
+	sort.Strings(names)
+	if want := []string{"a", "b", "c"}; !equalStrings(names, want) {
+		t.Fatalf("observed stages %v, want %v", names, want)
+	}
+}
+
+// TestGraphObserverOnFailure: the failing stage is still observed.
+func TestGraphObserverOnFailure(t *testing.T) {
+	boom := errors.New("boom")
+	g := NewGraph()
+	g.Add("bad", func() error { return boom })
+	var mu sync.Mutex
+	observed := false
+	g.SetObserver(func(stage string, _ float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stage == "bad" {
+			observed = true
+		}
+	})
+	if err := g.Run(1); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	if !observed {
+		t.Fatal("failed stage not observed")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

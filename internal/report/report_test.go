@@ -81,6 +81,42 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestTableJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable(t).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"Languages by cohort","columns":["language","2011","2024"],` +
+		`"rows":[["python","30.0%","82.0%"],["matlab","45.0%","20.0%"]],` +
+		`"footnote":"weighted shares; Wilson 95% CIs"}` + "\n"
+	if buf.String() != want {
+		t.Fatalf("json:\n got %s\nwant %s", buf.String(), want)
+	}
+	// Deterministic across calls (the serving layer hashes this body).
+	var again bytes.Buffer
+	if err := sampleTable(t).WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two renders of the same table differ")
+	}
+	// Empty tables encode rows as [], not null.
+	empty := NewTable("empty", "a")
+	buf.Reset()
+	if err := empty.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rows":[]`) {
+		t.Fatalf("empty rows not []:\n%s", buf.String())
+	}
+	// Ragged tables are rejected, same as every other renderer.
+	broken := NewTable("x", "a")
+	broken.Rows = append(broken.Rows, []string{"1", "2"})
+	if err := broken.WriteJSON(&buf); err == nil {
+		t.Fatal("ragged table rendered as JSON")
+	}
+}
+
 func TestTableErrors(t *testing.T) {
 	tab := NewTable("x", "a", "b")
 	if err := tab.AddRow("only-one"); err == nil {

@@ -6,6 +6,7 @@
 package report
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -169,6 +170,33 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// jsonTable is the wire form of a Table. Field order is fixed, so the
+// encoding is deterministic: the same table always renders the same
+// bytes (the property the serving layer's ETags are derived from).
+type jsonTable struct {
+	Title    string     `json:"title"`
+	Columns  []string   `json:"columns"`
+	Rows     [][]string `json:"rows"`
+	Footnote string     `json:"footnote,omitempty"`
+}
+
+// WriteJSON renders the table as a single JSON object:
+//
+//	{"title": ..., "columns": [...], "rows": [[...], ...], "footnote": ...}
+//
+// Rows always encodes as an array (never null), even when empty.
+func (t *Table) WriteJSON(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	jt := jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Footnote: t.Footnote}
+	if jt.Rows == nil {
+		jt.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
 }
 
 // Pct formats a proportion as "12.3%".

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission errors, mapped to HTTP statuses by the middleware: a full
+// queue is the client's signal to back off (429), a queue-wait timeout
+// or a draining server is a capacity condition (503). Both carry
+// Retry-After.
+var (
+	errQueueFull    = errors.New("serve: admission queue full")
+	errQueueTimeout = errors.New("serve: timed out waiting for a slot")
+)
+
+// gate is one admission class: at most limit requests in service, at
+// most queue requests waiting, and no wait longer than timeout. The
+// zero value is not usable; construct with newGate.
+//
+// Admission is per class, not per connection: cheap cached renders and
+// expensive pipeline runs get separate gates so a burst of runs cannot
+// starve table reads.
+type gate struct {
+	class   string
+	slots   chan struct{}
+	timeout time.Duration
+
+	mu       sync.Mutex
+	queued   int
+	queueMax int
+
+	depth    *obs.Gauge
+	rejected func(reason string) // increments the rejection counter
+}
+
+func newGate(class string, limit, queue int, timeout time.Duration, depth *obs.Gauge, rejected func(reason string)) *gate {
+	if limit <= 0 {
+		limit = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &gate{
+		class:    class,
+		slots:    make(chan struct{}, limit),
+		timeout:  timeout,
+		queueMax: queue,
+		depth:    depth,
+		rejected: rejected,
+	}
+}
+
+// acquire admits the caller or fails fast. On success the returned
+// release function must be called exactly once.
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: free slot, no queueing.
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	default:
+	}
+	// Queue, bounded. The bound is checked under the lock so the queue
+	// can never overshoot; the wait itself happens outside it.
+	g.mu.Lock()
+	if g.queued >= g.queueMax {
+		g.mu.Unlock()
+		g.rejected("queue_full")
+		return nil, errQueueFull
+	}
+	g.queued++
+	g.mu.Unlock()
+	g.depth.Inc()
+	defer func() {
+		g.depth.Dec()
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+
+	timer := time.NewTimer(g.timeout)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, nil
+	case <-timer.C:
+		g.rejected("timeout")
+		return nil, errQueueTimeout
+	case <-ctx.Done():
+		g.rejected("canceled")
+		return nil, ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// waiting reports the current queue depth (tests and introspection).
+func (g *gate) waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// cacheKey addresses one rendered artifact: which run produced it
+// (Config.Fingerprint), which artifact, and in which format. Because
+// rendering is deterministic, a key identifies exactly one byte
+// sequence — the property that makes the cache safe under concurrency
+// and lets ETags be derived from content hashes.
+type cacheKey struct {
+	fingerprint string // core.Config.Fingerprint of the producing run
+	artifact    string // experiment ID ("T5", "F2") or pseudo-artifact ("run")
+	format      string // "json", "txt", "csv", "md", "svg"
+}
+
+// cacheEntry is one cached rendered body with its content-derived ETag.
+type cacheEntry struct {
+	body        []byte
+	etag        string // strong ETag, quoted: `"<sha256-hex>"`
+	contentType string
+}
+
+// etagFor returns the strong ETag for a body: the quoted SHA-256 of its
+// bytes. Deterministic rendering means re-rendering the same artifact
+// always reproduces the same tag, even across processes and restarts.
+func etagFor(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:]) + `"`
+}
+
+// artifactCache is a byte-size-bounded LRU over rendered artifacts.
+// Entries larger than the bound are served but not retained.
+type artifactCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used; values are *cacheItem
+	items    map[cacheKey]*list.Element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	bytesG    *obs.Gauge
+	entriesG  *obs.Gauge
+}
+
+type cacheItem struct {
+	key   cacheKey
+	entry cacheEntry
+}
+
+func newArtifactCache(maxBytes int64, reg *obs.Registry) *artifactCache {
+	return &artifactCache{
+		maxBytes:  maxBytes,
+		ll:        list.New(),
+		items:     map[cacheKey]*list.Element{},
+		hits:      reg.Counter("rcpt_cache_hits_total", "rendered-artifact cache hits"),
+		misses:    reg.Counter("rcpt_cache_misses_total", "rendered-artifact cache misses"),
+		evictions: reg.Counter("rcpt_cache_evictions_total", "rendered artifacts evicted by the byte bound"),
+		bytesG:    reg.Gauge("rcpt_cache_bytes", "bytes of rendered artifacts held"),
+		entriesG:  reg.Gauge("rcpt_cache_entries", "rendered artifacts held"),
+	}
+}
+
+// get returns the cached entry and whether it was present, updating
+// recency and the hit/miss counters.
+func (c *artifactCache) get(key cacheKey) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return cacheEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheItem).entry, true
+}
+
+// put inserts (or refreshes) an entry and evicts from the LRU tail
+// until the byte bound holds. Oversized bodies are not retained.
+func (c *artifactCache) put(key cacheKey, e cacheEntry) {
+	size := int64(len(e.body))
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Identical by construction (deterministic render of the same
+		// key); just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheItem{key: key, entry: e})
+	c.items[key] = el
+	c.bytes += size
+	for c.bytes > c.maxBytes {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		item := tail.Value.(*cacheItem)
+		c.ll.Remove(tail)
+		delete(c.items, item.key)
+		c.bytes -= int64(len(item.entry.body))
+		c.evictions.Inc()
+	}
+	c.bytesG.Set(c.bytes)
+	c.entriesG.Set(int64(c.ll.Len()))
+}
+
+// len returns the number of cached entries (tests only).
+func (c *artifactCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

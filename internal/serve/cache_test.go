@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func testCache(maxBytes int64) *artifactCache {
+	return newArtifactCache(maxBytes, obs.NewRegistry())
+}
+
+func entryOf(body string) cacheEntry {
+	return cacheEntry{body: []byte(body), etag: etagFor([]byte(body)), contentType: "text/plain"}
+}
+
+func key(id string) cacheKey {
+	return cacheKey{fingerprint: "fp", artifact: id, format: "txt"}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := testCache(1 << 20)
+	if _, hit := c.get(key("T1")); hit {
+		t.Fatal("hit on empty cache")
+	}
+	c.put(key("T1"), entryOf("hello"))
+	e, hit := c.get(key("T1"))
+	if !hit || string(e.body) != "hello" {
+		t.Fatalf("get = %q, %v; want hello, true", e.body, hit)
+	}
+	if got := c.hits.Value(); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := c.misses.Value(); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+// TestCacheLRUEviction: the byte bound evicts from the cold tail, and a
+// get refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	c := testCache(30) // room for three 10-byte bodies
+	body := "0123456789"
+	c.put(key("a"), entryOf(body))
+	c.put(key("b"), entryOf(body))
+	c.put(key("c"), entryOf(body))
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	// Touch "a" so "b" is now the LRU tail.
+	if _, hit := c.get(key("a")); !hit {
+		t.Fatal("expected a cached")
+	}
+	c.put(key("d"), entryOf(body))
+	if _, hit := c.get(key("b")); hit {
+		t.Error("b survived eviction; want it dropped as LRU tail")
+	}
+	for _, id := range []string{"a", "c", "d"} {
+		if _, hit := c.get(key(id)); !hit {
+			t.Errorf("%s evicted; want retained", id)
+		}
+	}
+	if got := c.evictions.Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+// TestCacheOversizedNotRetained: a body larger than the whole bound is
+// served but never stored (it would evict everything for one entry).
+func TestCacheOversizedNotRetained(t *testing.T) {
+	c := testCache(8)
+	c.put(key("big"), entryOf("way more than eight bytes"))
+	if c.len() != 0 {
+		t.Fatalf("oversized body retained; len = %d", c.len())
+	}
+}
+
+// TestCacheConcurrent hammers get/put from many goroutines; run under
+// -race this is the cache's data-race test.
+func TestCacheConcurrent(t *testing.T) {
+	c := testCache(1 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(fmt.Sprintf("T%d", i%20))
+				if _, hit := c.get(k); !hit {
+					c.put(k, entryOf(fmt.Sprintf("body-%d", i%20)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() == 0 {
+		t.Fatal("cache empty after concurrent fill")
+	}
+}
+
+func TestETagFormat(t *testing.T) {
+	e := etagFor([]byte("x"))
+	if len(e) != 66 || e[0] != '"' || e[len(e)-1] != '"' {
+		t.Fatalf("etag %q: want quoted 64-hex", e)
+	}
+	if e != etagFor([]byte("x")) {
+		t.Fatal("etag not deterministic")
+	}
+	if e == etagFor([]byte("y")) {
+		t.Fatal("distinct bodies share an etag")
+	}
+}
+
+func TestETagMatches(t *testing.T) {
+	tag := `"abc"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{`"abc"`, true},
+		{`*`, true},
+		{`"zzz", "abc"`, true},
+		{`W/"abc"`, true}, // weak tag, same bytes: treat as match for 304
+		{`"zzz"`, false},
+		{``, false},
+	}
+	for _, c := range cases {
+		if got := etagMatches(c.header, tag); got != c.want {
+			t.Errorf("etagMatches(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

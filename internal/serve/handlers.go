@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/survey"
+)
+
+// apiError is the JSON error envelope every non-2xx body uses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v with a fixed field order (struct-driven), sending
+// status first. Encoder failures after the header are counted as write
+// errors; they cannot be turned into a different status anymore.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.writeErrors.Inc()
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, apiError{Error: msg})
+}
+
+// writeCached serves a rendered artifact with its content-derived ETag,
+// honoring If-None-Match (strong comparison; `*` matches anything).
+func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, e cacheEntry) {
+	w.Header().Set("ETag", e.etag)
+	w.Header().Set("Cache-Control", "public, max-age=0, must-revalidate")
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, e.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", e.contentType)
+	if _, err := w.Write(e.body); err != nil {
+		s.writeErrors.Inc()
+	}
+}
+
+// etagMatches implements the If-None-Match comparison for strong,
+// quoted tags: a comma-separated candidate list or `*`.
+func etagMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- probes, metrics, index ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := io.WriteString(w, "ok\n"); err != nil {
+		s.writeErrors.Inc()
+	}
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.retryLater(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := io.WriteString(w, "ready\n"); err != nil {
+		s.writeErrors.Inc()
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.writeErrors.Inc()
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	const index = `rcpt-serve — Revisiting Computation for Research, as a service
+
+GET  /v1/experiments        experiment registry (IDs, titles, kinds)
+GET  /v1/tables/{id}        table as JSON (?format=txt|csv|md), e.g. /v1/tables/T5
+GET  /v1/figures/{id}       figure as SVG, e.g. /v1/figures/F3
+POST /v1/run                parameterized pipeline run keyed by (config, seed)
+GET  /v1/tables/{id}?run=F  render against a completed run's fingerprint
+POST /v1/responses          validate NDJSON survey responses against the instrument
+GET  /v1/stats/chisquare    ?rows=&cols=&counts=a,b,... (&test=g)
+GET  /v1/stats/ci           ?successes=&n=(&level=0.95)
+GET  /v1/stats/oddsratio    ?a=&b=&c=&d=
+GET  /metrics               Prometheus exposition
+GET  /healthz, /readyz      liveness / readiness
+`
+	if _, err := io.WriteString(w, index); err != nil {
+		s.writeErrors.Inc()
+	}
+}
+
+// ---- experiments, tables, figures ----
+
+// experimentInfo is one registry entry on the wire.
+type experimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Kind  string `json:"kind"`
+	Path  string `json:"path"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []experimentInfo
+	for _, e := range core.Registry() {
+		path := "/v1/tables/" + e.ID
+		if e.Kind == core.KindFigure {
+			path = "/v1/figures/" + e.ID
+		}
+		out = append(out, experimentInfo{ID: e.ID, Title: e.Title, Kind: string(e.Kind), Path: path})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// tableFormats maps ?format= values to renderers and content types.
+var tableFormats = map[string]struct {
+	contentType string
+	render      func(t *report.Table, w io.Writer) error
+}{
+	"json": {"application/json", (*report.Table).WriteJSON},
+	"txt":  {"text/plain; charset=utf-8", (*report.Table).WriteASCII},
+	"csv":  {"text/csv; charset=utf-8", (*report.Table).WriteCSV},
+	"md":   {"text/markdown; charset=utf-8", (*report.Table).WriteMarkdown},
+}
+
+// resolveRun picks the artifacts a render request refers to: the base
+// run by default, or a previously executed run via ?run=<fingerprint>.
+func (s *Server) resolveRun(w http.ResponseWriter, r *http.Request) (fp string, arts func() (*core.Artifacts, error), ok bool) {
+	if ref := r.URL.Query().Get("run"); ref != "" {
+		if a, found := s.runner.lookup(ref); found {
+			return ref, func() (*core.Artifacts, error) { return a, nil }, true
+		}
+		s.writeError(w, http.StatusNotFound,
+			"unknown or evicted run fingerprint; POST /v1/run to (re)execute it")
+		return "", nil, false
+	}
+	return s.baseFP, func() (*core.Artifacts, error) {
+		return s.runner.artifacts(s.baseFP, s.baseCfg)
+	}, true
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	ff, ok := tableFormats[format]
+	if !ok {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json, txt, csv, md)", format))
+		return
+	}
+	exp, err := core.Lookup(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if exp.Kind != core.KindTable {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("%s is a figure; GET /v1/figures/%s", id, id))
+		return
+	}
+	fp, artsFn, ok := s.resolveRun(w, r)
+	if !ok {
+		return
+	}
+	key := cacheKey{fingerprint: fp, artifact: id, format: format}
+	if e, hit := s.cache.get(key); hit {
+		s.writeCached(w, r, e)
+		return
+	}
+	arts, err := artsFn()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	tab, err := exp.Table(arts)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := ff.render(tab, &buf); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	e := cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: ff.contentType}
+	s.cache.put(key, e)
+	s.writeCached(w, r, e)
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	exp, err := core.Lookup(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if exp.Kind != core.KindFigure {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("%s is a table; GET /v1/tables/%s", id, id))
+		return
+	}
+	fp, artsFn, ok := s.resolveRun(w, r)
+	if !ok {
+		return
+	}
+	key := cacheKey{fingerprint: fp, artifact: id, format: "svg"}
+	if e, hit := s.cache.get(key); hit {
+		s.writeCached(w, r, e)
+		return
+	}
+	arts, err := artsFn()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := exp.Figure(arts, &buf); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	e := cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: "image/svg+xml"}
+	s.cache.put(key, e)
+	s.writeCached(w, r, e)
+}
+
+// ---- POST /v1/run ----
+
+// runRequest is the body of POST /v1/run. Pointer fields distinguish
+// "omitted, use the server default" from explicit zero values.
+type runRequest struct {
+	Seed       *uint64  `json:"seed"`
+	N2011      *int     `json:"n2011"`
+	N2024      *int     `json:"n2024"`
+	TraceYears []int    `json:"traceYears"`
+	SimYear    *int     `json:"simYear"`
+	Policy     *string  `json:"policy"` // "fcfs" | "easy" | "conservative"
+	Rake       *bool    `json:"rake"`
+	PanelN     *int     `json:"panelN"`
+	NoiseRate  *float64 `json:"noiseRate"`
+}
+
+// runSummary is the response body: the resolved config, its
+// fingerprint (the cache/ETag key), cohort outcomes, and headline
+// scheduler metrics, plus the artifact paths to render against the run.
+type runSummary struct {
+	Fingerprint string       `json:"fingerprint"`
+	Config      configEcho   `json:"config"`
+	Cohorts     cohortsEcho  `json:"cohorts"`
+	Jobs        int          `json:"jobs"`
+	Scheduler   schedSummary `json:"scheduler"`
+	TablesPath  string       `json:"tablesPath"`
+	FiguresPath string       `json:"figuresPath"`
+}
+
+type configEcho struct {
+	Seed       uint64  `json:"seed"`
+	N2011      int     `json:"n2011"`
+	N2024      int     `json:"n2024"`
+	TraceYears []int   `json:"traceYears"`
+	SimYear    int     `json:"simYear"`
+	Policy     string  `json:"policy"`
+	Rake       bool    `json:"rake"`
+	PanelN     int     `json:"panelN"`
+	NoiseRate  float64 `json:"noiseRate"`
+}
+
+type cohortsEcho struct {
+	Kept2011       int     `json:"kept2011"`
+	Kept2024       int     `json:"kept2024"`
+	EffectiveN2011 float64 `json:"effectiveN2011"`
+	EffectiveN2024 float64 `json:"effectiveN2024"`
+}
+
+type schedSummary struct {
+	Policy     string  `json:"policy"`
+	MeanWait   float64 `json:"meanWaitSeconds"`
+	P95Wait    float64 `json:"p95WaitSeconds"`
+	AvgCPUUtil float64 `json:"avgCpuUtil"`
+	Fairness   float64 `json:"userFairness"`
+}
+
+// parsePolicy maps the wire names onto sched policies.
+func parsePolicy(name string) (sched.Policy, error) {
+	switch strings.ToLower(name) {
+	case "fcfs":
+		return sched.FCFS, nil
+	case "easy":
+		return sched.EASYBackfill, nil
+	case "conservative":
+		return sched.ConservativeBackfill, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (fcfs, easy, conservative)", name)
+}
+
+func policyName(p sched.Policy) string {
+	switch p {
+	case sched.FCFS:
+		return "fcfs"
+	case sched.ConservativeBackfill:
+		return "conservative"
+	default:
+		return "easy"
+	}
+}
+
+// buildRunConfig resolves a runRequest against the base config and
+// enforces the work-admission caps.
+func (s *Server) buildRunConfig(req runRequest) (core.Config, error) {
+	cfg := s.baseCfg
+	cfg.TraceYears = append([]int(nil), s.baseCfg.TraceYears...)
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	if req.N2011 != nil {
+		cfg.N2011 = *req.N2011
+	}
+	if req.N2024 != nil {
+		cfg.N2024 = *req.N2024
+	}
+	if req.TraceYears != nil {
+		cfg.TraceYears = append([]int(nil), req.TraceYears...)
+		// A single-year request implies simulating that year unless the
+		// caller pins one explicitly.
+		if req.SimYear == nil && len(req.TraceYears) == 1 {
+			cfg.SimYear = req.TraceYears[0]
+		}
+	}
+	if req.SimYear != nil {
+		cfg.SimYear = *req.SimYear
+	}
+	if req.Policy != nil {
+		p, err := parsePolicy(*req.Policy)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Policy = p
+	}
+	if req.Rake != nil {
+		cfg.Rake = *req.Rake
+	}
+	if req.PanelN != nil {
+		cfg.PanelN = *req.PanelN
+	}
+	if req.NoiseRate != nil {
+		cfg.NoiseRate = *req.NoiseRate
+	}
+	if cfg.N2011 > s.opts.MaxCohort || cfg.N2024 > s.opts.MaxCohort {
+		return core.Config{}, fmt.Errorf("cohort size exceeds the server cap of %d", s.opts.MaxCohort)
+	}
+	if cfg.PanelN > s.opts.MaxCohort {
+		return core.Config{}, fmt.Errorf("panel size exceeds the server cap of %d", s.opts.MaxCohort)
+	}
+	if len(cfg.TraceYears) > s.opts.MaxTraceYears {
+		return core.Config{}, fmt.Errorf("trace years exceed the server cap of %d", s.opts.MaxTraceYears)
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, "bad run request: "+err.Error())
+		return
+	}
+	cfg, err := s.buildRunConfig(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fp := cfg.Fingerprint()
+	key := cacheKey{fingerprint: fp, artifact: "run", format: "json"}
+	if e, hit := s.cache.get(key); hit {
+		s.writeCached(w, r, e)
+		return
+	}
+	arts, err := s.runner.artifacts(fp, cfg)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sum := runSummary{
+		Fingerprint: fp,
+		Config: configEcho{
+			Seed: cfg.Seed, N2011: cfg.N2011, N2024: cfg.N2024,
+			TraceYears: cfg.TraceYears, SimYear: cfg.SimYear,
+			Policy: policyName(cfg.Policy), Rake: cfg.Rake,
+			PanelN: cfg.PanelN, NoiseRate: cfg.NoiseRate,
+		},
+		Cohorts: cohortsEcho{
+			Kept2011: len(arts.Cohort2011), Kept2024: len(arts.Cohort2024),
+			EffectiveN2011: arts.Rake2011.EffectiveN, EffectiveN2024: arts.Rake2024.EffectiveN,
+		},
+		Jobs: len(arts.Jobs),
+		Scheduler: schedSummary{
+			Policy:     arts.Sim.Metrics.Policy.String(),
+			MeanWait:   arts.Sim.Metrics.MeanWait,
+			P95Wait:    arts.Sim.Metrics.P95Wait,
+			AvgCPUUtil: arts.Sim.Metrics.AvgCPUUtil,
+			Fairness:   arts.Sim.Metrics.UserFairness,
+		},
+		TablesPath:  "/v1/tables/{id}?run=" + fp,
+		FiguresPath: "/v1/figures/{id}?run=" + fp,
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(sum); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	e := cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: "application/json"}
+	s.cache.put(key, e)
+	s.writeCached(w, r, e)
+}
+
+// ---- POST /v1/responses ----
+
+// validationVerdict is one response's outcome.
+type validationVerdict struct {
+	ID     string           `json:"id"`
+	Valid  bool             `json:"valid"`
+	Errors []validationItem `json:"errors,omitempty"`
+}
+
+type validationItem struct {
+	Question string `json:"question"`
+	Reason   string `json:"reason"`
+}
+
+// validationReport summarizes a POST /v1/responses batch.
+type validationReport struct {
+	Received int                 `json:"received"`
+	Valid    int                 `json:"valid"`
+	Invalid  int                 `json:"invalid"`
+	Results  []validationVerdict `json:"results"`
+}
+
+func (s *Server) handleResponses(w http.ResponseWriter, r *http.Request) {
+	ins := survey.Canonical()
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	responses, err := ins.DecodeJSON(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rep := validationReport{Received: len(responses), Results: []validationVerdict{}}
+	for _, resp := range responses {
+		v := validationVerdict{ID: resp.ID, Valid: true}
+		for _, e := range ins.Validate(resp) {
+			v.Valid = false
+			v.Errors = append(v.Errors, validationItem{Question: e.QuestionID, Reason: e.Reason})
+		}
+		if v.Valid {
+			rep.Valid++
+			s.validated.With("valid").Inc()
+		} else {
+			rep.Invalid++
+			s.validated.With("invalid").Inc()
+		}
+		rep.Results = append(rep.Results, v)
+	}
+	status := http.StatusOK
+	if rep.Invalid > 0 {
+		// The batch was processed, but not everything passed; 422 lets
+		// scripted clients branch without parsing the body.
+		status = http.StatusUnprocessableEntity
+	}
+	s.writeJSON(w, status, rep)
+}

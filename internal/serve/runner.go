@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// runner executes pipeline runs exactly once per distinct configuration
+// fingerprint: a singleflight layer collapses concurrent identical
+// requests onto one execution, and a small LRU keeps recently completed
+// Artifacts so every table/figure of the same run renders without
+// recomputing. Correctness under concurrency leans on the determinism
+// contract — a fingerprint identifies one artifact set, so whichever
+// request computes it, every waiter can share the result.
+type runner struct {
+	run        func(cfg core.Config) (*core.Artifacts, error)
+	maxEntries int
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	ll      *list.List // front = most recently used; values are *runItem
+	items   map[string]*list.Element
+
+	runsTotal    *obs.Counter
+	runSeconds   *obs.Histogram
+	collapsed    *obs.Counter
+	runCacheHits *obs.Counter
+	evictions    *obs.Counter
+	errorsTotal  *obs.Counter
+}
+
+// flight is one in-progress pipeline execution that late arrivals wait
+// on instead of re-running.
+type flight struct {
+	done chan struct{}
+	arts *core.Artifacts
+	err  error
+}
+
+// runItem is one retained run.
+type runItem struct {
+	fingerprint string
+	cfg         core.Config
+	arts        *core.Artifacts
+}
+
+// newRunner builds the runner. runFn executes one pipeline run; the
+// server injects core.RunObserved wired to the stage-timing histogram
+// (tests inject counting stubs).
+func newRunner(runFn func(core.Config) (*core.Artifacts, error), maxEntries int, reg *obs.Registry) *runner {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &runner{
+		run:          runFn,
+		maxEntries:   maxEntries,
+		flights:      map[string]*flight{},
+		ll:           list.New(),
+		items:        map[string]*list.Element{},
+		runsTotal:    reg.Counter("rcpt_pipeline_runs_total", "pipeline executions started"),
+		runSeconds:   reg.Histogram("rcpt_pipeline_run_seconds", "end-to-end pipeline run latency", obs.DefBuckets()),
+		collapsed:    reg.Counter("rcpt_pipeline_collapsed_total", "requests collapsed onto an in-flight identical run"),
+		runCacheHits: reg.Counter("rcpt_run_cache_hits_total", "completed-run (Artifacts) cache hits"),
+		evictions:    reg.Counter("rcpt_run_cache_evictions_total", "completed runs evicted from the Artifacts cache"),
+		errorsTotal:  reg.Counter("rcpt_pipeline_errors_total", "pipeline executions that failed"),
+	}
+}
+
+// artifacts returns the completed run for cfg, executing the pipeline
+// at most once per fingerprint no matter how many callers arrive
+// concurrently. Failed runs are not cached: the next request retries.
+func (r *runner) artifacts(fingerprint string, cfg core.Config) (*core.Artifacts, error) {
+	r.mu.Lock()
+	if el, ok := r.items[fingerprint]; ok {
+		r.ll.MoveToFront(el)
+		arts := el.Value.(*runItem).arts
+		r.runCacheHits.Inc()
+		r.mu.Unlock()
+		return arts, nil
+	}
+	if f, ok := r.flights[fingerprint]; ok {
+		r.collapsed.Inc()
+		r.mu.Unlock()
+		<-f.done
+		return f.arts, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[fingerprint] = f
+	r.runsTotal.Inc()
+	r.mu.Unlock()
+
+	start := time.Now()
+	f.arts, f.err = r.run(cfg)
+	r.runSeconds.Observe(time.Since(start).Seconds())
+
+	r.mu.Lock()
+	delete(r.flights, fingerprint)
+	if f.err == nil {
+		el := r.ll.PushFront(&runItem{fingerprint: fingerprint, cfg: cfg, arts: f.arts})
+		r.items[fingerprint] = el
+		for r.ll.Len() > r.maxEntries {
+			tail := r.ll.Back()
+			item := tail.Value.(*runItem)
+			r.ll.Remove(tail)
+			delete(r.items, item.fingerprint)
+			r.evictions.Inc()
+		}
+	} else {
+		r.errorsTotal.Inc()
+	}
+	r.mu.Unlock()
+	close(f.done)
+	return f.arts, f.err
+}
+
+// lookup returns a retained run by fingerprint without executing
+// anything — the `?run=` parameter path. It reports false when the run
+// was never executed here or has been evicted.
+func (r *runner) lookup(fingerprint string) (*core.Artifacts, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.items[fingerprint]
+	if !ok {
+		return nil, false
+	}
+	r.ll.MoveToFront(el)
+	return el.Value.(*runItem).arts, true
+}

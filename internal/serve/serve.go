@@ -1,0 +1,318 @@
+// Package serve exposes the study apparatus as a long-running HTTP
+// service: tables and figures rendered on demand from cached pipeline
+// runs, parameterized runs keyed by (config, seed), survey-response
+// validation, and on-demand statistics — with a content-addressed
+// artifact cache, per-class admission control, and built-in Prometheus
+// observability underneath.
+//
+// The layer leans on the repo's determinism contract: a
+// core.Config.Fingerprint identifies exactly one artifact set, so cache
+// keys are safe under concurrency, concurrent identical runs collapse
+// onto one execution, and ETags are content hashes that hold across
+// processes and restarts.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable: every field
+// has a production default.
+type Options struct {
+	// BaseConfig is the study configuration behind the GET table/figure
+	// endpoints (and the default for POST /v1/run fields the caller
+	// omits). Zero means core.DefaultConfig.
+	BaseConfig core.Config
+	// CacheBytes bounds the rendered-artifact cache (default 64 MiB).
+	CacheBytes int64
+	// RunCacheEntries bounds how many completed runs (Artifacts) are
+	// retained for re-rendering (default 4 — Artifacts are large).
+	RunCacheEntries int
+	// MaxCohort caps the per-cohort size a POST /v1/run may request
+	// (default 20000), and MaxTraceYears the trace-year count (default
+	// 16): admission control for work, not just connections.
+	MaxCohort     int
+	MaxTraceYears int
+	// Render/Run admission: concurrent-request limits and bounded queue
+	// depths per class. Defaults: 32/64 for renders, 2/8 for runs.
+	RenderLimit, RenderQueue int
+	RunLimit, RunQueue       int
+	// QueueTimeout bounds how long an admitted-to-queue request waits
+	// for a slot (default 10s).
+	QueueTimeout time.Duration
+	// RetryAfter is the hint returned with 429/503 (default 1s).
+	RetryAfter time.Duration
+	// RunFunc overrides pipeline execution (tests). nil means
+	// core.RunObserved feeding the stage-timing histogram.
+	RunFunc func(core.Config) (*core.Artifacts, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.BaseConfig.N2011 == 0 && o.BaseConfig.N2024 == 0 && len(o.BaseConfig.TraceYears) == 0 {
+		o.BaseConfig = core.DefaultConfig()
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.RunCacheEntries <= 0 {
+		o.RunCacheEntries = 4
+	}
+	if o.MaxCohort <= 0 {
+		o.MaxCohort = 20000
+	}
+	if o.MaxTraceYears <= 0 {
+		o.MaxTraceYears = 16
+	}
+	if o.RenderLimit <= 0 {
+		o.RenderLimit = 32
+	}
+	if o.RenderQueue <= 0 {
+		o.RenderQueue = 64
+	}
+	if o.RunLimit <= 0 {
+		o.RunLimit = 2
+	}
+	if o.RunQueue <= 0 {
+		o.RunQueue = 8
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 10 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Server is the rcpt serving layer. Create with New, expose with
+// Handler or Serve, stop with Shutdown (graceful drain).
+type Server struct {
+	opts    Options
+	baseCfg core.Config
+	baseFP  string
+
+	mux    *http.ServeMux
+	reg    *obs.Registry
+	cache  *artifactCache
+	runner *runner
+
+	renderGate *gate
+	runGate    *gate
+	draining   atomic.Bool
+
+	httpSrv *http.Server
+
+	// request metrics
+	requests    *obs.CounterVec
+	latency     *obs.HistogramVec
+	inFlight    *obs.Gauge
+	writeErrors *obs.Counter
+	rejected    *obs.CounterVec
+	validated   *obs.CounterVec
+}
+
+// New builds a Server. It validates the base configuration but does not
+// run the pipeline; the first request (or a caller invoking Warm) pays
+// that cost.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if err := opts.BaseConfig.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: base config: %w", err)
+	}
+	reg := obs.NewRegistry()
+	s := &Server{
+		opts:    opts,
+		baseCfg: opts.BaseConfig,
+		baseFP:  opts.BaseConfig.Fingerprint(),
+		mux:     http.NewServeMux(),
+		reg:     reg,
+		cache:   newArtifactCache(opts.CacheBytes, reg),
+		requests: reg.CounterVec("rcpt_http_requests_total",
+			"HTTP requests by route and status code", "route", "code"),
+		latency: reg.HistogramVec("rcpt_http_request_seconds",
+			"HTTP request latency by route", obs.DefBuckets(), "route"),
+		inFlight:    reg.Gauge("rcpt_http_in_flight", "requests currently being served"),
+		writeErrors: reg.Counter("rcpt_http_write_errors_total", "response writes that failed mid-flight"),
+		rejected: reg.CounterVec("rcpt_admission_rejected_total",
+			"requests rejected by admission control", "class", "reason"),
+		validated: reg.CounterVec("rcpt_responses_validated_total",
+			"survey responses validated by verdict", "verdict"),
+	}
+	queueDepth := reg.GaugeVec("rcpt_admission_queue_depth", "requests waiting for an admission slot", "class")
+	s.renderGate = newGate("render", opts.RenderLimit, opts.RenderQueue, opts.QueueTimeout,
+		queueDepth.With("render"), func(reason string) { s.rejected.With("render", reason).Inc() })
+	s.runGate = newGate("run", opts.RunLimit, opts.RunQueue, opts.QueueTimeout,
+		queueDepth.With("run"), func(reason string) { s.rejected.With("run", reason).Inc() })
+
+	runFn := opts.RunFunc
+	if runFn == nil {
+		stageSeconds := reg.HistogramVec("rcpt_pipeline_stage_seconds",
+			"pipeline stage wall-clock timings", obs.DefBuckets(), "stage")
+		runFn = func(cfg core.Config) (*core.Artifacts, error) {
+			return core.RunObserved(cfg, func(stage string, seconds float64) {
+				stageSeconds.With(stage).Observe(seconds)
+			})
+		}
+	} else {
+		// Register the stage family anyway so /metrics output shape does
+		// not depend on whether a test hook is installed.
+		reg.HistogramVec("rcpt_pipeline_stage_seconds",
+			"pipeline stage wall-clock timings", obs.DefBuckets(), "stage")
+	}
+	s.runner = newRunner(runFn, opts.RunCacheEntries, reg)
+	s.routes()
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// routes wires every endpoint through the instrumentation and admission
+// middleware. Route labels are the patterns themselves, so metric
+// cardinality is fixed no matter what IDs clients request.
+func (s *Server) routes() {
+	handle := func(pattern string, g *gate, h http.HandlerFunc) {
+		s.mux.Handle(pattern, s.instrument(pattern, g, h))
+	}
+	// Probes and metrics bypass admission: they must answer even when
+	// the service is saturated.
+	handle("GET /healthz", nil, s.handleHealthz)
+	handle("GET /readyz", nil, s.handleReadyz)
+	handle("GET /metrics", nil, s.handleMetrics)
+	handle("GET /{$}", nil, s.handleIndex)
+
+	handle("GET /v1/experiments", s.renderGate, s.handleExperiments)
+	handle("GET /v1/tables/{id}", s.renderGate, s.handleTable)
+	handle("GET /v1/figures/{id}", s.renderGate, s.handleFigure)
+	handle("POST /v1/responses", s.renderGate, s.handleResponses)
+	handle("GET /v1/stats/chisquare", s.renderGate, s.handleChiSquare)
+	handle("GET /v1/stats/ci", s.renderGate, s.handleCI)
+	handle("GET /v1/stats/oddsratio", s.renderGate, s.handleOddsRatio)
+
+	handle("POST /v1/run", s.runGate, s.handleRun)
+}
+
+// Handler returns the root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the metrics registry (for tests and for callers
+// registering their own gauges).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// BaseFingerprint returns the fingerprint of the base configuration.
+func (s *Server) BaseFingerprint() string { return s.baseFP }
+
+// Warm runs the base configuration's pipeline so the first request does
+// not pay it. Optional; safe to call concurrently with serving.
+func (s *Server) Warm() error {
+	_, err := s.runner.artifacts(s.baseFP, s.baseCfg)
+	return err
+}
+
+// Serve accepts connections on l until Shutdown. It returns nil after a
+// clean Shutdown (http.ErrServerClosed is not an error for callers).
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: readiness flips to 503 (so load
+// balancers stop sending), new connections stop being accepted, and
+// in-flight requests run to completion or ctx expiry. The error from
+// the underlying http.Server.Shutdown — e.g. listeners that failed to
+// close — is propagated, never dropped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// statusWriter captures the response code and write failures.
+type statusWriter struct {
+	http.ResponseWriter
+	code     int
+	failed   bool
+	anyWrite bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.anyWrite {
+		w.code = code
+		w.anyWrite = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.anyWrite {
+		w.code = http.StatusOK
+		w.anyWrite = true
+	}
+	n, err := w.ResponseWriter.Write(b)
+	if err != nil {
+		w.failed = true
+	}
+	return n, err
+}
+
+// instrument wraps a handler with metrics and (when g != nil) admission
+// control and drain refusal.
+func (s *Server) instrument(route string, g *gate, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.inFlight.Inc()
+		defer func() {
+			s.inFlight.Dec()
+			s.latency.With(route).Observe(time.Since(start).Seconds())
+			s.requests.With(route, strconv.Itoa(sw.code)).Inc()
+			if sw.failed {
+				s.writeErrors.Inc()
+			}
+		}()
+		if g != nil {
+			if s.draining.Load() {
+				s.rejected.With(g.class, "draining").Inc()
+				s.retryLater(sw, http.StatusServiceUnavailable, "server is draining")
+				return
+			}
+			release, err := g.acquire(r.Context())
+			if err != nil {
+				switch {
+				case errors.Is(err, errQueueFull):
+					s.retryLater(sw, http.StatusTooManyRequests, "admission queue full")
+				case errors.Is(err, errQueueTimeout):
+					s.retryLater(sw, http.StatusServiceUnavailable, "timed out waiting for capacity")
+				default: // client went away
+					s.retryLater(sw, http.StatusServiceUnavailable, "request canceled while queued")
+				}
+				return
+			}
+			defer release()
+		}
+		h(sw, r)
+	})
+}
+
+// retryLater writes an error with a Retry-After hint.
+func (s *Server) retryLater(w http.ResponseWriter, status int, msg string) {
+	secs := int(s.opts.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeError(w, status, msg)
+}

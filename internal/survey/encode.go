@@ -62,10 +62,14 @@ func (ins *Instrument) WriteJSON(w io.Writer, responses []*Response) error {
 	return nil
 }
 
-// ReadJSON parses newline-delimited JSON responses and validates each
-// against the instrument. It fails on the first malformed line or
-// invalid response, reporting the line number.
-func (ins *Instrument) ReadJSON(r io.Reader) ([]*Response, error) {
+// DecodeJSON parses newline-delimited JSON responses without
+// validating them against the instrument's answer rules; it fails only
+// on malformed JSON, answers to unknown questions, or kind mismatches
+// (payloads that cannot be represented at all). Callers that need
+// per-response validation verdicts — the serving layer's POST
+// /v1/responses endpoint — decode first and run Validate per response;
+// ReadJSON composes the two for the fail-fast ingestion path.
+func (ins *Instrument) DecodeJSON(r io.Reader) ([]*Response, error) {
 	dec := json.NewDecoder(r)
 	var out []*Response
 	line := 0
@@ -98,10 +102,23 @@ func (ins *Instrument) ReadJSON(r io.Reader) ([]*Response, error) {
 				resp.SetText(id, ja.Text)
 			}
 		}
-		if errs := ins.Validate(resp); len(errs) > 0 {
-			return nil, fmt.Errorf("survey: line %d: %v", line, errs[0])
-		}
 		out = append(out, resp)
+	}
+	return out, nil
+}
+
+// ReadJSON parses newline-delimited JSON responses and validates each
+// against the instrument. It fails on the first malformed line or
+// invalid response, reporting the line number.
+func (ins *Instrument) ReadJSON(r io.Reader) ([]*Response, error) {
+	out, err := ins.DecodeJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	for i, resp := range out {
+		if errs := ins.Validate(resp); len(errs) > 0 {
+			return nil, fmt.Errorf("survey: line %d: %v", i+1, errs[0])
+		}
 	}
 	return out, nil
 }

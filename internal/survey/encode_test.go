@@ -88,6 +88,34 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestDecodeJSONSkipsValidation: DecodeJSON accepts representable but
+// rule-breaking answers (the serving layer validates per response), yet
+// still rejects payloads that cannot be represented at all.
+func TestDecodeJSONSkipsValidation(t *testing.T) {
+	ins := testInstrument(t)
+	// Invalid choice decodes fine; Validate then reports it.
+	out, err := ins.DecodeJSON(strings.NewReader(
+		`{"id":"x","cohort":2024,"weight":1,"answers":{"color":{"kind":"single","choice":"mauve"},"happy":{"kind":"likert","rating":3}}}`))
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("decoded %d responses, want 1", len(out))
+	}
+	if errs := ins.Validate(out[0]); len(errs) == 0 {
+		t.Fatal("Validate passed an invalid choice")
+	}
+	// Unknown questions and kind mismatches still fail at decode time.
+	if _, err := ins.DecodeJSON(strings.NewReader(
+		`{"id":"x","cohort":2024,"weight":1,"answers":{"ghost":{"kind":"text","text":"boo"}}}`)); err == nil {
+		t.Fatal("unknown question decoded")
+	}
+	if _, err := ins.DecodeJSON(strings.NewReader(
+		`{"id":"x","cohort":2024,"weight":1,"answers":{"color":{"kind":"text","text":"red"}}}`)); err == nil {
+		t.Fatal("kind mismatch decoded")
+	}
+}
+
 func TestWriteJSONUnknownQuestion(t *testing.T) {
 	ins := testInstrument(t)
 	r := NewResponse("x", 2024)
