@@ -7,6 +7,15 @@
 //
 //	rcpt-serve [-addr :8080] [-seed 42] [-n2011 200] [-n2024 600]
 //	           [-years 2011,2013,...] [-cache-mb 64] [-warm]
+//	           [-run-timeout 0] [-cache-dir DIR] [-stage-retries N]
+//	           [-breaker-threshold 3] [-breaker-cooldown 30s]
+//	           [-chaos "seed=1,panic=0.05,error=0.05"]
+//
+// -cache-dir enables crash-safe persistence: rendered artifacts are
+// atomically spilled to disk and checksum-validated back into the cache
+// on boot, so a restarted (or kill -9'd) daemon serves its pre-crash
+// tables with identical ETags. -chaos turns on deterministic fault
+// injection (dev/test only; see internal/fault).
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: readiness flips to
 // 503, in-flight requests finish (bounded by -drain-timeout), and the
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fault"
 	"repro/internal/serve"
 )
 
@@ -52,7 +62,21 @@ func run() error {
 	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "max time a request waits for capacity")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	warm := flag.Bool("warm", false, "run the base pipeline before accepting traffic")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock cap per pipeline run (0 = uncapped)")
+	cacheDir := flag.String("cache-dir", "", "directory for crash-safe cache persistence (empty = in-memory only)")
+	stageRetries := flag.Int("stage-retries", 0, "retries per failed retryable pipeline stage")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that trip a config's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker fast-fails before a trial run")
+	chaos := flag.String("chaos", "", `deterministic fault injection, e.g. "seed=1,panic=0.05,error=0.05,latency=0.1,delay=5ms[,stages=a|b]" (dev/test only)`)
 	flag.Parse()
+
+	chaosSpec, err := fault.ParseSpec(*chaos)
+	if err != nil {
+		return err
+	}
+	if chaosSpec.Enabled() {
+		fmt.Fprintln(os.Stderr, "rcpt-serve: CHAOS MODE — deterministic fault injection is active; do not use in production")
+	}
 
 	cfg := rcpt.DefaultConfig()
 	cfg.Seed = *seed
@@ -69,13 +93,19 @@ func run() error {
 	}
 
 	srv, err := serve.New(serve.Options{
-		BaseConfig:      cfg,
-		CacheBytes:      *cacheMB << 20,
-		RunCacheEntries: *runCache,
-		MaxCohort:       *maxCohort,
-		RenderLimit:     *renderLimit,
-		RunLimit:        *runLimit,
-		QueueTimeout:    *queueTimeout,
+		BaseConfig:       cfg,
+		CacheBytes:       *cacheMB << 20,
+		RunCacheEntries:  *runCache,
+		MaxCohort:        *maxCohort,
+		RenderLimit:      *renderLimit,
+		RunLimit:         *runLimit,
+		QueueTimeout:     *queueTimeout,
+		RunTimeout:       *runTimeout,
+		CacheDir:         *cacheDir,
+		StageRetries:     *stageRetries,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Chaos:            chaosSpec,
 	})
 	if err != nil {
 		return err
@@ -98,7 +128,14 @@ func run() error {
 	defer stop()
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				serveErr <- fmt.Errorf("serve panicked: %v", p)
+			}
+		}()
+		serveErr <- srv.Serve(ln)
+	}()
 
 	select {
 	case err := <-serveErr:

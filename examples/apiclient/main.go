@@ -207,7 +207,14 @@ func startLocal() (addr string, shutdown func() error, err error) {
 		return "", nil, err
 	}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				serveErr <- fmt.Errorf("serve panicked: %v", p)
+			}
+		}()
+		serveErr <- srv.Serve(ln)
+	}()
 	fmt.Printf("started in-process rcpt-serve on %s\n\n", ln.Addr())
 	return ln.Addr().String(), func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

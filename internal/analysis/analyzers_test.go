@@ -24,6 +24,11 @@ func TestSplitShare(t *testing.T) {
 	analysistest.Run(t, analysis.SplitShare, "testdata/src/splitshare")
 }
 
+func TestPanicSafe(t *testing.T) {
+	analysistest.Run(t, analysis.PanicSafe,
+		"testdata/src/panicsafe/serve", "testdata/src/panicsafe/other")
+}
+
 func TestFloatFold(t *testing.T) {
 	analysistest.Run(t, analysis.FloatFold, "testdata/src/floatfold")
 }

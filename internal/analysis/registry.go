@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		ErrDrop,
 		FloatFold,
 		MapOrder,
+		PanicSafe,
 		RNGPurity,
 		SplitShare,
 	}

@@ -1,0 +1,17 @@
+// Fixture proving panicsafe ignores packages outside its scope: the
+// same bare-goroutine shapes that are violations in serve/parallel/main
+// are accepted here, because this code runs inside graph stages or
+// short-lived tools where the process-lifetime argument does not apply.
+package other
+
+func work() {}
+
+func bareGoroutineOutOfScope() {
+	go func() {
+		work()
+	}()
+}
+
+func namedOutOfScope() {
+	go work()
+}

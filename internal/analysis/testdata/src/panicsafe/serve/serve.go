@@ -1,0 +1,112 @@
+// Fixture for the panicsafe analyzer: goroutines in a scoped package
+// (named "serve") must install a panic backstop. Positive cases carry
+// want annotations; the clean shapes exercise every accepted form of
+// the deferred recover.
+package serve
+
+func work() {}
+
+// bareGoroutine is the canonical violation: any panic in work unwinds
+// off the top of the goroutine stack and kills the process.
+func bareGoroutine() {
+	go func() { // want `goroutine does not recover panics`
+		work()
+	}()
+}
+
+// inlineRecover is the canonical fix.
+func inlineRecover() {
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				_ = p
+			}
+		}()
+		work()
+	}()
+}
+
+// recoverPanic is a same-package recoverer helper; deferring it counts.
+func recoverPanic() {
+	if p := recover(); p != nil {
+		_ = p
+	}
+}
+
+func helperRecover() {
+	go func() {
+		defer recoverPanic()
+		work()
+	}()
+}
+
+// lateDefer installs the backstop after other statements; the defer
+// still covers the panic-prone call below it, so this is accepted.
+func lateDefer(ready chan struct{}) {
+	go func() {
+		<-ready
+		defer recoverPanic()
+		work()
+	}()
+}
+
+// nestedRecover looks safe but is not: recover() only stops a panic
+// when called directly by the deferred function, and here it sits one
+// closure deeper, so it always returns nil.
+func nestedRecover() {
+	go func() { // want `goroutine does not recover panics`
+		defer func() {
+			func() { _ = recover() }()
+		}()
+		work()
+	}()
+}
+
+// deferWithoutRecover has a defer, just not a recovering one.
+func deferWithoutRecover(done chan struct{}) {
+	go func() { // want `goroutine does not recover panics`
+		defer close(done)
+		work()
+	}()
+}
+
+// safeWorker owns its recover, so launching it bare is fine.
+func safeWorker() {
+	defer recoverPanic()
+	work()
+}
+
+func namedSafe() {
+	go safeWorker()
+}
+
+// unsafeWorker has no backstop of its own.
+func unsafeWorker() {
+	work()
+}
+
+func namedUnsafe() {
+	go unsafeWorker() // want `goroutine target has no panic backstop`
+}
+
+type server struct{}
+
+func (s *server) loopSafe() {
+	defer recoverPanic()
+	work()
+}
+
+func (s *server) loopUnsafe() {
+	work()
+}
+
+func methods(s *server) {
+	go s.loopSafe()
+	go s.loopUnsafe() // want `goroutine target has no panic backstop`
+}
+
+// funcValue cannot be resolved to a body at analysis time, so it must
+// be wrapped in a recovering literal instead.
+func funcValue(fn func()) {
+	go fn() // want `goroutine target has no panic backstop`
+}

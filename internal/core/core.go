@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -135,7 +136,15 @@ type Artifacts struct {
 // graph starts, so scheduling order cannot perturb output. Run and
 // RunSequential produce byte-identical artifacts.
 func Run(cfg Config) (*Artifacts, error) {
-	return run(cfg, cfg.Workers, nil)
+	return RunWithOptions(context.Background(), cfg, RunOptions{})
+}
+
+// RunContext is Run with external cancellation: once ctx is done no new
+// stage starts and ctx.Err() is returned (a stage error that happened
+// first wins). In-flight stages are awaited before return — a cancelled
+// run never strands goroutines.
+func RunContext(ctx context.Context, cfg Config) (*Artifacts, error) {
+	return RunWithOptions(ctx, cfg, RunOptions{})
 }
 
 // StageObserver receives per-stage wall-clock timings from a run. It is
@@ -147,7 +156,7 @@ type StageObserver func(stage string, seconds float64)
 // not influence behaviour: artifacts stay byte-identical whether or not
 // one is installed.
 func RunObserved(cfg Config, obs StageObserver) (*Artifacts, error) {
-	return run(cfg, cfg.Workers, obs)
+	return RunWithOptions(context.Background(), cfg, RunOptions{Observer: obs})
 }
 
 // RunSequential executes the same stage graph one stage at a time, in a
@@ -156,10 +165,36 @@ func RunObserved(cfg Config, obs StageObserver) (*Artifacts, error) {
 // against; per-stage fan-out (cohort generation chunks) still honors
 // cfg.Workers.
 func RunSequential(cfg Config) (*Artifacts, error) {
-	return run(cfg, 1, nil)
+	return RunWithOptions(context.Background(), cfg, RunOptions{sequential: true})
 }
 
-func run(cfg Config, stageWorkers int, obs StageObserver) (*Artifacts, error) {
+// RunOptions bundles the resilience and telemetry knobs of a run. The
+// zero value reproduces plain Run. None of the options may influence
+// artifact bytes: observers and events are telemetry, middleware is the
+// fault-injection seam (a no-op in production), and retry re-executes
+// idempotent stages whose rng streams are re-derived by name on every
+// attempt.
+type RunOptions struct {
+	// Observer receives per-stage wall-clock timings.
+	Observer StageObserver
+	// Events receives resilience events (recovered panics, retries,
+	// cancellation) from the stage graph.
+	Events func(parallel.Event)
+	// Middleware wraps every stage attempt; used by internal/fault to
+	// inject deterministic failures at the attempt boundary.
+	Middleware parallel.StageMiddleware
+	// Retry re-attempts failed stages. Backoff jitter is drawn from the
+	// run's own "retry" rng stream split by stage name, so delays — and
+	// therefore artifacts — are deterministic for any worker count.
+	Retry parallel.RetryPolicy
+
+	sequential bool
+}
+
+// RunWithOptions executes the pipeline under ctx with the given
+// resilience options. Artifacts are byte-identical to Run for any
+// worker count and any retry/fault outcome that ends in success.
+func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Artifacts, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -174,10 +209,26 @@ func run(cfg Config, stageWorkers int, obs StageObserver) (*Artifacts, error) {
 	if err != nil {
 		return nil, err
 	}
-	if obs != nil {
-		g.SetObserver(obs)
+	if opts.Observer != nil {
+		g.SetObserver(opts.Observer)
 	}
-	if err := g.Run(stageWorkers); err != nil {
+	if opts.Events != nil {
+		g.SetEventHook(opts.Events)
+	}
+	if opts.Middleware != nil {
+		g.SetMiddleware(opts.Middleware)
+	}
+	if opts.Retry.MaxAttempts > 1 {
+		// The jitter root is split from the same seed as the pipeline
+		// root but under its own name, so retry timing shares the
+		// determinism contract without touching any generation stream.
+		g.SetRetry(opts.Retry, rng.New(cfg.Seed).SplitNamed("retry"))
+	}
+	stageWorkers := cfg.Workers
+	if opts.sequential {
+		stageWorkers = 1
+	}
+	if err := g.RunContext(ctx, stageWorkers); err != nil {
 		return nil, err
 	}
 	return a, nil
@@ -193,9 +244,13 @@ func run(cfg Config, stageWorkers int, obs StageObserver) (*Artifacts, error) {
 //	modlog-<y> (per year) ──► modlog-merge
 //
 // Every stage owns the artifact fields it writes; concurrent stages
-// never share mutable state, and all rng streams are split off the
-// seed-derived root here — before any stage runs — per the determinism
-// convention in internal/parallel.
+// never share mutable state. Per the determinism convention in
+// internal/parallel, every rng stream is split off the seed-derived
+// root *by name* — and the derivation happens inside each stage body,
+// at the top of every attempt. SplitNamed never advances the parent, so
+// the bytes are identical to deriving up front, while a retried stage
+// re-derives a fresh stream instead of resuming a half-consumed one:
+// that is what makes every stage idempotent and therefore retryable.
 func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 	root := rng.New(cfg.Seed)
 	g := parallel.NewGraph()
@@ -211,9 +266,9 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 		return nil, fmt.Errorf("core: 2024 generator: %w", err)
 	}
 	cohortStage := func(gen *population.Generator, name string, n int, dst *[]*survey.Response, report *survey.QualityReport) func() error {
-		seed := root.SplitNamed("cohort-" + name).Uint64()
-		noiseRng := root.SplitNamed("noise-" + name)
 		return func() error {
+			seed := root.SplitNamed("cohort-" + name).Uint64()
+			noiseRng := root.SplitNamed("noise-" + name)
 			rs, err := gen.GenerateParallel(seed, n, cfg.Workers)
 			if err != nil {
 				return fmt.Errorf("core: generating %s cohort: %w", name, err)
@@ -234,13 +289,13 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 			return nil
 		}
 	}
-	g.Add("cohort-2011", cohortStage(g11, "2011", cfg.N2011, &a.Cohort2011, &a.Quality2011))
-	g.Add("cohort-2024", cohortStage(g24, "2024", cfg.N2024, &a.Cohort2024, &a.Quality2024))
+	g.AddRetryable("cohort-2011", cohortStage(g11, "2011", cfg.N2011, &a.Cohort2011, &a.Quality2011))
+	g.AddRetryable("cohort-2024", cohortStage(g24, "2024", cfg.N2024, &a.Cohort2024, &a.Quality2024))
 
 	// 1b. Longitudinal panel (optional), independent of the cohorts.
 	if cfg.PanelN > 0 {
-		panelRng := root.SplitNamed("panel")
-		g.Add("panel", func() error {
+		g.AddRetryable("panel", func() error {
+			panelRng := root.SplitNamed("panel")
 			pg, err := population.NewPanelGenerator(a.Model2011, a.Model2024, population.PanelOptions{})
 			if err != nil {
 				return fmt.Errorf("core: panel generator: %w", err)
@@ -275,8 +330,8 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 				return nil
 			}
 		}
-		g.Add("rake-2011", rakeStage("2011", &a.Cohort2011, a.Model2011, &a.Rake2011), "cohort-2011")
-		g.Add("rake-2024", rakeStage("2024", &a.Cohort2024, a.Model2024, &a.Rake2024), "cohort-2024")
+		g.AddRetryable("rake-2011", rakeStage("2011", &a.Cohort2011, a.Model2011, &a.Rake2011), "cohort-2011")
+		g.AddRetryable("rake-2024", rakeStage("2024", &a.Cohort2024, a.Model2024, &a.Rake2024), "cohort-2024")
 	}
 
 	// 3+4. Cluster accounting traces and module-load telemetry, one
@@ -294,8 +349,8 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 		if year == cfg.SimYear {
 			simStage = traceStages[i]
 		}
-		traceRng := root.SplitNamed(traceStages[i])
-		g.Add(traceStages[i], func() error {
+		g.AddRetryable(traceStages[i], func() error {
+			traceRng := root.SplitNamed(fmt.Sprintf("trace-%d", year))
 			jobs, err := trace.CampusModel(year).Generate(traceRng, uint64(year)*10_000_000)
 			if err != nil {
 				return fmt.Errorf("core: generating %d trace: %w", year, err)
@@ -303,8 +358,8 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 			jobsPartials[i] = jobs
 			return nil
 		})
-		modRng := root.SplitNamed(modStages[i])
-		g.Add(modStages[i], func() error {
+		g.AddRetryable(modStages[i], func() error {
+			modRng := root.SplitNamed(fmt.Sprintf("modlog-%d", year))
 			events, err := modlog.CampusModulesModel(year).Generate(modRng)
 			if err != nil {
 				return fmt.Errorf("core: generating %d module log: %w", year, err)
@@ -313,7 +368,7 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 			return nil
 		})
 	}
-	g.Add("jobs-merge", func() error {
+	g.AddRetryable("jobs-merge", func() error {
 		total := 0
 		for _, p := range jobsPartials {
 			total += len(p)
@@ -325,7 +380,7 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 		}
 		return nil
 	}, traceStages...)
-	g.Add("modlog-merge", func() error {
+	g.AddRetryable("modlog-merge", func() error {
 		total := 0
 		for _, p := range modPartials {
 			total += len(p)
@@ -357,9 +412,9 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 			return nil
 		}
 	}
-	g.Add("sim-policy", simRun(&a.Sim, sched.Options{Policy: cfg.Policy, Fairshare: true}, "scheduler simulation"), simStage)
-	g.Add("sim-fcfs", simRun(&a.SimFCFS, sched.Options{Policy: sched.FCFS}, "FCFS baseline"), simStage)
-	g.Add("sim-conservative", simRun(&a.SimConservative, sched.Options{Policy: sched.ConservativeBackfill}, "conservative baseline"), simStage)
+	g.AddRetryable("sim-policy", simRun(&a.Sim, sched.Options{Policy: cfg.Policy, Fairshare: true}, "scheduler simulation"), simStage)
+	g.AddRetryable("sim-fcfs", simRun(&a.SimFCFS, sched.Options{Policy: sched.FCFS}, "FCFS baseline"), simStage)
+	g.AddRetryable("sim-conservative", simRun(&a.SimConservative, sched.Options{Policy: sched.ConservativeBackfill}, "conservative baseline"), simStage)
 	return g, nil
 }
 

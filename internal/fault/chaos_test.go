@@ -1,0 +1,186 @@
+//go:build chaos
+
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/sched"
+)
+
+// chaosConfig keeps three full pipeline runs cheap under -race.
+func chaosConfig(workers int) core.Config {
+	return core.Config{
+		Seed:       99,
+		N2011:      40,
+		N2024:      60,
+		TraceYears: []int{2011, 2012},
+		SimYear:    2012,
+		Policy:     sched.EASYBackfill,
+		Rake:       true,
+		PanelN:     30,
+		NoiseRate:  0.05,
+		Workers:    workers,
+	}
+}
+
+// TestChaosArtifactsByteIdenticalAcrossWorkers is the acceptance test
+// of the determinism-under-chaos argument: with panics, errors, and
+// latency spikes injected at a fixed seed and stages retried, the
+// pipeline must produce artifacts byte-identical to a clean run, for
+// every worker count.
+func TestChaosArtifactsByteIdenticalAcrossWorkers(t *testing.T) {
+	clean, err := core.Run(chaosConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanAccounting := serializeAccounting(t, clean)
+
+	for _, workers := range []int{1, 2, 4} {
+		in, err := New(Spec{
+			Seed:      12345,
+			PanicProb: 0.12, ErrorProb: 0.12, LatencyProb: 0.2,
+			Latency: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts, err := core.RunWithOptions(context.Background(), chaosConfig(workers), core.RunOptions{
+			Middleware: in.Middleware(),
+			Retry:      parallel.RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: run failed under injection: %v", workers, err)
+		}
+		p, e, d := in.Counts()
+		if p+e+d == 0 {
+			t.Fatalf("workers=%d: injector fired nothing; chaos test is vacuous", workers)
+		}
+		t.Logf("workers=%d: injected %d panics, %d errors, %d delays over %d attempts", workers, p, e, d, in.Attempts())
+
+		if !reflect.DeepEqual(clean.Jobs, arts.Jobs) ||
+			!reflect.DeepEqual(clean.Cohort2024, arts.Cohort2024) ||
+			!reflect.DeepEqual(clean.Rake2024, arts.Rake2024) ||
+			!reflect.DeepEqual(clean.Panel, arts.Panel) ||
+			!reflect.DeepEqual(clean.Sim, arts.Sim) ||
+			!reflect.DeepEqual(clean.ModAgg, arts.ModAgg) {
+			t.Fatalf("workers=%d: artifacts diverged under chaos", workers)
+		}
+		if got := serializeAccounting(t, arts); !bytes.Equal(cleanAccounting, got) {
+			t.Fatalf("workers=%d: serialized accounting diverged under chaos", workers)
+		}
+	}
+}
+
+func serializeAccounting(t *testing.T, a *core.Artifacts) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Instrument.WriteJSON(&buf, a.Cohort2024); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosExhaustedRetriesYieldTypedError: a stage failing on every
+// attempt surfaces as a *parallel.StageError with stage attribution and
+// ErrInjected as the cause — never a crash, never an anonymous error.
+func TestChaosExhaustedRetriesYieldTypedError(t *testing.T) {
+	in, err := New(Spec{Seed: 1, ErrorProb: 1, Stages: []string{"trace-2012"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.RunWithOptions(context.Background(), chaosConfig(2), core.RunOptions{
+		Middleware: in.Middleware(),
+		Retry:      parallel.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond},
+	})
+	var se *parallel.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err=%T %v, want *parallel.StageError", err, err)
+	}
+	if se.Stage != "trace-2012" || se.Attempt != 3 {
+		t.Fatalf("StageError=%+v", se)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("cause is not ErrInjected: %v", err)
+	}
+}
+
+// TestChaosInjectedPanicIsIsolated: a 100%-panic stage with no retries
+// fails the run with a typed, stack-bearing error; the process (and
+// therefore a daemon embedding the pipeline) survives.
+func TestChaosInjectedPanicIsIsolated(t *testing.T) {
+	in, err := New(Spec{Seed: 1, PanicProb: 1, Stages: []string{"rake-2024"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.RunWithOptions(context.Background(), chaosConfig(4), core.RunOptions{
+		Middleware: in.Middleware(),
+	})
+	var se *parallel.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err=%T %v, want *parallel.StageError", err, err)
+	}
+	if !se.Panicked || se.Stage != "rake-2024" || se.Stack == "" {
+		t.Fatalf("StageError=%+v", se)
+	}
+}
+
+// TestChaosCancellationUnderInjection: cancelling mid-run under heavy
+// latency injection returns promptly with ctx.Err and strands nothing.
+func TestChaosCancellationUnderInjection(t *testing.T) {
+	in, err := New(Spec{Seed: 2, LatencyProb: 1, Latency: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = core.RunWithOptions(ctx, chaosConfig(4), core.RunOptions{Middleware: in.Middleware()})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want deadline exceeded", err)
+	}
+}
+
+// TestChaosEventsAttributeFaults: every injected panic surfaces as an
+// EventPanic for the right stage, and retries are announced.
+func TestChaosEventsAttributeFaults(t *testing.T) {
+	in, err := New(Spec{Seed: 9, PanicProb: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan parallel.Event, 1024)
+	_, err = core.RunWithOptions(context.Background(), chaosConfig(2), core.RunOptions{
+		Middleware: in.Middleware(),
+		Events:     func(ev parallel.Event) { events <- ev },
+		Retry:      parallel.RetryPolicy{MaxAttempts: 10, BaseDelay: 100 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	close(events)
+	var panics, retries int
+	for ev := range events {
+		switch ev.Kind {
+		case parallel.EventPanic:
+			panics++
+			if ev.Stage == "" || ev.Err == nil {
+				t.Fatalf("panic event missing attribution: %+v", ev)
+			}
+		case parallel.EventRetry:
+			retries++
+		}
+	}
+	p, _, _ := in.Counts()
+	if int64(panics) != p {
+		t.Fatalf("panic events=%d, injector panics=%d", panics, p)
+	}
+	if retries < panics {
+		t.Fatalf("retries=%d < panics=%d: every recovered panic should schedule a retry here", retries, panics)
+	}
+}

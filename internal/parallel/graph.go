@@ -2,35 +2,143 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // Stage is one node of a Graph: a named unit of work plus the names of
 // the stages whose outputs it consumes. Run must be internally
 // deterministic (derive any randomness from streams split before the
 // graph starts); the executor guarantees only ordering, not scheduling.
+// Retryable stages must additionally be idempotent: re-running the
+// closure from the top must reproduce the same output, which the
+// pipeline achieves by deriving its rng streams by name *inside* the
+// stage body.
 type Stage struct {
-	Name string
-	Deps []string
-	Run  func() error
+	Name      string
+	Deps      []string
+	Run       func() error
+	Retryable bool
 }
+
+// StageError is the typed failure of one graph stage: which stage
+// failed, on which attempt, whether the failure was a recovered panic
+// (with the goroutine stack captured at recovery), and the underlying
+// cause. Graph.Run returns a *StageError for stage failures, so callers
+// can attribute faults with errors.As and decide routing (retry the
+// run, open a circuit, surface the stage name to a client) without
+// string matching.
+type StageError struct {
+	Stage    string
+	Attempt  int    // 1-based attempt that produced the final failure
+	Panicked bool   // the failure was a recovered panic
+	Stack    string // goroutine stack captured at recovery (panics only)
+	Err      error  // underlying cause
+}
+
+func (e *StageError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("parallel: stage %q panicked: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("parallel: stage %q: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause so errors.Is/As see through the stage frame.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// EventKind classifies a resilience event emitted by the graph runtime.
+type EventKind string
+
+const (
+	// EventPanic: a stage attempt panicked and was recovered.
+	EventPanic EventKind = "panic"
+	// EventRetry: a failed attempt will be retried after backoff.
+	EventRetry EventKind = "retry"
+	// EventCancel: the run's context was cancelled; pending stages are
+	// skipped. Emitted once per run.
+	EventCancel EventKind = "cancel"
+)
+
+// Event is one resilience event: a recovered panic, a scheduled retry,
+// or a run cancellation. Events are telemetry only — hooks must not
+// feed back into stage behaviour.
+type Event struct {
+	Stage   string
+	Kind    EventKind
+	Attempt int
+	Err     error
+}
+
+// RetryPolicy bounds how stages marked retryable are re-attempted.
+// Backoff doubles from BaseDelay per attempt, is capped at MaxDelay,
+// and carries deterministic "equal jitter" drawn from an rng stream
+// split by stage name — so the delay sequence is a pure function of
+// (retry seed, stage name, attempt), identical for any worker count.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts per retryable stage; <= 1 disables retry
+	BaseDelay   time.Duration // backoff before attempt 2; doubles each attempt
+	MaxDelay    time.Duration // cap on the backoff (0 = uncapped)
+}
+
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// backoff returns the delay before the given attempt (2-based) with the
+// jitter stream for this stage. Deterministic: same stream state and
+// attempt always produce the same delay.
+func (p RetryPolicy) backoff(attempt int, jitter *rng.RNG) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Equal jitter: half fixed, half uniform — keeps retries spread
+	// without ever collapsing the delay to zero.
+	return d/2 + time.Duration(jitter.Float64()*float64(d/2))
+}
+
+// StageMiddleware wraps one stage attempt. The fault-injection harness
+// (internal/fault) uses it to deterministically panic, fail, or delay a
+// stage at the attempt boundary — before the stage body runs — so a
+// retried stage re-executes from an untouched state. Middleware runs
+// inside the graph's panic recovery: a middleware panic is isolated
+// exactly like a stage panic.
+type StageMiddleware func(stage string, attempt int, run func() error) error
 
 // Graph is an explicit stage DAG executed by a bounded worker pool.
 // Stages with no unmet dependencies run concurrently; the first error
-// (or panic, converted to an error) cancels every stage that has not
-// yet started, while in-flight stages finish. Because stages exchange
-// data only through their declared dependency edges, the output is
-// identical for any worker count — the property the pipeline's
-// rng-split determinism convention exists to exploit.
+// (or panic, recovered into a typed *StageError) cancels every stage
+// that has not yet started, while in-flight stages finish — Run never
+// returns with a stage still executing. Because stages exchange data
+// only through their declared dependency edges, the output is identical
+// for any worker count — the property the pipeline's rng-split
+// determinism convention exists to exploit.
 //
-// Build with Add, then call Run once. A Graph is not reusable.
+// Build with Add/AddRetryable, then call Run once. A Graph is not
+// reusable.
 type Graph struct {
 	stages   []Stage
 	index    map[string]int
 	addErr   error
 	observer func(stage string, seconds float64)
+	events   func(Event)
+	mw       StageMiddleware
+	retry    RetryPolicy
+	retryRNG *rng.RNG
 }
 
 // NewGraph returns an empty stage graph.
@@ -43,23 +151,34 @@ func NewGraph() *Graph {
 // errors (duplicate name, nil func) are deferred to Run so call sites
 // can stay declarative.
 func (g *Graph) Add(name string, run func() error, deps ...string) {
+	g.add(Stage{Name: name, Deps: deps, Run: run})
+}
+
+// AddRetryable registers a stage that the retry policy (SetRetry) may
+// re-attempt after a failure. The stage must be idempotent: re-running
+// it from the top must reproduce the same output.
+func (g *Graph) AddRetryable(name string, run func() error, deps ...string) {
+	g.add(Stage{Name: name, Deps: deps, Run: run, Retryable: true})
+}
+
+func (g *Graph) add(st Stage) {
 	if g.addErr != nil {
 		return
 	}
-	if name == "" {
+	if st.Name == "" {
 		g.addErr = fmt.Errorf("parallel: graph stage with empty name")
 		return
 	}
-	if run == nil {
-		g.addErr = fmt.Errorf("parallel: graph stage %q has nil func", name)
+	if st.Run == nil {
+		g.addErr = fmt.Errorf("parallel: graph stage %q has nil func", st.Name)
 		return
 	}
-	if _, dup := g.index[name]; dup {
-		g.addErr = fmt.Errorf("parallel: duplicate graph stage %q", name)
+	if _, dup := g.index[st.Name]; dup {
+		g.addErr = fmt.Errorf("parallel: duplicate graph stage %q", st.Name)
 		return
 	}
-	g.index[name] = len(g.stages)
-	g.stages = append(g.stages, Stage{Name: name, Deps: deps, Run: run})
+	g.index[st.Name] = len(g.stages)
+	g.stages = append(g.stages, st)
 }
 
 // Len returns the number of registered stages.
@@ -70,26 +189,47 @@ func (g *Graph) Len() int { return len(g.stages) }
 // its wall-clock duration in seconds. Observation is telemetry only —
 // it must not feed back into stage behaviour, or runs stop being pure
 // functions of their inputs. The hook may be invoked concurrently from
-// multiple workers and must be safe for that.
+// multiple workers and must be safe for that. A panicking hook is
+// recovered and isolated like a stage panic.
 func (g *Graph) SetObserver(obs func(stage string, seconds float64)) { g.observer = obs }
 
+// SetEventHook installs a resilience-event hook (recovered panics,
+// retries, cancellation). Same contract as SetObserver: telemetry only,
+// concurrency-safe, panics recovered.
+func (g *Graph) SetEventHook(fn func(Event)) { g.events = fn }
+
+// SetMiddleware installs a wrapper around every stage attempt; see
+// StageMiddleware.
+func (g *Graph) SetMiddleware(mw StageMiddleware) { g.mw = mw }
+
+// SetRetry installs the retry policy for stages registered with
+// AddRetryable, with jitter drawn from stream (split by stage name, so
+// delays are deterministic for any worker count). A nil stream disables
+// jitter.
+func (g *Graph) SetRetry(p RetryPolicy, stream *rng.RNG) {
+	g.retry = p
+	g.retryRNG = stream
+}
+
 // Run executes the graph with at most workers concurrent stages
-// (workers <= 0 means GOMAXPROCS). It returns the first stage error,
-// wrapped with the stage name.
+// (workers <= 0 means GOMAXPROCS). It returns the first stage error as
+// a *StageError, wrapped with the stage name.
 func (g *Graph) Run(workers int) error {
 	return g.RunContext(context.Background(), workers)
 }
 
 // RunContext is Run with external cancellation: once ctx is done, no
-// new stage starts and ctx.Err() is returned (unless a stage already
-// failed, in which case that error wins).
+// new stage starts (and no retry backoff keeps sleeping) and ctx.Err()
+// is returned, unless a stage already failed, in which case that error
+// wins. In-flight stages are always awaited before RunContext returns:
+// cancellation never strands a running stage goroutine.
 func (g *Graph) RunContext(ctx context.Context, workers int) error {
 	if g.addErr != nil {
 		return g.addErr
 	}
 	n := len(g.stages)
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = Workers()
@@ -119,11 +259,17 @@ func (g *Graph) RunContext(ctx context.Context, workers int) error {
 	}
 
 	var (
-		mu       sync.Mutex
-		cond     = sync.NewCond(&mu)
-		ready    []int
-		done     int
-		firstErr error
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		ready     []int
+		done      int
+		firstErr  error
+		cancelled bool // cancel event emitted (once per run)
+		// workerPanic holds a panic that escaped the scheduler loop
+		// itself (not a stage — those are recovered in execStage). It is
+		// deliberately lock-free: the recovery path cannot know whether
+		// the panicking worker held mu, so it must not touch it.
+		workerPanic atomic.Value
 	)
 	for i := range g.stages {
 		if remaining[i] == 0 {
@@ -135,10 +281,17 @@ func (g *Graph) RunContext(ctx context.Context, workers int) error {
 			firstErr = err
 		}
 	}
+	emitCancel := func(err error) {
+		if !cancelled {
+			cancelled = true
+			g.emit(Event{Kind: EventCancel, Err: err})
+		}
+	}
 	// Wake blocked workers when the context dies.
 	stopWatch := context.AfterFunc(ctx, func() {
 		mu.Lock()
 		fail(ctx.Err())
+		emitCancel(ctx.Err())
 		mu.Unlock()
 		cond.Broadcast()
 	})
@@ -149,10 +302,19 @@ func (g *Graph) RunContext(ctx context.Context, workers int) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			mu.Lock()
-			defer mu.Unlock()
+			defer func() {
+				if p := recover(); p != nil {
+					// Scheduler-internal panic (should be impossible; stage
+					// and hook panics are recovered in execStage). Record it
+					// without touching mu — its state is unknown here — and
+					// wake everyone so the run winds down instead of hanging.
+					workerPanic.CompareAndSwap(nil, fmt.Errorf("parallel: graph worker panicked: %v\n%s", p, debug.Stack()))
+					cond.Broadcast()
+				}
+			}()
 			for {
-				for firstErr == nil && done < n && len(ready) == 0 {
+				mu.Lock()
+				for firstErr == nil && workerPanic.Load() == nil && done < n && len(ready) == 0 {
 					cond.Wait()
 				}
 				// Check the context synchronously so no stage is
@@ -160,23 +322,23 @@ func (g *Graph) RunContext(ctx context.Context, workers int) error {
 				// AfterFunc wakeup lands.
 				if firstErr == nil && ctx.Err() != nil {
 					fail(ctx.Err())
+					emitCancel(ctx.Err())
+				}
+				if p := workerPanic.Load(); p != nil {
+					fail(p.(error))
 				}
 				if firstErr != nil || done == n {
 					cond.Broadcast()
+					mu.Unlock()
 					return
 				}
 				i := ready[0]
 				ready = ready[1:]
 				st := g.stages[i]
 				mu.Unlock()
-				var start time.Time
-				if g.observer != nil {
-					start = time.Now()
-				}
-				err := runStage(st)
-				if g.observer != nil {
-					g.observer(st.Name, time.Since(start).Seconds())
-				}
+
+				err := g.execStage(ctx, st)
+
 				mu.Lock()
 				done++
 				if err != nil {
@@ -190,25 +352,135 @@ func (g *Graph) RunContext(ctx context.Context, workers int) error {
 					}
 				}
 				cond.Broadcast()
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		if p := workerPanic.Load(); p != nil {
+			firstErr = p.(error)
+		}
+	}
 	return firstErr
 }
 
-// runStage invokes one stage, converting panics into errors so a bad
-// stage cannot take down the whole process.
-func runStage(st Stage) (err error) {
+// execStage runs one stage to completion: attempts (with middleware and
+// full panic recovery), deterministic backoff between retries, and
+// observer/event emission. It never panics — hook panics are recovered
+// and attributed to the stage — so the caller's lock discipline stays
+// intact no matter what user code does.
+func (g *Graph) execStage(ctx context.Context, st Stage) error {
+	maxAttempts := 1
+	if st.Retryable && g.retry.enabled() {
+		maxAttempts = g.retry.MaxAttempts
+	}
+	// One jitter stream per stage execution, derived by name: the delay
+	// sequence cannot depend on which worker runs the stage or on what
+	// other stages are doing. SplitNamed reads but never advances the
+	// parent, so concurrent derivations are safe.
+	var jitter *rng.RNG
+	if maxAttempts > 1 && g.retryRNG != nil {
+		jitter = g.retryRNG.SplitNamed("retry/" + st.Name)
+	}
+	for attempt := 1; ; attempt++ {
+		err := g.runAttempt(st, attempt)
+		if err == nil {
+			return nil
+		}
+		if attempt >= maxAttempts || ctx.Err() != nil {
+			return err
+		}
+		g.emit(Event{Stage: st.Name, Kind: EventRetry, Attempt: attempt, Err: err})
+		if d := g.retry.backoffFor(attempt+1, jitter); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			}
+		}
+	}
+}
+
+// backoffFor is backoff with a nil-jitter fallback.
+func (p RetryPolicy) backoffFor(attempt int, jitter *rng.RNG) time.Duration {
+	if jitter == nil {
+		d := p.BaseDelay
+		for i := 2; i < attempt; i++ {
+			d *= 2
+			if p.MaxDelay > 0 && d >= p.MaxDelay {
+				break
+			}
+		}
+		if p.MaxDelay > 0 && d > p.MaxDelay {
+			d = p.MaxDelay
+		}
+		return d
+	}
+	return p.backoff(attempt, jitter)
+}
+
+// runAttempt invokes one attempt of one stage, converting panics
+// (stage, middleware, or hook) into typed *StageErrors so a bad stage
+// cannot take down the process, and timing the attempt for the
+// observer.
+func (g *Graph) runAttempt(st Stage, attempt int) (err error) {
+	var start time.Time
+	if g.observer != nil {
+		start = time.Now()
+	}
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("parallel: stage %q panicked: %v", st.Name, p)
+			err = &StageError{
+				Stage:    st.Name,
+				Attempt:  attempt,
+				Panicked: true,
+				Stack:    string(debug.Stack()),
+				Err:      panicErr(p),
+			}
+			g.emit(Event{Stage: st.Name, Kind: EventPanic, Attempt: attempt, Err: err})
+		}
+		if g.observer != nil {
+			// The observer itself runs inside this recovery frame via
+			// observe; a panicking observer is isolated below.
+			g.observe(st.Name, time.Since(start).Seconds())
 		}
 	}()
-	if err := st.Run(); err != nil {
-		return fmt.Errorf("parallel: stage %q: %w", st.Name, err)
+	if g.mw != nil {
+		err = g.mw(st.Name, attempt, st.Run)
+	} else {
+		err = st.Run()
+	}
+	if err != nil {
+		return &StageError{Stage: st.Name, Attempt: attempt, Err: err}
 	}
 	return nil
+}
+
+// observe calls the timing hook with panic isolation: telemetry must
+// never be able to fail a run, let alone kill the process.
+func (g *Graph) observe(stage string, seconds float64) {
+	defer func() { _ = recover() }()
+	g.observer(stage, seconds)
+}
+
+// emit calls the event hook (if any) with panic isolation.
+func (g *Graph) emit(ev Event) {
+	if g.events == nil {
+		return
+	}
+	defer func() { _ = recover() }()
+	g.events(ev)
+}
+
+// panicErr normalizes a recovered panic value into an error.
+func panicErr(p any) error {
+	if err, ok := p.(error); ok {
+		return err
+	}
+	return errors.New(fmt.Sprint(p))
 }
 
 // checkAcyclic runs Kahn's algorithm over the stage set and names one

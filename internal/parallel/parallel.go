@@ -51,30 +51,38 @@ func Map[T, R any](workers int, xs []T, fn func(int, T) (R, error)) ([]R, error)
 	)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	work := func() {
-		defer wg.Done()
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= n {
-				return
-			}
-			select {
-			case <-ctx.Done():
-				return
-			default:
-			}
-			r, err := safeCall(i, xs[i], fn)
-			if err != nil {
-				firstErr.CompareAndSwap(nil, err)
-				cancel()
-				return
-			}
-			out[i] = r
-		}
-	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go work()
+		go func() {
+			defer wg.Done()
+			defer func() {
+				// fn panics are recovered per-call in safeCall; this
+				// catches anything that escapes the worker loop itself so
+				// a worker can never take the process down.
+				if p := recover(); p != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("parallel: map worker panicked: %v", p))
+					cancel()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				r, err := safeCall(i, xs[i], fn)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					cancel()
+					return
+				}
+				out[i] = r
+			}
+		}()
 	}
 	wg.Wait()
 	if e := firstErr.Load(); e != nil {
@@ -171,6 +179,15 @@ func NewPool(workers, queue int) *Pool {
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
+			defer func() {
+				// Task panics are recovered per-task in runTask; this
+				// keeps a pool worker from ever killing the process.
+				if r := recover(); r != nil {
+					p.mu.Lock()
+					p.errs = append(p.errs, fmt.Errorf("parallel: pool worker panicked: %v", r))
+					p.mu.Unlock()
+				}
+			}()
 			for t := range p.tasks {
 				if err := runTask(t); err != nil {
 					p.mu.Lock()

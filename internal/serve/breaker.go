@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker lifecycle.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker tracks one fingerprint's failure streak. A configuration
+// whose pipeline keeps failing (e.g. a pathological parameter set that
+// panics a stage every time) trips its breaker after threshold
+// consecutive failures; while open, requests for that fingerprint
+// fast-fail with 503 + Retry-After instead of burning a run slot. After
+// the cooldown one trial run is let through (half-open): success closes
+// the circuit, failure re-opens it for another cooldown.
+//
+// Breakers are per-fingerprint so one bad configuration cannot poison
+// service for every other config. All state is guarded by the runner's
+// mutex; cancellations never count as failures (a client hanging up
+// says nothing about the config's health).
+type breaker struct {
+	state     breakerState
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // when an open circuit allows its trial run
+}
+
+// circuitOpenError is returned (not thrown) for fingerprints whose
+// breaker is open; the handlers map it to 503 with a Retry-After hint.
+type circuitOpenError struct {
+	retryAfter time.Duration
+}
+
+func (e circuitOpenError) Error() string {
+	return fmt.Sprintf("serve: circuit open for this configuration after repeated failures; retry in %s", e.retryAfter.Round(time.Millisecond))
+}
+
+// breakerAllow decides whether a new flight for fp may start. Caller
+// holds r.mu.
+func (r *runner) breakerAllow(fp string) error {
+	b, ok := r.breakers[fp]
+	if !ok || b.state == breakerClosed || b.state == breakerHalfOpen {
+		return nil
+	}
+	now := r.now()
+	if now.Before(b.openUntil) {
+		return circuitOpenError{retryAfter: b.openUntil.Sub(now)}
+	}
+	// Cooldown over: admit one trial run.
+	b.state = breakerHalfOpen
+	r.breakerTransitions.With("half_open").Inc()
+	return nil
+}
+
+// breakerSuccess records a successful run for fp. Caller holds r.mu.
+func (r *runner) breakerSuccess(fp string) {
+	b, ok := r.breakers[fp]
+	if !ok {
+		return
+	}
+	if b.state != breakerClosed {
+		r.breakerTransitions.With("closed").Inc()
+		r.breakerOpenG.Dec()
+	}
+	delete(r.breakers, fp)
+}
+
+// breakerFailure records a failed run for fp. Caller holds r.mu.
+func (r *runner) breakerFailure(fp string) {
+	b, ok := r.breakers[fp]
+	if !ok {
+		b = &breaker{}
+		r.breakers[fp] = b
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// The trial failed: straight back to open for another cooldown.
+		b.state = breakerOpen
+		b.openUntil = r.now().Add(r.breakerCooldown)
+		r.breakerTransitions.With("open").Inc()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= r.breakerThreshold {
+			b.state = breakerOpen
+			b.openUntil = r.now().Add(r.breakerCooldown)
+			b.fails = 0
+			r.breakerTransitions.With("open").Inc()
+			r.breakerOpenG.Inc()
+		}
+	}
+}

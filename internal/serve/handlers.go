@@ -2,21 +2,29 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/survey"
 )
 
-// apiError is the JSON error envelope every non-2xx body uses.
+// apiError is the JSON error envelope every non-2xx body uses. Stage is
+// set when the failure is attributable to one pipeline stage (a typed
+// parallel.StageError), so clients and dashboards see *where* a run
+// died without parsing the message.
 type apiError struct {
 	Error string `json:"error"`
+	Stage string `json:"stage,omitempty"`
 }
 
 // writeJSON encodes v with a fixed field order (struct-driven), sending
@@ -32,6 +40,49 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	s.writeJSON(w, status, apiError{Error: msg})
+}
+
+// writeRunError maps a pipeline-execution failure onto the HTTP
+// surface: breaker-open and cancellations are capacity conditions
+// (503), a run that outlived its budget is 504, and a genuine stage
+// failure is a 500 carrying the stage name.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	var coe circuitOpenError
+	switch {
+	case errors.As(err, &coe):
+		secs := int((coe.retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		s.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "pipeline run exceeded its time budget"})
+	case errors.Is(err, context.Canceled):
+		s.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "pipeline run cancelled"})
+	default:
+		var se *parallel.StageError
+		if errors.As(err, &se) {
+			s.writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error(), Stage: se.Stage})
+			return
+		}
+		s.writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+// failRender handles a render request whose pipeline run failed:
+// degrade to the last good body for the same artifact+format if one
+// exists (stale-while-error, marked via X-Rcpt-Stale so clients can
+// tell), otherwise surface the typed error.
+func (s *Server) failRender(w http.ResponseWriter, r *http.Request, artifact, format string, err error) {
+	if se, ok := s.lookupStale(artifact, format); ok {
+		s.staleServed.Inc()
+		w.Header().Set("X-Rcpt-Stale", "error")
+		w.Header().Set("X-Rcpt-Stale-Fingerprint", se.fingerprint)
+		s.writeCached(w, r, se.entry)
+		return
+	}
+	s.writeRunError(w, err)
 }
 
 // writeCached serves a rendered artifact with its content-derived ETag,
@@ -148,17 +199,19 @@ var tableFormats = map[string]struct {
 
 // resolveRun picks the artifacts a render request refers to: the base
 // run by default, or a previously executed run via ?run=<fingerprint>.
-func (s *Server) resolveRun(w http.ResponseWriter, r *http.Request) (fp string, arts func() (*core.Artifacts, error), ok bool) {
+// The returned closure executes (or joins) the run under ctx — the
+// request's deadline and disconnect propagate into the pipeline.
+func (s *Server) resolveRun(w http.ResponseWriter, r *http.Request) (fp string, arts func(ctx context.Context) (*core.Artifacts, error), ok bool) {
 	if ref := r.URL.Query().Get("run"); ref != "" {
 		if a, found := s.runner.lookup(ref); found {
-			return ref, func() (*core.Artifacts, error) { return a, nil }, true
+			return ref, func(context.Context) (*core.Artifacts, error) { return a, nil }, true
 		}
 		s.writeError(w, http.StatusNotFound,
 			"unknown or evicted run fingerprint; POST /v1/run to (re)execute it")
 		return "", nil, false
 	}
-	return s.baseFP, func() (*core.Artifacts, error) {
-		return s.runner.artifacts(s.baseFP, s.baseCfg)
+	return s.baseFP, func(ctx context.Context) (*core.Artifacts, error) {
+		return s.runner.artifacts(ctx, s.baseFP, s.baseCfg)
 	}, true
 }
 
@@ -187,13 +240,15 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cacheKey{fingerprint: fp, artifact: id, format: format}
-	if e, hit := s.cache.get(key); hit {
+	if e, hit := s.cacheGet(key); hit {
 		s.writeCached(w, r, e)
 		return
 	}
-	arts, err := artsFn()
+	ctx, cancel := s.runContext(r)
+	defer cancel()
+	arts, err := artsFn(ctx)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		s.failRender(w, r, id, format, err)
 		return
 	}
 	tab, err := exp.Table(arts)
@@ -207,7 +262,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e := cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: ff.contentType}
-	s.cache.put(key, e)
+	s.cachePut(key, e)
 	s.writeCached(w, r, e)
 }
 
@@ -227,13 +282,15 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cacheKey{fingerprint: fp, artifact: id, format: "svg"}
-	if e, hit := s.cache.get(key); hit {
+	if e, hit := s.cacheGet(key); hit {
 		s.writeCached(w, r, e)
 		return
 	}
-	arts, err := artsFn()
+	ctx, cancel := s.runContext(r)
+	defer cancel()
+	arts, err := artsFn(ctx)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		s.failRender(w, r, id, "svg", err)
 		return
 	}
 	var buf bytes.Buffer
@@ -242,7 +299,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e := cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: "image/svg+xml"}
-	s.cache.put(key, e)
+	s.cachePut(key, e)
 	s.writeCached(w, r, e)
 }
 
@@ -398,13 +455,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := cfg.Fingerprint()
 	key := cacheKey{fingerprint: fp, artifact: "run", format: "json"}
-	if e, hit := s.cache.get(key); hit {
+	if e, hit := s.cacheGet(key); hit {
 		s.writeCached(w, r, e)
 		return
 	}
-	arts, err := s.runner.artifacts(fp, cfg)
+	ctx, cancel := s.runContext(r)
+	defer cancel()
+	arts, err := s.runner.artifacts(ctx, fp, cfg)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		// No stale degradation here: POST /v1/run callers need the truth
+		// about their configuration, typed and attributed.
+		s.writeRunError(w, err)
 		return
 	}
 	sum := runSummary{
@@ -436,7 +497,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e := cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: "application/json"}
-	s.cache.put(key, e)
+	s.cachePut(key, e)
 	s.writeCached(w, r, e)
 }
 

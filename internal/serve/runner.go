@@ -2,6 +2,9 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -16,14 +19,28 @@ import (
 // recomputing. Correctness under concurrency leans on the determinism
 // contract — a fingerprint identifies one artifact set, so whichever
 // request computes it, every waiter can share the result.
+//
+// Resilience contract: each flight runs in its own goroutine under its
+// own context, so one waiter's deadline cannot kill a run other waiters
+// still want — only when the *last* waiter departs is the flight
+// cancelled. Run panics are recovered (the pipeline already converts
+// stage panics into typed errors; this is the backstop for everything
+// else) so a crashing run can never take the daemon down, and a
+// per-fingerprint circuit breaker fast-fails configurations that keep
+// failing instead of letting them monopolize run slots.
 type runner struct {
-	run        func(cfg core.Config) (*core.Artifacts, error)
+	run        func(ctx context.Context, cfg core.Config) (*core.Artifacts, error)
 	maxEntries int
 
-	mu      sync.Mutex
-	flights map[string]*flight
-	ll      *list.List // front = most recently used; values are *runItem
-	items   map[string]*list.Element
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	now              func() time.Time // injectable clock (breaker tests)
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	ll       *list.List // front = most recently used; values are *runItem
+	items    map[string]*list.Element
+	breakers map[string]*breaker
 
 	runsTotal    *obs.Counter
 	runSeconds   *obs.Histogram
@@ -31,14 +48,21 @@ type runner struct {
 	runCacheHits *obs.Counter
 	evictions    *obs.Counter
 	errorsTotal  *obs.Counter
+
+	cancellations      *obs.CounterVec // reason: deadline | disconnect
+	breakerTransitions *obs.CounterVec // state: open | half_open | closed
+	breakerOpenG       *obs.Gauge
 }
 
 // flight is one in-progress pipeline execution that late arrivals wait
-// on instead of re-running.
+// on instead of re-running. It owns its context: waiters are
+// refcounted, and the last one to walk away cancels the run.
 type flight struct {
-	done chan struct{}
-	arts *core.Artifacts
-	err  error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	arts    *core.Artifacts
+	err     error
 }
 
 // runItem is one retained run.
@@ -49,31 +73,43 @@ type runItem struct {
 }
 
 // newRunner builds the runner. runFn executes one pipeline run; the
-// server injects core.RunObserved wired to the stage-timing histogram
-// (tests inject counting stubs).
-func newRunner(runFn func(core.Config) (*core.Artifacts, error), maxEntries int, reg *obs.Registry) *runner {
+// server injects core.RunWithOptions wired to the stage-timing
+// histogram and resilience counters (tests inject counting stubs).
+func newRunner(runFn func(ctx context.Context, cfg core.Config) (*core.Artifacts, error), maxEntries, breakerThreshold int, breakerCooldown time.Duration, reg *obs.Registry) *runner {
 	if maxEntries < 1 {
 		maxEntries = 1
 	}
 	return &runner{
-		run:          runFn,
-		maxEntries:   maxEntries,
-		flights:      map[string]*flight{},
-		ll:           list.New(),
-		items:        map[string]*list.Element{},
-		runsTotal:    reg.Counter("rcpt_pipeline_runs_total", "pipeline executions started"),
-		runSeconds:   reg.Histogram("rcpt_pipeline_run_seconds", "end-to-end pipeline run latency", obs.DefBuckets()),
-		collapsed:    reg.Counter("rcpt_pipeline_collapsed_total", "requests collapsed onto an in-flight identical run"),
-		runCacheHits: reg.Counter("rcpt_run_cache_hits_total", "completed-run (Artifacts) cache hits"),
-		evictions:    reg.Counter("rcpt_run_cache_evictions_total", "completed runs evicted from the Artifacts cache"),
-		errorsTotal:  reg.Counter("rcpt_pipeline_errors_total", "pipeline executions that failed"),
+		run:              runFn,
+		maxEntries:       maxEntries,
+		breakerThreshold: breakerThreshold,
+		breakerCooldown:  breakerCooldown,
+		now:              time.Now,
+		flights:          map[string]*flight{},
+		ll:               list.New(),
+		items:            map[string]*list.Element{},
+		breakers:         map[string]*breaker{},
+		runsTotal:        reg.Counter("rcpt_pipeline_runs_total", "pipeline executions started"),
+		runSeconds:       reg.Histogram("rcpt_pipeline_run_seconds", "end-to-end pipeline run latency", obs.DefBuckets()),
+		collapsed:        reg.Counter("rcpt_pipeline_collapsed_total", "requests collapsed onto an in-flight identical run"),
+		runCacheHits:     reg.Counter("rcpt_run_cache_hits_total", "completed-run (Artifacts) cache hits"),
+		evictions:        reg.Counter("rcpt_run_cache_evictions_total", "completed runs evicted from the Artifacts cache"),
+		errorsTotal:      reg.Counter("rcpt_pipeline_errors_total", "pipeline executions that failed"),
+		cancellations: reg.CounterVec("rcpt_run_cancellations_total",
+			"run requests abandoned before completion, by reason", "reason"),
+		breakerTransitions: reg.CounterVec("rcpt_breaker_transitions_total",
+			"circuit-breaker state transitions", "state"),
+		breakerOpenG: reg.Gauge("rcpt_breaker_open_circuits",
+			"configuration fingerprints currently held open by the circuit breaker"),
 	}
 }
 
 // artifacts returns the completed run for cfg, executing the pipeline
 // at most once per fingerprint no matter how many callers arrive
-// concurrently. Failed runs are not cached: the next request retries.
-func (r *runner) artifacts(fingerprint string, cfg core.Config) (*core.Artifacts, error) {
+// concurrently. Failed runs are not cached (the next request retries,
+// subject to the circuit breaker); cancelled waits leave the flight
+// running for the remaining waiters.
+func (r *runner) artifacts(ctx context.Context, fingerprint string, cfg core.Config) (*core.Artifacts, error) {
 	r.mu.Lock()
 	if el, ok := r.items[fingerprint]; ok {
 		r.ll.MoveToFront(el)
@@ -83,24 +119,81 @@ func (r *runner) artifacts(fingerprint string, cfg core.Config) (*core.Artifacts
 		return arts, nil
 	}
 	if f, ok := r.flights[fingerprint]; ok {
+		f.waiters++
 		r.collapsed.Inc()
 		r.mu.Unlock()
-		<-f.done
-		return f.arts, f.err
+		return r.wait(ctx, fingerprint, cfg, f)
 	}
-	f := &flight{done: make(chan struct{})}
+	if err := r.breakerAllow(fingerprint); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	// New flight: its context is the flight's own, not the first
+	// caller's — the run outlives any individual waiter until none are
+	// left.
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	r.flights[fingerprint] = f
 	r.runsTotal.Inc()
 	r.mu.Unlock()
 
-	start := time.Now()
-	f.arts, f.err = r.run(cfg)
-	r.runSeconds.Observe(time.Since(start).Seconds())
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				// The pipeline recovers its own stage panics; this is the
+				// backstop for panics outside the graph (config handling,
+				// test stubs) so the daemon never dies for a bad run.
+				r.finish(fingerprint, f, nil, fmt.Errorf("serve: run panicked: %v", p))
+			}
+		}()
+		start := time.Now()
+		arts, err := r.run(fctx, cfg)
+		r.runSeconds.Observe(time.Since(start).Seconds())
+		r.finish(fingerprint, f, arts, err)
+	}()
+	return r.wait(ctx, fingerprint, cfg, f)
+}
 
+// wait blocks until the flight completes or the caller's context dies.
+// A departing waiter decrements the refcount; the last one out cancels
+// the flight so an abandoned run tears down promptly.
+func (r *runner) wait(ctx context.Context, fingerprint string, cfg core.Config, f *flight) (*core.Artifacts, error) {
+	select {
+	case <-f.done:
+		if f.err != nil && ctx.Err() == nil &&
+			(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+			// The flight died of a cancellation that was not ours: this
+			// caller raced joining a flight whose last previous waiter had
+			// already walked away and cancelled it. Its abandonment is not
+			// our failure — start (or join) a fresh flight.
+			return r.artifacts(ctx, fingerprint, cfg)
+		}
+		return f.arts, f.err
+	case <-ctx.Done():
+		r.mu.Lock()
+		f.waiters--
+		if f.waiters <= 0 {
+			f.cancel()
+		}
+		r.mu.Unlock()
+		reason := "disconnect"
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			reason = "deadline"
+		}
+		r.cancellations.With(reason).Inc()
+		return nil, ctx.Err()
+	}
+}
+
+// finish publishes a flight's outcome: LRU insert and breaker bookkeeping
+// under the lock, then the done broadcast. Ordering matters — by the
+// time any waiter wakes, the cache and breaker already reflect the run.
+func (r *runner) finish(fingerprint string, f *flight, arts *core.Artifacts, err error) {
 	r.mu.Lock()
 	delete(r.flights, fingerprint)
-	if f.err == nil {
-		el := r.ll.PushFront(&runItem{fingerprint: fingerprint, cfg: cfg, arts: f.arts})
+	f.arts, f.err = arts, err
+	if err == nil {
+		el := r.ll.PushFront(&runItem{fingerprint: fingerprint, cfg: f.cfgOf(arts), arts: arts})
 		r.items[fingerprint] = el
 		for r.ll.Len() > r.maxEntries {
 			tail := r.ll.Back()
@@ -109,12 +202,27 @@ func (r *runner) artifacts(fingerprint string, cfg core.Config) (*core.Artifacts
 			delete(r.items, item.fingerprint)
 			r.evictions.Inc()
 		}
+		r.breakerSuccess(fingerprint)
 	} else {
 		r.errorsTotal.Inc()
+		// A cancelled run says nothing about the configuration's health;
+		// only real failures feed the breaker.
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			r.breakerFailure(fingerprint)
+		}
 	}
 	r.mu.Unlock()
+	f.cancel()
 	close(f.done)
-	return f.arts, f.err
+}
+
+// cfgOf recovers the config for the runItem record. Artifacts carry
+// their Config; a nil artifact set never reaches here (err==nil path).
+func (f *flight) cfgOf(arts *core.Artifacts) core.Config {
+	if arts != nil {
+		return arts.Config
+	}
+	return core.Config{}
 }
 
 // lookup returns a retained run by fingerprint without executing

@@ -19,11 +19,14 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // Options configures a Server. The zero value is usable: every field
@@ -52,9 +55,33 @@ type Options struct {
 	QueueTimeout time.Duration
 	// RetryAfter is the hint returned with 429/503 (default 1s).
 	RetryAfter time.Duration
+	// RunTimeout caps the wall-clock of one pipeline execution triggered
+	// by a request (0 = no cap beyond the client's own disconnect). The
+	// flight is shared: the timeout applies to the run, and a request
+	// joining a nearly-expired run still gets whatever its own deadline
+	// allows.
+	RunTimeout time.Duration
+	// CacheDir enables crash-safe cache persistence: completed rendered
+	// artifacts are atomically spilled here and checksum-validated back
+	// into the cache on boot. Empty disables persistence.
+	CacheDir string
+	// BreakerThreshold is how many consecutive failed runs of one
+	// fingerprint trip its circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker fast-fails before
+	// admitting a trial run (default 30s).
+	BreakerCooldown time.Duration
+	// StageRetries is how many times a failed retryable pipeline stage
+	// is re-attempted (default 0 = fail fast). Retries re-derive their
+	// rng streams, so artifacts stay byte-identical.
+	StageRetries int
+	// Chaos injects deterministic faults into pipeline stages (dev/test
+	// only; see internal/fault). The zero Spec disables injection.
+	Chaos fault.Spec
 	// RunFunc overrides pipeline execution (tests). nil means
-	// core.RunObserved feeding the stage-timing histogram.
-	RunFunc func(core.Config) (*core.Artifacts, error)
+	// core.RunWithOptions feeding the stage-timing histogram and
+	// resilience counters.
+	RunFunc func(ctx context.Context, cfg core.Config) (*core.Artifacts, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +118,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 30 * time.Second
+	}
 	return o
 }
 
@@ -105,6 +138,14 @@ type Server struct {
 	reg    *obs.Registry
 	cache  *artifactCache
 	runner *runner
+	disk   *diskStore // nil when CacheDir is unset
+
+	// stale holds the last good rendered body per (artifact, format),
+	// regardless of fingerprint, for stale-while-error degradation: when
+	// a run fails, render endpoints can serve the previous good body
+	// (marked via X-Rcpt-Stale) instead of a bare 5xx.
+	staleMu sync.Mutex
+	stale   map[[2]string]staleEntry
 
 	renderGate *gate
 	runGate    *gate
@@ -119,6 +160,17 @@ type Server struct {
 	writeErrors *obs.Counter
 	rejected    *obs.CounterVec
 	validated   *obs.CounterVec
+
+	// resilience metrics
+	stageRetries *obs.CounterVec
+	stagePanics  *obs.CounterVec
+	staleServed  *obs.Counter
+}
+
+// staleEntry is one last-good rendered body plus the run it came from.
+type staleEntry struct {
+	entry       cacheEntry
+	fingerprint string
 }
 
 // New builds a Server. It validates the base configuration but does not
@@ -129,6 +181,9 @@ func New(opts Options) (*Server, error) {
 	if err := opts.BaseConfig.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: base config: %w", err)
 	}
+	if err := opts.Chaos.Validate(); err != nil {
+		return nil, err
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
 		opts:    opts,
@@ -137,6 +192,7 @@ func New(opts Options) (*Server, error) {
 		mux:     http.NewServeMux(),
 		reg:     reg,
 		cache:   newArtifactCache(opts.CacheBytes, reg),
+		stale:   map[[2]string]staleEntry{},
 		requests: reg.CounterVec("rcpt_http_requests_total",
 			"HTTP requests by route and status code", "route", "code"),
 		latency: reg.HistogramVec("rcpt_http_request_seconds",
@@ -147,6 +203,12 @@ func New(opts Options) (*Server, error) {
 			"requests rejected by admission control", "class", "reason"),
 		validated: reg.CounterVec("rcpt_responses_validated_total",
 			"survey responses validated by verdict", "verdict"),
+		stageRetries: reg.CounterVec("rcpt_stage_retries_total",
+			"pipeline stage attempts retried after a failure", "stage"),
+		stagePanics: reg.CounterVec("rcpt_stage_panics_recovered_total",
+			"pipeline stage panics recovered into typed errors", "stage"),
+		staleServed: reg.Counter("rcpt_stale_served_total",
+			"responses served from the last good body after a run failure"),
 	}
 	queueDepth := reg.GaugeVec("rcpt_admission_queue_depth", "requests waiting for an admission slot", "class")
 	s.renderGate = newGate("render", opts.RenderLimit, opts.RenderQueue, opts.QueueTimeout,
@@ -155,21 +217,63 @@ func New(opts Options) (*Server, error) {
 		queueDepth.With("run"), func(reason string) { s.rejected.With("run", reason).Inc() })
 
 	runFn := opts.RunFunc
+	stageSeconds := reg.HistogramVec("rcpt_pipeline_stage_seconds",
+		"pipeline stage wall-clock timings", obs.DefBuckets(), "stage")
 	if runFn == nil {
-		stageSeconds := reg.HistogramVec("rcpt_pipeline_stage_seconds",
-			"pipeline stage wall-clock timings", obs.DefBuckets(), "stage")
-		runFn = func(cfg core.Config) (*core.Artifacts, error) {
-			return core.RunObserved(cfg, func(stage string, seconds float64) {
+		runOpts := core.RunOptions{
+			Observer: func(stage string, seconds float64) {
 				stageSeconds.With(stage).Observe(seconds)
-			})
+			},
+			Events: func(ev parallel.Event) {
+				switch ev.Kind {
+				case parallel.EventRetry:
+					s.stageRetries.With(ev.Stage).Inc()
+				case parallel.EventPanic:
+					s.stagePanics.With(ev.Stage).Inc()
+				}
+			},
 		}
-	} else {
-		// Register the stage family anyway so /metrics output shape does
-		// not depend on whether a test hook is installed.
-		reg.HistogramVec("rcpt_pipeline_stage_seconds",
-			"pipeline stage wall-clock timings", obs.DefBuckets(), "stage")
+		if opts.StageRetries > 0 {
+			runOpts.Retry = parallel.RetryPolicy{
+				MaxAttempts: opts.StageRetries + 1,
+				BaseDelay:   50 * time.Millisecond,
+				MaxDelay:    2 * time.Second,
+			}
+		}
+		if opts.Chaos.Enabled() {
+			injector, err := fault.New(opts.Chaos)
+			if err != nil {
+				return nil, err
+			}
+			runOpts.Middleware = injector.Middleware()
+		}
+		runFn = func(ctx context.Context, cfg core.Config) (*core.Artifacts, error) {
+			return core.RunWithOptions(ctx, cfg, runOpts)
+		}
 	}
-	s.runner = newRunner(runFn, opts.RunCacheEntries, reg)
+	s.runner = newRunner(runFn, opts.RunCacheEntries, opts.BreakerThreshold, opts.BreakerCooldown, reg)
+
+	warmstart := reg.CounterVec("rcpt_cache_warmstart_total",
+		"spilled cache entries examined at boot, by outcome", "outcome")
+	spill := reg.CounterVec("rcpt_cache_spill_total",
+		"rendered artifacts spilled to disk, by outcome", "outcome")
+	diskHits := reg.Counter("rcpt_cache_disk_hits_total",
+		"rendered-artifact reads served from the disk spill")
+	if opts.CacheDir != "" {
+		disk, err := newDiskStore(opts.CacheDir, spill, warmstart, diskHits)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		// Warm start: every checksum-valid spilled body goes straight
+		// into the in-memory cache (and the stale store), so a restarted
+		// daemon serves its pre-crash artifacts — same bytes, same ETags
+		// — without re-running anything.
+		disk.loadAll(func(key cacheKey, e cacheEntry) {
+			s.cache.put(key, e)
+			s.recordStale(key, e)
+		})
+	}
 	s.routes()
 	s.httpSrv = &http.Server{
 		Handler:           s.mux,
@@ -216,8 +320,62 @@ func (s *Server) BaseFingerprint() string { return s.baseFP }
 // Warm runs the base configuration's pipeline so the first request does
 // not pay it. Optional; safe to call concurrently with serving.
 func (s *Server) Warm() error {
-	_, err := s.runner.artifacts(s.baseFP, s.baseCfg)
+	_, err := s.runner.artifacts(context.Background(), s.baseFP, s.baseCfg)
 	return err
+}
+
+// cacheGet reads a rendered artifact: memory first, then the disk spill
+// (read-through — an entry evicted from memory but still on disk is
+// promoted back).
+func (s *Server) cacheGet(key cacheKey) (cacheEntry, bool) {
+	if e, ok := s.cache.get(key); ok {
+		return e, true
+	}
+	if s.disk != nil {
+		if e, ok := s.disk.load(key); ok {
+			s.cache.put(key, e)
+			s.recordStale(key, e)
+			return e, true
+		}
+	}
+	return cacheEntry{}, false
+}
+
+// cachePut stores a freshly rendered artifact everywhere it belongs:
+// the in-memory LRU, the stale-while-error store, and (when persistence
+// is on) the crash-safe disk spill.
+func (s *Server) cachePut(key cacheKey, e cacheEntry) {
+	s.cache.put(key, e)
+	s.recordStale(key, e)
+	if s.disk != nil {
+		s.disk.save(key, e)
+	}
+}
+
+// recordStale remembers e as the last good body for its (artifact,
+// format), whatever run produced it.
+func (s *Server) recordStale(key cacheKey, e cacheEntry) {
+	s.staleMu.Lock()
+	s.stale[[2]string{key.artifact, key.format}] = staleEntry{entry: e, fingerprint: key.fingerprint}
+	s.staleMu.Unlock()
+}
+
+// lookupStale returns the last good body for (artifact, format), if any.
+func (s *Server) lookupStale(artifact, format string) (staleEntry, bool) {
+	s.staleMu.Lock()
+	defer s.staleMu.Unlock()
+	se, ok := s.stale[[2]string{artifact, format}]
+	return se, ok
+}
+
+// runContext derives the context a pipeline execution runs under: the
+// request's own (client disconnect) plus the configured per-run
+// timeout. The returned cancel must be called when the wait ends.
+func (s *Server) runContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RunTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RunTimeout)
+	}
+	return context.WithCancel(r.Context())
 }
 
 // Serve accepts connections on l until Shutdown. It returns nil after a

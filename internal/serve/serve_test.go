@@ -220,7 +220,7 @@ func TestFigure(t *testing.T) {
 // comes from the cache (hit counter increments).
 func TestRunCachedDeterministic(t *testing.T) {
 	var runs atomic.Int64
-	s := newTestServer(t, Options{RunFunc: func(cfg core.Config) (*core.Artifacts, error) {
+	s := newTestServer(t, Options{RunFunc: func(_ context.Context, cfg core.Config) (*core.Artifacts, error) {
 		runs.Add(1)
 		return core.RunSequential(cfg)
 	}})
@@ -265,7 +265,7 @@ func TestRunCachedDeterministic(t *testing.T) {
 func TestRunSingleflight(t *testing.T) {
 	var runs atomic.Int64
 	release := make(chan struct{})
-	s := newTestServer(t, Options{RunFunc: func(cfg core.Config) (*core.Artifacts, error) {
+	s := newTestServer(t, Options{RunFunc: func(_ context.Context, cfg core.Config) (*core.Artifacts, error) {
 		runs.Add(1)
 		<-release
 		return fakeArtifacts(), nil
@@ -309,7 +309,7 @@ func TestRunSingleflight(t *testing.T) {
 }
 
 func TestRunBadRequests(t *testing.T) {
-	s := newTestServer(t, Options{MaxCohort: 100, RunFunc: func(core.Config) (*core.Artifacts, error) {
+	s := newTestServer(t, Options{MaxCohort: 100, RunFunc: func(context.Context, core.Config) (*core.Artifacts, error) {
 		t.Error("pipeline executed for an invalid request")
 		return fakeArtifacts(), nil
 	}})
@@ -334,7 +334,7 @@ func TestRunBadRequests(t *testing.T) {
 // re-executes.
 func TestRunErrorNotCached(t *testing.T) {
 	var runs atomic.Int64
-	s := newTestServer(t, Options{RunFunc: func(cfg core.Config) (*core.Artifacts, error) {
+	s := newTestServer(t, Options{RunFunc: func(_ context.Context, cfg core.Config) (*core.Artifacts, error) {
 		if runs.Add(1) == 1 {
 			return nil, fmt.Errorf("transient failure")
 		}
@@ -361,7 +361,7 @@ func TestAdmissionQueueFull(t *testing.T) {
 	release := make(chan struct{})
 	s := newTestServer(t, Options{
 		RunLimit: 1, RunQueue: 1, QueueTimeout: 5 * time.Second,
-		RunFunc: func(cfg core.Config) (*core.Artifacts, error) {
+		RunFunc: func(_ context.Context, cfg core.Config) (*core.Artifacts, error) {
 			started <- struct{}{}
 			<-release
 			return fakeArtifacts(), nil
@@ -398,7 +398,7 @@ func TestAdmissionTimeout(t *testing.T) {
 	started := make(chan struct{}, 1)
 	s := newTestServer(t, Options{
 		RunLimit: 1, RunQueue: 4, QueueTimeout: 30 * time.Millisecond,
-		RunFunc: func(cfg core.Config) (*core.Artifacts, error) {
+		RunFunc: func(_ context.Context, cfg core.Config) (*core.Artifacts, error) {
 			started <- struct{}{}
 			<-release
 			return fakeArtifacts(), nil
@@ -572,7 +572,7 @@ func TestDrainingRejects(t *testing.T) {
 func TestGracefulDrain(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
-	s := newTestServer(t, Options{RunFunc: func(cfg core.Config) (*core.Artifacts, error) {
+	s := newTestServer(t, Options{RunFunc: func(_ context.Context, cfg core.Config) (*core.Artifacts, error) {
 		started <- struct{}{}
 		<-release
 		return fakeArtifacts(), nil
