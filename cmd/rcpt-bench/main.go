@@ -1,0 +1,184 @@
+// rcpt-bench parses `go test -bench` text output into a stable JSON
+// benchmark record, so scripts/bench.sh can commit machine-readable
+// numbers (BENCH_sched.json) instead of screen-scraped logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 3x -count 3 ./... | rcpt-bench -out BENCH_sched.json
+//
+// The output is deterministic for a given input: benchmarks appear in
+// first-seen order, samples in input order, and no timestamps or host
+// entropy are recorded beyond what `go test` itself prints (goos,
+// goarch, cpu lines).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rcpt-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// Sample is one `-count` repetition of one benchmark.
+type Sample struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // custom units (B/op, jobs, ...)
+}
+
+// Benchmark groups the samples of one benchmark name (CPU suffix like
+// `-8` stripped into Procs).
+type Benchmark struct {
+	Name        string   `json:"name"`
+	Procs       int      `json:"procs,omitempty"`
+	Samples     []Sample `json:"samples"`
+	MinNsPerOp  float64  `json:"min_ns_per_op"`
+	MeanNsPerOp float64  `json:"mean_ns_per_op"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchtime  string       `json:"benchtime,omitempty"`
+	Count      int          `json:"count,omitempty"`
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Packages   []string     `json:"packages,omitempty"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+func run(in io.Reader, argv []string) error {
+	fs := flag.NewFlagSet("rcpt-bench", flag.ContinueOnError)
+	out := fs.String("out", "-", "output file ('-' for stdout)")
+	benchtime := fs.String("benchtime", "", "benchtime the run used (recorded verbatim)")
+	count := fs.Int("count", 0, "count the run used (recorded verbatim)")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	rep.Benchtime = *benchtime
+	rep.Count = *count
+
+	if *out == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		_ = f.Close() // the encode failure is the error worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// parse consumes `go test -bench` output. Unrecognized lines (PASS, ok,
+// test chatter) are skipped: the tool is a filter, not a validator.
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []*Benchmark{}}
+	byName := map[string]*Benchmark{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Packages = append(rep.Packages, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name Iterations (value unit)+ — anything shorter is a header
+		// like "BenchmarkFoo" printed before sub-benchmarks run.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		name, procs := splitProcs(strings.TrimPrefix(fields[0], "Benchmark"))
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		s := Sample{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				s.NsPerOp = val
+				continue
+			}
+			if s.Metrics == nil {
+				s.Metrics = map[string]float64{}
+			}
+			s.Metrics[unit] = val
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name, Procs: procs}
+			byName[name] = b
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+		b.Samples = append(b.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range rep.Benchmarks {
+		min, sum := 0.0, 0.0
+		for i, s := range b.Samples {
+			if i == 0 || s.NsPerOp < min {
+				min = s.NsPerOp
+			}
+			sum += s.NsPerOp
+		}
+		b.MinNsPerOp = min
+		b.MeanNsPerOp = sum / float64(len(b.Samples))
+	}
+	return rep, nil
+}
+
+// splitProcs strips the trailing GOMAXPROCS suffix go test appends
+// ("SimulateFCFS/campus-8" → "SimulateFCFS/campus", 8).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 0
+	}
+	return name[:i], p
+}

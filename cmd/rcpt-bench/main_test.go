@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/sched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulateFCFS
+BenchmarkSimulateFCFS/campus-8         	       3	  19123456 ns/op	     57711 jobs
+BenchmarkSimulateFCFS/campus-8         	       3	  19001002 ns/op	     57711 jobs
+BenchmarkSimulateConservative/campus-8 	       3	1295987074 ns/op	     57711 jobs
+BenchmarkSimulateConservativeNaive-8   	       3	5025973702 ns/op	     57711 jobs
+PASS
+ok  	repro/internal/sched	57.814s
+pkg: repro
+BenchmarkFullPipeline-8                	       3	1754321000 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("platform %q/%q", rep.Goos, rep.Goarch)
+	}
+	if len(rep.Packages) != 2 || rep.Packages[0] != "repro/internal/sched" || rep.Packages[1] != "repro" {
+		t.Fatalf("packages %v", rep.Packages)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	fcfs := rep.Benchmarks[0]
+	if fcfs.Name != "SimulateFCFS/campus" || fcfs.Procs != 8 {
+		t.Fatalf("first benchmark %q procs %d", fcfs.Name, fcfs.Procs)
+	}
+	if len(fcfs.Samples) != 2 {
+		t.Fatalf("fcfs samples %d", len(fcfs.Samples))
+	}
+	if fcfs.MinNsPerOp != 19001002 {
+		t.Fatalf("fcfs min %v", fcfs.MinNsPerOp)
+	}
+	if want := (19123456.0 + 19001002.0) / 2; fcfs.MeanNsPerOp != want {
+		t.Fatalf("fcfs mean %v want %v", fcfs.MeanNsPerOp, want)
+	}
+	if got := fcfs.Samples[0].Metrics["jobs"]; got != 57711 {
+		t.Fatalf("jobs metric %v", got)
+	}
+	// The speedup ratio the acceptance criteria care about must be
+	// computable from the parsed record.
+	var cons, naive float64
+	for _, b := range rep.Benchmarks {
+		switch b.Name {
+		case "SimulateConservative/campus":
+			cons = b.MinNsPerOp
+		case "SimulateConservativeNaive":
+			naive = b.MinNsPerOp
+		}
+	}
+	if cons == 0 || naive == 0 {
+		t.Fatal("conservative pair not parsed")
+	}
+	if ratio := naive / cons; ratio < 3.8 || ratio > 3.9 {
+		t.Fatalf("ratio %v not computed from fixture numbers", ratio)
+	}
+}
+
+func TestParseSkipsChatterAndHeaders(t *testing.T) {
+	rep, err := parse(strings.NewReader("warming up\nBenchmarkX\nnot a bench line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from chatter", len(rep.Benchmarks))
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	_, err := parse(strings.NewReader("BenchmarkY-8 3 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"SimulateFCFS/campus-8", "SimulateFCFS/campus", 8},
+		{"FullPipeline-16", "FullPipeline", 16},
+		{"NoSuffix", "NoSuffix", 0},
+		{"Trailing-dash-", "Trailing-dash-", 0},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Fatalf("splitProcs(%q) = %q,%d want %q,%d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

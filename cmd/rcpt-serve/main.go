@@ -10,6 +10,7 @@
 //	           [-run-timeout 0] [-cache-dir DIR] [-stage-retries N]
 //	           [-breaker-threshold 3] [-breaker-cooldown 30s]
 //	           [-chaos "seed=1,panic=0.05,error=0.05"]
+//	           [-pprof localhost:6060]
 //
 // -cache-dir enables crash-safe persistence: rendered artifacts are
 // atomically spilled to disk and checksum-validated back into the cache
@@ -28,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -68,6 +70,7 @@ func run() error {
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that trip a config's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker fast-fails before a trial run")
 	chaos := flag.String("chaos", "", `deterministic fault injection, e.g. "seed=1,panic=0.05,error=0.05,latency=0.1,delay=5ms[,stages=a|b]" (dev/test only)`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled, never on the public listener)")
 	flag.Parse()
 
 	chaosSpec, err := fault.ParseSpec(*chaos)
@@ -115,6 +118,27 @@ func run() error {
 		if err := srv.Warm(); err != nil {
 			return fmt.Errorf("warmup: %w", err)
 		}
+	}
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "rcpt-serve: pprof on %s (keep this address private)\n", pln.Addr())
+		pprofSrv := &http.Server{Handler: serve.PprofMux()}
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					fmt.Fprintf(os.Stderr, "rcpt-serve: pprof server panicked: %v\n", p)
+				}
+			}()
+			// Best-effort debug endpoint: its lifecycle errors must never
+			// take down the service it is observing.
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "rcpt-serve: pprof server: %v\n", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

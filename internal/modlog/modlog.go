@@ -285,16 +285,21 @@ func AggregateByYear(events []Event) []YearShares {
 		year int
 		user string
 	}
-	usersPerYear := map[int]map[string]bool{}
-	loads := map[key]map[string]bool{}
+	// Size hints: a synthetic log averages a handful of loads per
+	// (year, user) pair, and the event slice bounds the pair count, so
+	// hinting from len(events) keeps the hot maps from regrowing while
+	// staying O(1) extra memory for small logs.
+	pairHint := len(events)/8 + 8
+	usersPerYear := make(map[int]map[string]bool, 8)
+	loads := make(map[key]map[string]bool, pairHint)
 	for _, e := range events {
 		if usersPerYear[e.Year] == nil {
-			usersPerYear[e.Year] = map[string]bool{}
+			usersPerYear[e.Year] = make(map[string]bool, pairHint)
 		}
 		usersPerYear[e.Year][e.User] = true
 		k := key{e.Year, e.User}
 		if loads[k] == nil {
-			loads[k] = map[string]bool{}
+			loads[k] = make(map[string]bool, 8)
 		}
 		loads[k][e.Name()] = true
 	}
@@ -306,7 +311,7 @@ func AggregateByYear(events []Event) []YearShares {
 	out := make([]YearShares, 0, len(years))
 	for _, y := range years {
 		users := usersPerYear[y]
-		counts := map[string]int{}
+		counts := make(map[string]int, 64)
 		for user := range users {
 			for name := range loads[key{y, user}] {
 				counts[name]++

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -12,6 +13,13 @@ import (
 // job starts now only if its reservation is now. Unlike EASY, no job's
 // reservation can be delayed by a later backfill, at the cost of more
 // bookkeeping and fewer backfill opportunities.
+//
+// The hot path is incremental (DESIGN.md "Scheduler performance"): the
+// base profile is rebuilt from the sorted release list at most once per
+// simulation event and updated in place as jobs start; each reservation
+// pass works on a scratch copy, so nothing here allocates in steady
+// state. The pre-incremental implementation survives as the reference
+// oracle in oracle.go.
 
 // bfDepth caps how many queued jobs receive reservations per scheduling
 // pass, mirroring Slurm's bf_max_job_test; jobs beyond the cap simply
@@ -37,111 +45,161 @@ func (n need) fitsIn(avail need) bool {
 }
 
 // profile tracks free resources over future time as a step function.
+// The three resource lanes are stored as parallel arrays (struct of
+// arrays) sharing the times axis: feasibility scans for a cpu-partition
+// job read only the cpu lane, and gpu-partition scans only the two gpu
+// lanes. That specialization is sound because availability is never
+// negative (conservation invariants on live resources; reservations
+// only land in windows verified feasible), so a zero demand trivially
+// fits every step of the lanes it does not touch.
 type profile struct {
-	times []int64 // strictly increasing; times[0] == now
-	free  []need  // free resources in [times[i], times[i+1])
+	times   []int64 // strictly increasing; times[0] == now
+	cpu     []int32 // free cpu-partition cores in [times[i], times[i+1])
+	gpuCore []int32 // free gpu-partition cores
+	gpu     []int32 // free gpus
 }
 
-// newProfile builds the availability profile from current free
-// resources and the limit-based release times of running jobs.
-func (s *sim) newProfile() *profile {
-	type release struct {
-		t int64
-		n need
-	}
-	var rels []release
-	for _, e := range s.running {
-		startT := e.end - e.job.Elapsed
-		rels = append(rels, release{t: startT + e.job.Limit, n: needOf(e.job)})
-	}
-	sort.Slice(rels, func(a, b int) bool { return rels[a].t < rels[b].t })
-	p := &profile{
-		times: []int64{s.now},
-		free:  []need{{cpu: s.cpuFree, gpuCore: s.gpuCore, gpu: s.gpuFree}},
-	}
-	for _, r := range rels {
-		last := p.free[len(p.free)-1]
-		next := need{cpu: last.cpu + r.n.cpu, gpuCore: last.gpuCore + r.n.gpuCore, gpu: last.gpu + r.n.gpu}
-		if r.t <= p.times[len(p.times)-1] {
-			// Release at (or before) the current step start: merge.
-			p.free[len(p.free)-1] = next
-			continue
+// copyFrom makes p an independent copy of src, reusing p's backing
+// arrays.
+func (p *profile) copyFrom(src *profile) {
+	p.times = append(p.times[:0], src.times...)
+	p.cpu = append(p.cpu[:0], src.cpu...)
+	p.gpuCore = append(p.gpuCore[:0], src.gpuCore...)
+	p.gpu = append(p.gpu[:0], src.gpu...)
+}
+
+// rebuildBase reconstructs the availability profile for the current
+// instant from free resources and the incrementally maintained release
+// list. Unlike the oracle's newProfileNaive this does not sort (the
+// release list is kept ordered on job start/finish) and reuses the
+// base profile's backing arrays, so a rebuild is one linear merge.
+func (s *sim) rebuildBase() {
+	p := &s.base
+	p.times = append(p.times[:0], s.now)
+	p.cpu = append(p.cpu[:0], int32(s.cpuFree))
+	p.gpuCore = append(p.gpuCore[:0], int32(s.gpuCore))
+	p.gpu = append(p.gpu[:0], int32(s.gpuFree))
+	for i := range s.releases {
+		r := &s.releases[i]
+		last := len(p.times) - 1
+		if r.t > p.times[last] {
+			// New step, carrying the previous availability forward.
+			p.times = append(p.times, r.t)
+			p.cpu = append(p.cpu, p.cpu[last])
+			p.gpuCore = append(p.gpuCore, p.gpuCore[last])
+			p.gpu = append(p.gpu, p.gpu[last])
+			last++
 		}
-		p.times = append(p.times, r.t)
-		p.free = append(p.free, next)
+		// Release at (or before) the current step start: merge.
+		p.cpu[last] += int32(r.n.cpu)
+		p.gpuCore[last] += int32(r.n.gpuCore)
+		p.gpu[last] += int32(r.n.gpu)
 	}
-	return p
+	s.baseOK = true
 }
 
 // earliestFit returns the earliest time >= now at which n is available
-// continuously for duration seconds.
-func (p *profile) earliestFit(n need, duration int64) int64 {
-	for i := range p.times {
-		start := p.times[i]
-		if !n.fitsIn(p.free[i]) {
+// continuously for duration seconds. A single cursor tracks the first
+// step after the most recent infeasible one, so the scan is linear in
+// profile steps instead of the oracle's nested rescan, and only the
+// lanes the job's partition uses are read. ok is false when even the
+// final (steady-state) step cannot hold n — the caller must surface
+// ErrNeverFits rather than fabricate a reservation.
+func (p *profile) earliestFit(n need, duration int64) (start int64, ok bool) {
+	if n.gpuCore == 0 && n.gpu == 0 {
+		return p.earliestFitLane(p.cpu, nil, int32(n.cpu), 0, duration)
+	}
+	return p.earliestFitLane(p.gpuCore, p.gpu, int32(n.gpuCore), int32(n.gpu), duration)
+}
+
+// earliestFitLane runs the cursor scan over one lane (b nil) or two.
+func (p *profile) earliestFitLane(a, b []int32, na, nb int32, duration int64) (int64, bool) {
+	i := 0 // candidate start step: first feasible step after the last infeasible one
+	last := len(p.times) - 1
+	for j := 0; j <= last; j++ {
+		if na > a[j] || (b != nil && nb > b[j]) {
+			i = j + 1
 			continue
 		}
-		// Check the window [start, start+duration) stays feasible.
-		end := start + duration
-		ok := true
-		for j := i + 1; j < len(p.times) && p.times[j] < end; j++ {
-			if !n.fitsIn(p.free[j]) {
-				ok = false
-				break
-			}
+		if j == last {
+			// Feasible through the final step, which extends forever.
+			return p.times[i], true
 		}
-		if ok {
-			return start
+		if p.times[j+1] >= p.times[i]+duration {
+			// Steps i..j cover [times[i], times[i]+duration) entirely.
+			return p.times[i], true
 		}
 	}
-	// After the last event everything running has released; the final
-	// step is the steady state and must fit any pre-validated job.
-	return p.times[len(p.times)-1]
+	return 0, false
 }
 
-// reserve subtracts n from the profile over [start, start+duration),
-// inserting step boundaries as needed.
+// reserve subtracts n from the profile over [start, start+duration).
+// Both step boundaries are resolved (inserting at most one step each)
+// and the subtraction touches only the covered step range of the lanes
+// the job actually uses, instead of the oracle's two independent
+// insertions plus full-profile scan.
 func (p *profile) reserve(n need, start, duration int64) {
-	end := start + duration
-	p.ensureBoundary(start)
-	p.ensureBoundary(end)
-	for i := range p.times {
-		if p.times[i] >= start && p.times[i] < end {
-			p.free[i].cpu -= n.cpu
-			p.free[i].gpuCore -= n.gpuCore
-			p.free[i].gpu -= n.gpu
+	si := p.boundary(start)
+	ei := p.boundary(start + duration)
+	if n.gpuCore == 0 && n.gpu == 0 {
+		lane := p.cpu[si:ei]
+		for i := range lane {
+			lane[i] -= int32(n.cpu)
 		}
+		return
+	}
+	gc, g := p.gpuCore[si:ei], p.gpu[si:ei]
+	for i := range gc {
+		gc[i] -= int32(n.gpuCore)
+		g[i] -= int32(n.gpu)
 	}
 }
 
-// ensureBoundary splits the step containing t so t is a step start.
-func (p *profile) ensureBoundary(t int64) {
+// boundary returns the index of the step starting at t, splitting the
+// step containing t if needed. Times at or before the profile start
+// map to step 0.
+func (p *profile) boundary(t int64) int {
 	if t <= p.times[0] {
-		return
+		return 0
 	}
 	idx := sort.Search(len(p.times), func(i int) bool { return p.times[i] >= t })
 	if idx < len(p.times) && p.times[idx] == t {
-		return
+		return idx
 	}
 	// Insert at idx, copying the preceding step's availability.
 	p.times = append(p.times, 0)
-	p.free = append(p.free, need{})
+	p.cpu = append(p.cpu, 0)
+	p.gpuCore = append(p.gpuCore, 0)
+	p.gpu = append(p.gpu, 0)
 	copy(p.times[idx+1:], p.times[idx:])
-	copy(p.free[idx+1:], p.free[idx:])
+	copy(p.cpu[idx+1:], p.cpu[idx:])
+	copy(p.gpuCore[idx+1:], p.gpuCore[idx:])
+	copy(p.gpu[idx+1:], p.gpu[idx:])
 	p.times[idx] = t
-	p.free[idx] = p.free[idx-1]
+	p.cpu[idx] = p.cpu[idx-1]
+	p.gpuCore[idx] = p.gpuCore[idx-1]
+	p.gpu[idx] = p.gpu[idx-1]
+	return idx
 }
 
 // scheduleConservative runs one conservative-backfill pass: walk the
 // queue in priority order, give each of the first bfDepth jobs a
-// reservation, and start those whose reservation is now.
-func (s *sim) scheduleConservative() {
+// reservation, and start those whose reservation is now. Each pass
+// works on a scratch copy of the base profile; when a job starts, the
+// base is updated in place (a start is exactly a reservation over the
+// job's limit window) rather than rebuilt, which is what makes the
+// restarted pass cheap.
+func (s *sim) scheduleConservative() error {
 	for {
 		order := s.order()
 		if len(order) == 0 {
-			return
+			return nil
 		}
-		p := s.newProfile()
+		if !s.baseOK {
+			s.rebuildBase()
+		}
+		p := &s.work
+		p.copyFrom(&s.base)
 		startedOne := false
 		depth := len(order)
 		if depth > bfDepth {
@@ -150,28 +208,38 @@ func (s *sim) scheduleConservative() {
 		for qi := 0; qi < depth; qi++ {
 			q := order[qi]
 			n := needOf(q.job)
-			start := p.earliestFit(n, q.job.Limit)
+			start, ok := p.earliestFit(n, q.job.Limit)
+			if !ok {
+				return fmt.Errorf("sched: job %d (%d cores / %d gpus on %q) cannot be reserved: %w",
+					q.job.ID, q.job.Cores(), q.job.GPUs, q.job.Partition, ErrNeverFits)
+			}
 			if start == s.now && s.fits(q.job) {
 				s.start(q)
+				s.base.reserve(n, s.now, q.job.Limit)
 				if qi > 0 {
 					s.backfills++
 				}
 				startedOne = true
-				break // state changed; rebuild the profile
+				break // state changed; restart the pass on the updated base
 			}
 			p.reserve(n, start, q.job.Limit)
 		}
 		if !startedOne {
-			return
+			return nil
 		}
 	}
 }
 
 // jainFairness computes Jain's index over per-user mean bounded
-// slowdown: (Σx)² / (n Σx²), in (0, 1].
-func jainFairness(results []JobResult) float64 {
+// slowdown: (Σx)² / (n Σx²), in (0, 1]. userHint sizes the per-user
+// accumulator map up front (the simulator knows its user count), so
+// the render path does not regrow it.
+func jainFairness(results []JobResult, userHint int) float64 {
 	const tau = 10.0
-	perUser := map[string][2]float64{} // sum slowdown, count
+	if userHint < 8 {
+		userHint = 8
+	}
+	perUser := make(map[string][2]float64, userHint) // sum slowdown, count
 	for _, r := range results {
 		run := float64(r.Job.Elapsed)
 		s := (float64(r.Wait) + run) / math.Max(run, tau)

@@ -189,22 +189,30 @@ func TestPartitionWaitMetrics(t *testing.T) {
 
 func TestProfileOperations(t *testing.T) {
 	p := &profile{
-		times: []int64{0, 100, 200},
-		free:  []need{{cpu: 8}, {cpu: 16}, {cpu: 32}},
+		times:   []int64{0, 100, 200},
+		cpu:     []int32{8, 16, 32},
+		gpuCore: []int32{0, 0, 0},
+		gpu:     []int32{0, 0, 0},
 	}
 	// Needs 16 cores for 150s: at t=0 only 8 free; at t=100, window
 	// [100,250) has >= 16 throughout.
-	if got := p.earliestFit(need{cpu: 16}, 150); got != 100 {
-		t.Fatalf("earliestFit=%d", got)
+	if got, ok := p.earliestFit(need{cpu: 16}, 150); !ok || got != 100 {
+		t.Fatalf("earliestFit=%d ok=%v", got, ok)
 	}
 	// Needs 32 for 10s: only from t=200.
-	if got := p.earliestFit(need{cpu: 32}, 10); got != 200 {
-		t.Fatalf("earliestFit=%d", got)
+	if got, ok := p.earliestFit(need{cpu: 32}, 10); !ok || got != 200 {
+		t.Fatalf("earliestFit=%d ok=%v", got, ok)
 	}
 	// Reserve 8 cores over [100, 250) and re-check.
 	p.reserve(need{cpu: 8}, 100, 150)
-	if got := p.earliestFit(need{cpu: 32}, 10); got != 250 {
-		t.Fatalf("post-reserve earliestFit=%d", got)
+	if got, ok := p.earliestFit(need{cpu: 32}, 10); !ok || got != 250 {
+		t.Fatalf("post-reserve earliestFit=%d ok=%v", got, ok)
+	}
+	// A demand above even the steady-state step can never fit: the old
+	// implementation silently returned the last step start; the
+	// incremental one refuses.
+	if got, ok := p.earliestFit(need{cpu: 64}, 10); ok {
+		t.Fatalf("oversized demand got a reservation at %d", got)
 	}
 	// Boundary insertion kept steps sorted.
 	for i := 1; i < len(p.times); i++ {

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// randomTrace generates a valid random workload scaled to the cluster:
+// job widths up to roughly half the machine, bursts of equal submit
+// times and equal limits to stress tie-breaking, and a GPU mix when the
+// cluster has a GPU pool.
+func randomTrace(r *rng.RNG, c Cluster, n int) []trace.Job {
+	users := []string{"ada", "bob", "cam", "dee", "eve"}
+	jobs := make([]trace.Job, 0, n)
+	var lastSubmit int64
+	for i := 0; i < n; i++ {
+		submit := lastSubmit
+		if !r.Bool(0.25) { // 25% exact ties with the previous arrival
+			submit += int64(r.Intn(4000))
+		}
+		lastSubmit = submit
+		elapsed := int64(1 + r.Intn(3000))
+		limit := elapsed
+		if !r.Bool(0.3) { // 30% exact-limit (timeout-shaped) jobs
+			limit += int64(1 + r.Intn(1200))
+		}
+		j := trace.Job{
+			ID: uint64(i + 1), User: users[r.Intn(len(users))], Account: "x",
+			Partition: "cpu", Year: 2024, Submit: submit,
+			Nodes: 1 + r.Intn(maxInt(1, c.CPUNodes/2)), CoresPer: 1 + r.Intn(c.CoresPerNode),
+			Limit: limit, Elapsed: elapsed, State: trace.StateCompleted, Language: "c",
+		}
+		if c.GPUNodes > 0 && r.Bool(0.3) {
+			j.Partition = "gpu"
+			j.Nodes = 1 + r.Intn(maxInt(1, c.GPUNodes/2))
+			j.GPUs = 1 + r.Intn(c.GPUsPerNode*j.Nodes)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestDifferentialOracle pins the determinism contract of the
+// incremental simulator: across seeded random traces, all three
+// policies, fairshare on and off, and both cluster shapes, the
+// optimized fast path must produce Results identical to the naive
+// reference oracle — same per-job outcomes, same utilization samples,
+// same metrics, bit for bit.
+func TestDifferentialOracle(t *testing.T) {
+	clusters := []struct {
+		name string
+		c    Cluster
+	}{
+		{"small", smallCluster()},
+		{"campus", DefaultCampusCluster()},
+	}
+	policies := []Policy{FCFS, EASYBackfill, ConservativeBackfill}
+	const tracesPerCluster = 110 // ×2 clusters = 220 seeded traces ≥ the 200 the contract demands
+	for _, cl := range clusters {
+		cl := cl
+		t.Run(cl.name, func(t *testing.T) {
+			for seed := uint64(0); seed < tracesPerCluster; seed++ {
+				r := rng.New(seed*2654435761 + 17)
+				jobs := randomTrace(r, cl.c, 20+r.Intn(80))
+				for _, pol := range policies {
+					opt := Options{Policy: pol, Fairshare: seed%2 == 0, UtilSampleEvery: 900}
+					got, err := Simulate(cl.c, jobs, opt)
+					if err != nil {
+						t.Fatalf("seed %d %v: optimized: %v", seed, pol, err)
+					}
+					want, err := simulateOracle(cl.c, jobs, opt)
+					if err != nil {
+						t.Fatalf("seed %d %v: oracle: %v", seed, pol, err)
+					}
+					if err := diffResults(got, want); err != nil {
+						t.Fatalf("seed %d %v fairshare=%v: optimized diverges from oracle: %v",
+							seed, pol, opt.Fairshare, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// diffResults reports the first divergence between two simulation
+// outputs, or nil if they are identical.
+func diffResults(got, want *Result) error {
+	if len(got.Results) != len(want.Results) {
+		return fmt.Errorf("result counts %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i] != want.Results[i] {
+			return fmt.Errorf("result %d: %+v vs %+v", i, got.Results[i], want.Results[i])
+		}
+	}
+	if len(got.Samples) != len(want.Samples) {
+		return fmt.Errorf("sample counts %d vs %d", len(got.Samples), len(want.Samples))
+	}
+	for i := range got.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			return fmt.Errorf("sample %d: %+v vs %+v", i, got.Samples[i], want.Samples[i])
+		}
+	}
+	if got.Metrics != want.Metrics {
+		return fmt.Errorf("metrics %+v vs %+v", got.Metrics, want.Metrics)
+	}
+	return nil
+}
+
+// TestOversizedJobErrNeverFits drives an oversized job through the
+// conservative reservation path directly (bypassing Simulate's up-front
+// validation, as a caller constructing sims by hand could) and asserts
+// the typed ErrNeverFits error surfaces instead of the historical
+// silent steady-state fallback.
+func TestOversizedJobErrNeverFits(t *testing.T) {
+	blocker := mkJob(1, 0, 4, 8, 1000) // fills the 32-core machine
+	tooWide := mkJob(2, 10, 8, 8, 100) // 64 cores on a 32-core machine
+	s := newSim(smallCluster(), []trace.Job{blocker, tooWide},
+		Options{Policy: ConservativeBackfill, UtilSampleEvery: 3600})
+	err := s.run()
+	if err == nil {
+		t.Fatal("oversized job reached a reservation without error")
+	}
+	if !errors.Is(err, ErrNeverFits) {
+		t.Fatalf("error %v is not ErrNeverFits", err)
+	}
+}

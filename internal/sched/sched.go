@@ -145,10 +145,21 @@ type Result struct {
 	Metrics Metrics
 }
 
+// ErrNeverFits reports a job whose request exceeds even the empty-
+// cluster steady state, so no reservation can ever be honored. Simulate
+// rejects such jobs up front; this error surfaces only when the
+// pre-validation is bypassed (e.g. a profile constructed directly) and
+// replaces the historical silent fallback that assumed feasibility.
+var ErrNeverFits = errors.New("sched: job exceeds steady-state capacity")
+
 // Simulate schedules jobs (any order; sorted internally by submit time)
 // on the cluster. Jobs whose requests exceed the machine are rejected up
 // front with an error naming the job. The simulation is deterministic.
 func Simulate(cluster Cluster, jobs []trace.Job, opt Options) (*Result, error) {
+	return simulate(cluster, jobs, opt, false)
+}
+
+func simulate(cluster Cluster, jobs []trace.Job, opt Options, naive bool) (*Result, error) {
 	if err := cluster.Validate(); err != nil {
 		return nil, err
 	}
@@ -182,6 +193,7 @@ func Simulate(cluster Cluster, jobs []trace.Job, opt Options) (*Result, error) {
 		}
 	}
 	s := newSim(cluster, jobs, opt)
+	s.naive = naive
 	if err := s.run(); err != nil {
 		return nil, err
 	}
@@ -206,7 +218,11 @@ type sim struct {
 	now     int64
 	results []JobResult
 
-	usage     map[string]float64 // decayed core-seconds per user
+	// Fairshare usage is interned: users get dense indexes at first
+	// arrival, so the per-event decay multiplies a flat float slice
+	// instead of rewriting a string-keyed map.
+	userIdx   map[string]int
+	usage     []float64 // decayed core-seconds per user index
 	lastDecay int64
 
 	samples    []UtilSample
@@ -216,12 +232,48 @@ type sim struct {
 	cpuBusyInt float64 // ∫ busy cores dt, for time-averaged utilization
 	gpuBusyInt float64
 	lastT      int64
+
+	// naive routes scheduling through the reference oracle (oracle.go).
+	naive bool
+
+	// Incremental availability machinery (DESIGN.md "Scheduler
+	// performance"). releases mirrors the running set as limit-based
+	// release events sorted by (t, seq), updated on every job start and
+	// completion. base is the availability profile for the current
+	// event, rebuilt from releases at most once per simulation event
+	// (baseOK) and then maintained incrementally as jobs start; work is
+	// the per-pass reservation scratch copied from base. prio caches
+	// the fairshare priority order between mutations (prioDirty), and
+	// shadowRels is the reusable buffer behind EASY's shadow sort.
+	releases   []release
+	base       profile
+	work       profile
+	baseOK     bool
+	prio       []*queued
+	prioDirty  bool
+	shadowRels []shadowRel
 }
 
 type queued struct {
 	job     trace.Job
 	arrived int64
-	seq     int // arrival sequence, the FCFS tiebreak
+	seq     int     // arrival sequence, the FCFS tiebreak
+	user    int     // interned usage index for job.User
+	key     float64 // usage snapshot backing the cached priority order
+}
+
+// release is one future limit-based resource release, the unit of the
+// incrementally maintained availability profile.
+type release struct {
+	t   int64 // release time: start + Limit
+	seq int   // owning job's arrival seq (removal key, tiebreak)
+	n   need
+}
+
+// shadowRel is the scratch element for the EASY shadow computation.
+type shadowRel struct {
+	t                int64
+	cores, gpuc, gpu int
 }
 
 // runHeap orders running jobs by completion time.
@@ -282,18 +334,55 @@ func newSim(cluster Cluster, jobs []trace.Job, opt Options) *sim {
 		sampleCap += int(span / opt.UtilSampleEvery)
 	}
 	return &sim{
-		cluster: cluster,
-		opt:     opt,
-		pending: pending,
-		queue:   make([]*queued, 0, 64),
-		running: make(runHeap, 0, 256),
-		results: make([]JobResult, 0, len(pending)),
-		samples: make([]UtilSample, 0, sampleCap),
-		cpuFree: cluster.cpuCapacity(),
-		gpuCore: cluster.gpuCoreCap(),
-		gpuFree: cluster.gpuCapacity(),
-		usage:   map[string]float64{},
+		cluster:  cluster,
+		opt:      opt,
+		pending:  pending,
+		queue:    make([]*queued, 0, 64),
+		running:  make(runHeap, 0, 256),
+		results:  make([]JobResult, 0, len(pending)),
+		samples:  make([]UtilSample, 0, sampleCap),
+		cpuFree:  cluster.cpuCapacity(),
+		gpuCore:  cluster.gpuCoreCap(),
+		gpuFree:  cluster.gpuCapacity(),
+		userIdx:  map[string]int{},
+		releases: make([]release, 0, 256),
 	}
+}
+
+// internUser returns the dense usage index for a user, allocating one
+// on first sight.
+func (s *sim) internUser(user string) int {
+	if i, ok := s.userIdx[user]; ok {
+		return i
+	}
+	i := len(s.usage)
+	s.userIdx[user] = i
+	s.usage = append(s.usage, 0)
+	return i
+}
+
+// insertRelease adds a release keeping s.releases sorted by (t, seq).
+func (s *sim) insertRelease(r release) {
+	i := sort.Search(len(s.releases), func(i int) bool {
+		e := s.releases[i]
+		return e.t > r.t || (e.t == r.t && e.seq > r.seq)
+	})
+	s.releases = append(s.releases, release{})
+	copy(s.releases[i+1:], s.releases[i:])
+	s.releases[i] = r
+}
+
+// removeRelease drops the release of a completed job by its (t, seq)
+// key. The entry must exist: the release list mirrors the run heap.
+func (s *sim) removeRelease(t int64, seq int) {
+	i := sort.Search(len(s.releases), func(i int) bool {
+		e := s.releases[i]
+		return e.t > t || (e.t == t && e.seq >= seq)
+	})
+	if i >= len(s.releases) || s.releases[i].t != t || s.releases[i].seq != seq {
+		panic(fmt.Sprintf("sched: release bookkeeping lost entry t=%d seq=%d", t, seq))
+	}
+	s.releases = append(s.releases[:i], s.releases[i+1:]...)
 }
 
 func (s *sim) fits(j trace.Job) bool {
@@ -361,33 +450,50 @@ func (s *sim) decayUsage(to int64) {
 		return
 	}
 	f := math.Exp2(-float64(to-s.lastDecay) / s.opt.FairshareHalfLife)
-	for u := range s.usage {
-		s.usage[u] *= f
+	for i := range s.usage {
+		s.usage[i] *= f
 	}
 	s.lastDecay = to
+	// Uniform positive scaling preserves strict order, but rounding can
+	// contract two distinct usage values into a tie (changing which
+	// tiebreak applies), so the cached priority order is conservatively
+	// invalidated to stay byte-identical with the per-call re-sort.
+	s.prioDirty = true
 }
 
-// order returns the queue in scheduling priority order.
+// order returns the queue in scheduling priority order. Without
+// fairshare the queue itself (already in seq order) is returned —
+// callers re-fetch after any start, which is the only mutation. With
+// fairshare the priority order is cached and lazily re-sorted only
+// after arrivals, starts, or decay (prioDirty), with the usage sort
+// key snapshotted per entry so the comparator does no map lookups.
 func (s *sim) order() []*queued {
-	q := make([]*queued, len(s.queue))
-	copy(q, s.queue)
-	if s.opt.Fairshare {
-		sort.SliceStable(q, func(a, b int) bool {
-			ua, ub := s.usage[q[a].job.User], s.usage[q[b].job.User]
-			if ua != ub {
-				return ua < ub
-			}
-			return q[a].seq < q[b].seq
-		})
+	if !s.opt.Fairshare {
+		return s.queue
 	}
-	return q
+	if s.prioDirty {
+		s.prio = append(s.prio[:0], s.queue...)
+		for _, q := range s.prio {
+			q.key = s.usage[q.user]
+		}
+		sort.SliceStable(s.prio, func(a, b int) bool {
+			if s.prio[a].key != s.prio[b].key {
+				return s.prio[a].key < s.prio[b].key
+			}
+			return s.prio[a].seq < s.prio[b].seq
+		})
+		s.prioDirty = false
+	}
+	return s.prio
 }
 
 func (s *sim) start(q *queued) {
 	s.alloc(q.job)
 	heap.Push(&s.running, runEntry{end: s.now + q.job.Elapsed, job: q.job, seq: q.seq})
+	s.insertRelease(release{t: s.now + q.job.Limit, seq: q.seq, n: needOf(q.job)})
 	s.results = append(s.results, JobResult{Job: q.job, Start: s.now, Wait: s.now - q.job.Submit})
-	s.usage[q.job.User] += float64(q.job.Cores()) * float64(q.job.Elapsed)
+	s.usage[q.user] += float64(q.job.Cores()) * float64(q.job.Elapsed)
+	s.prioDirty = true
 	// Remove from queue.
 	for i, e := range s.queue {
 		if e == q {
@@ -399,16 +505,19 @@ func (s *sim) start(q *queued) {
 }
 
 // schedule starts every job the policy allows at the current instant.
-func (s *sim) schedule() {
+func (s *sim) schedule() error {
+	if s.naive {
+		s.scheduleNaive()
+		return nil
+	}
 	if s.opt.Policy == ConservativeBackfill {
-		s.scheduleConservative()
-		return
+		return s.scheduleConservative()
 	}
 	for {
 		startedOne := false
 		order := s.order()
 		if len(order) == 0 {
-			return
+			return nil
 		}
 		head := order[0]
 		if s.fits(head.job) {
@@ -440,27 +549,24 @@ func (s *sim) schedule() {
 			}
 		}
 		if !startedOne {
-			return
+			return nil
 		}
 	}
 }
 
 // shadow computes the head job's reservation: the earliest time enough
 // resources free up (by requested limits), plus the spare capacity at
-// that time beyond what the head needs.
+// that time beyond what the head needs. The rels buffer is reused
+// across calls; the fill order (run-heap layout) and tie-unstable sort
+// are kept exactly as the oracle's so spare-capacity ties resolve
+// identically.
 func (s *sim) shadow(head trace.Job) (shadowTime int64, spareCPU, spareGPUCore, spareGPU int) {
-	// Sort running jobs by limit-based end time.
-	type rel struct {
-		t                int64
-		cores, gpuc, gpu int
-	}
-	var rels []rel
-	for _, e := range s.running {
-		limEnd := e.job.Submit // placeholder, replaced below
-		_ = limEnd
+	rels := s.shadowRels[:0]
+	for i := range s.running {
+		e := &s.running[i]
 		// Conservative end: start + limit. Start = end - elapsed.
 		startT := e.end - e.job.Elapsed
-		r := rel{t: startT + e.job.Limit}
+		r := shadowRel{t: startT + e.job.Limit}
 		if e.job.Partition == "gpu" {
 			r.gpuc = e.job.Cores()
 			r.gpu = e.job.GPUs
@@ -469,6 +575,7 @@ func (s *sim) shadow(head trace.Job) (shadowTime int64, spareCPU, spareGPUCore, 
 		}
 		rels = append(rels, r)
 	}
+	s.shadowRels = rels
 	sort.Slice(rels, func(a, b int) bool { return rels[a].t < rels[b].t })
 	cpu, gpuc, gpu := s.cpuFree, s.gpuCore, s.gpuFree
 	headFits := func() bool {
@@ -533,18 +640,26 @@ func (s *sim) run() error {
 		}
 		s.advance(next)
 		s.decayUsage(next)
+		// A new simulation event: time moved and/or the running set is
+		// about to change, so the availability profile must be rebuilt
+		// (at most once) before the next conservative pass uses it.
+		s.baseOK = false
 		// Process completions at this instant.
 		for s.running.Len() > 0 && s.running[0].end == next {
 			e := heap.Pop(&s.running).(runEntry)
 			s.release(e.job)
+			s.removeRelease(e.end-e.job.Elapsed+e.job.Limit, e.seq)
 		}
 		// Process arrivals at this instant.
 		for s.nextArr < len(s.pending) && s.pending[s.nextArr].Submit == next {
 			j := s.pending[s.nextArr]
-			s.queue = append(s.queue, &queued{job: j, arrived: next, seq: s.nextArr})
+			s.queue = append(s.queue, &queued{job: j, arrived: next, seq: s.nextArr, user: s.internUser(j.User)})
 			s.nextArr++
+			s.prioDirty = true
 		}
-		s.schedule()
+		if err := s.schedule(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -575,7 +690,7 @@ func (s *sim) finish() (*Result, error) {
 	m.MedianWait = quantileSorted(waits, 0.5)
 	m.P95Wait = quantileSorted(waits, 0.95)
 	m.BoundedSlowdown = meanBoundedSlowdown(s.results)
-	m.UserFairness = jainFairness(s.results)
+	m.UserFairness = jainFairness(s.results, len(s.userIdx))
 	var cpuSum, gpuSum float64
 	var cpuN, gpuN int
 	for _, r := range s.results {

@@ -1,0 +1,24 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns a mux serving the standard net/http/pprof endpoints
+// under /debug/pprof/. It is deliberately separate from the Server's
+// public mux: profiling exposes heap contents and symbol names, so
+// rcpt-serve only binds it on the operator-chosen -pprof address (off
+// by default) and never on the public listener. The handlers are
+// registered explicitly rather than via the pprof package's
+// DefaultServeMux side effects, so importing this package cannot leak
+// the endpoints onto any other mux.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

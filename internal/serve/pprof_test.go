@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDefaultServerDoesNotServePprof pins the security posture: the
+// public handler must never expose /debug/pprof, which is only
+// available via the separate PprofMux on the operator's -pprof
+// listener.
+func TestDefaultServerDoesNotServePprof(t *testing.T) {
+	s := newTestServer(t, Options{})
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/heap",
+		"/debug/pprof/profile",
+		"/debug/pprof/cmdline",
+	} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusNotFound {
+			t.Fatalf("public handler served %s with status %d", path, w.Code)
+		}
+	}
+}
+
+func TestPprofMuxServesProfiles(t *testing.T) {
+	mux := PprofMux()
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/heap",      // routed through Index's profile lookup
+		"/debug/pprof/symbol",
+		"/debug/pprof/cmdline",
+	} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("pprof mux returned %d for %s", w.Code, path)
+		}
+		if w.Body.Len() == 0 {
+			t.Fatalf("pprof mux returned empty body for %s", path)
+		}
+	}
+	// Anything outside /debug/pprof stays unrouted even on the private
+	// mux — it serves profiles and nothing else.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("pprof mux served /healthz with %d", w.Code)
+	}
+}

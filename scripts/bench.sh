@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the tier-1 scheduler benchmarks and records them as JSON.
+#
+#   scripts/bench.sh                 # full run: -benchtime 3x -count 3 -> BENCH_sched.json
+#   BENCHTIME=1x COUNT=1 scripts/bench.sh   # CI smoke
+#
+# The sched microbenchmarks cover all three policies on the campus trace
+# plus a 10x synthetic trace, and the *Naive variants run the reference
+# oracle so the optimized-vs-naive speedup is recorded in the same file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_sched.json}"
+
+go build -o /tmp/rcpt-bench ./cmd/rcpt-bench
+{
+  go test -run '^$' -bench 'BenchmarkSimulate' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/sched/
+  go test -run '^$' -bench 'BenchmarkFullPipeline$' -benchtime "$BENCHTIME" -count "$COUNT" .
+} | tee /dev/stderr | /tmp/rcpt-bench -benchtime "$BENCHTIME" -count "$COUNT" -out "$OUT"
+echo "wrote $OUT" >&2
