@@ -115,11 +115,11 @@ func BenchmarkAblationBackfill(b *testing.B) {
 	var fcfsWait, easyWait, fcfsUtil, easyUtil float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f, err := sched.Simulate(cluster, jobs, sched.Options{Policy: sched.FCFS})
+		f, err := sched.SimulateTable(cluster, jobs, sched.Options{Policy: sched.FCFS})
 		if err != nil {
 			b.Fatal(err)
 		}
-		e, err := sched.Simulate(cluster, jobs, sched.Options{Policy: sched.EASYBackfill})
+		e, err := sched.SimulateTable(cluster, jobs, sched.Options{Policy: sched.EASYBackfill})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func BenchmarkAblationConservative(b *testing.B) {
 	var consWait, consBackfills float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := sched.Simulate(cluster, jobs, sched.Options{Policy: sched.ConservativeBackfill})
+		c, err := sched.SimulateTable(cluster, jobs, sched.Options{Policy: sched.ConservativeBackfill})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -30,21 +30,29 @@ func main() {
 	}
 }
 
-// Sample is one `-count` repetition of one benchmark.
+// Sample is one `-count` repetition of one benchmark. BytesPerOp and
+// AllocsPerOp are populated when the run used -benchmem; zero means the
+// flag was off (go test never prints a 0 B/op line without it).
 type Sample struct {
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"` // custom units (B/op, jobs, ...)
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom units (jobs, resident-trace-b, ...)
 }
 
 // Benchmark groups the samples of one benchmark name (CPU suffix like
 // `-8` stripped into Procs).
 type Benchmark struct {
-	Name        string   `json:"name"`
-	Procs       int      `json:"procs,omitempty"`
-	Samples     []Sample `json:"samples"`
-	MinNsPerOp  float64  `json:"min_ns_per_op"`
-	MeanNsPerOp float64  `json:"mean_ns_per_op"`
+	Name            string   `json:"name"`
+	Procs           int      `json:"procs,omitempty"`
+	Samples         []Sample `json:"samples"`
+	MinNsPerOp      float64  `json:"min_ns_per_op"`
+	MeanNsPerOp     float64  `json:"mean_ns_per_op"`
+	MinBytesPerOp   float64  `json:"min_bytes_per_op,omitempty"`
+	MeanBytesPerOp  float64  `json:"mean_bytes_per_op,omitempty"`
+	MinAllocsPerOp  float64  `json:"min_allocs_per_op,omitempty"`
+	MeanAllocsPerOp float64  `json:"mean_allocs_per_op,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -134,15 +142,19 @@ func parse(in io.Reader) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
 			}
-			unit := fields[i+1]
-			if unit == "ns/op" {
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
 				s.NsPerOp = val
-				continue
+			case "B/op":
+				s.BytesPerOp = val
+			case "allocs/op":
+				s.AllocsPerOp = val
+			default:
+				if s.Metrics == nil {
+					s.Metrics = map[string]float64{}
+				}
+				s.Metrics[unit] = val
 			}
-			if s.Metrics == nil {
-				s.Metrics = map[string]float64{}
-			}
-			s.Metrics[unit] = val
 		}
 		b := byName[name]
 		if b == nil {
@@ -156,17 +168,24 @@ func parse(in io.Reader) (*Report, error) {
 		return nil, err
 	}
 	for _, b := range rep.Benchmarks {
-		min, sum := 0.0, 0.0
-		for i, s := range b.Samples {
-			if i == 0 || s.NsPerOp < min {
-				min = s.NsPerOp
-			}
-			sum += s.NsPerOp
-		}
-		b.MinNsPerOp = min
-		b.MeanNsPerOp = sum / float64(len(b.Samples))
+		b.MinNsPerOp, b.MeanNsPerOp = minMean(b.Samples, func(s Sample) float64 { return s.NsPerOp })
+		b.MinBytesPerOp, b.MeanBytesPerOp = minMean(b.Samples, func(s Sample) float64 { return s.BytesPerOp })
+		b.MinAllocsPerOp, b.MeanAllocsPerOp = minMean(b.Samples, func(s Sample) float64 { return s.AllocsPerOp })
 	}
 	return rep, nil
+}
+
+// minMean aggregates one per-sample value across a benchmark's samples.
+func minMean(samples []Sample, get func(Sample) float64) (min, mean float64) {
+	sum := 0.0
+	for i, s := range samples {
+		v := get(s)
+		if i == 0 || v < min {
+			min = v
+		}
+		sum += v
+	}
+	return min, sum / float64(len(samples))
 }
 
 // splitProcs strips the trailing GOMAXPROCS suffix go test appends

@@ -14,6 +14,9 @@ BenchmarkSimulateFCFS/campus-8         	       3	  19123456 ns/op	     57711 job
 BenchmarkSimulateFCFS/campus-8         	       3	  19001002 ns/op	     57711 jobs
 BenchmarkSimulateConservative/campus-8 	       3	1295987074 ns/op	     57711 jobs
 BenchmarkSimulateConservativeNaive-8   	       3	5025973702 ns/op	     57711 jobs
+BenchmarkSimulateFeed10x/slice-8       	       3	9100000000 ns/op	577110000 resident-trace-b	912345678 B/op	  410000 allocs/op
+BenchmarkSimulateFeed10x/table-spill-8 	       3	9300000000 ns/op	  4200000 resident-trace-b	501234567 B/op	  420000 allocs/op
+BenchmarkSimulateFeed10x/table-spill-8 	       3	9280000000 ns/op	  4200000 resident-trace-b	501234569 B/op	  420002 allocs/op
 PASS
 ok  	repro/internal/sched	57.814s
 pkg: repro
@@ -33,8 +36,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if len(rep.Packages) != 2 || rep.Packages[0] != "repro/internal/sched" || rep.Packages[1] != "repro" {
 		t.Fatalf("packages %v", rep.Packages)
 	}
-	if len(rep.Benchmarks) != 4 {
-		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 6 {
+		t.Fatalf("got %d benchmarks, want 6", len(rep.Benchmarks))
 	}
 	fcfs := rep.Benchmarks[0]
 	if fcfs.Name != "SimulateFCFS/campus" || fcfs.Procs != 8 {
@@ -68,6 +71,46 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if ratio := naive / cons; ratio < 3.8 || ratio > 3.9 {
 		t.Fatalf("ratio %v not computed from fixture numbers", ratio)
+	}
+	// -benchmem columns land in dedicated fields, not the metrics map,
+	// and aggregate like ns/op does.
+	var slice, spill *Benchmark
+	for _, b := range rep.Benchmarks {
+		switch b.Name {
+		case "SimulateFeed10x/slice":
+			slice = b
+		case "SimulateFeed10x/table-spill":
+			spill = b
+		}
+	}
+	if slice == nil || spill == nil {
+		t.Fatal("feed benchmarks not parsed")
+	}
+	if got := slice.Samples[0].BytesPerOp; got != 912345678 {
+		t.Fatalf("slice bytes/op %v", got)
+	}
+	if got := slice.Samples[0].AllocsPerOp; got != 410000 {
+		t.Fatalf("slice allocs/op %v", got)
+	}
+	if _, dup := slice.Samples[0].Metrics["B/op"]; dup {
+		t.Fatal("B/op leaked into the metrics map")
+	}
+	if got := slice.Samples[0].Metrics["resident-trace-b"]; got != 577110000 {
+		t.Fatalf("resident metric %v", got)
+	}
+	if spill.MinBytesPerOp != 501234567 {
+		t.Fatalf("spill min bytes/op %v", spill.MinBytesPerOp)
+	}
+	if want := (501234567.0 + 501234569.0) / 2; spill.MeanBytesPerOp != want {
+		t.Fatalf("spill mean bytes/op %v want %v", spill.MeanBytesPerOp, want)
+	}
+	if spill.MinAllocsPerOp != 420000 || spill.MeanAllocsPerOp != 420001 {
+		t.Fatalf("spill allocs aggregates %v/%v", spill.MinAllocsPerOp, spill.MeanAllocsPerOp)
+	}
+	// Benchmarks without -benchmem columns keep zero-valued (omitted)
+	// memory aggregates.
+	if fcfs.MinBytesPerOp != 0 || fcfs.MeanAllocsPerOp != 0 {
+		t.Fatalf("fcfs grew memory aggregates %v/%v", fcfs.MinBytesPerOp, fcfs.MeanAllocsPerOp)
 	}
 }
 

@@ -11,6 +11,15 @@
 //	           [-breaker-threshold 3] [-breaker-cooldown 30s]
 //	           [-chaos "seed=1,panic=0.05,error=0.05"]
 //	           [-pprof localhost:6060]
+//	           [-trace-scale N] [-spill-dir DIR] [-table-shards N]
+//	           [-batch-rows N]
+//
+// -trace-scale replicates every trace year N× (a 100× or 1000×
+// synthetic trace for scaling studies); -spill-dir bounds trace memory
+// by spilling column batches to disk, so scaled runs fit under a
+// GOMEMLIMIT the fully-resident layout cannot meet. -table-shards and
+// -batch-rows tune scan parallelism and batch granularity; none of the
+// three storage knobs change artifact bytes or ETags.
 //
 // -cache-dir enables crash-safe persistence: rendered artifacts are
 // atomically spilled to disk and checksum-validated back into the cache
@@ -71,6 +80,10 @@ func run() error {
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker fast-fails before a trial run")
 	chaos := flag.String("chaos", "", `deterministic fault injection, e.g. "seed=1,panic=0.05,error=0.05,latency=0.1,delay=5ms[,stages=a|b]" (dev/test only)`)
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled, never on the public listener)")
+	traceScale := flag.Int("trace-scale", 0, "replicate each trace year N× (0/1 = unscaled; changes the fingerprint)")
+	spillDir := flag.String("spill-dir", "", "spill column batches here to bound trace memory (empty = fully resident)")
+	tableShards := flag.Int("table-shards", 0, "scan shards per columnar aggregation (0 = worker count)")
+	batchRows := flag.Int("batch-rows", 0, "rows per column batch (0 = default)")
 	flag.Parse()
 
 	chaosSpec, err := fault.ParseSpec(*chaos)
@@ -86,6 +99,10 @@ func run() error {
 	cfg.N2011 = *n2011
 	cfg.N2024 = *n2024
 	cfg.Workers = *workers
+	cfg.TraceScale = *traceScale
+	cfg.Table.SpillDir = *spillDir
+	cfg.Table.Shards = *tableShards
+	cfg.Table.BatchRows = *batchRows
 	if *years != "" {
 		ys, err := parseYears(*years)
 		if err != nil {

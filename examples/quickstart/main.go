@@ -20,7 +20,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("study complete: %d respondents (2011) + %d (2024), %d jobs, %d artifacts\n",
-		len(arts.Cohort2011), len(arts.Cohort2024), len(arts.Jobs), len(files))
+		len(arts.Cohort2011), len(arts.Cohort2024), arts.JobCount(), len(files))
 	for _, f := range files {
 		fmt.Println(" ", f)
 	}

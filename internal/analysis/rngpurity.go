@@ -22,6 +22,11 @@ var pipelinePackages = map[string]bool{
 	"growth":     true,
 	"modlog":     true,
 	"stats":      true,
+	// table is artifact storage: its spill layer must take directories
+	// explicitly (no os.TempDir/env fallback) and its scans must not
+	// depend on ambient state, or artifact bytes stop being a pure
+	// function of the seed.
+	"table": true,
 }
 
 // forbiddenCalls maps package import path -> function names whose call

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 
 	"repro/internal/modlog"
 	"repro/internal/parallel"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/survey"
+	"repro/internal/table"
 	"repro/internal/trace"
 	"repro/internal/weighting"
 )
@@ -45,6 +47,74 @@ type Config struct {
 	// runs, and hard-flagged responses are dropped before weighting.
 	NoiseRate float64
 	Workers   int // parallel generation fan-out; <=0 means GOMAXPROCS
+
+	// TraceScale multiplies the synthetic accounting volume: each trace
+	// year is generated TraceScale times ("replicas"), each replica from
+	// its own named rng stream with submit times strided by a full year
+	// so replica r's jobs all land after replica r-1's. Replica 0 is
+	// bit-identical to the unscaled trace, and 0 or 1 means unscaled —
+	// which is why the fingerprint only encodes TraceScale when > 1.
+	// Replicas are separate pipeline stages, so a 100× year generates
+	// across workers, and separate column tables, so it streams under
+	// the Table memory budget.
+	TraceScale int
+
+	// Table tunes the columnar artifact storage (internal/table). All
+	// execution knobs: like Workers, they are excluded from the config
+	// fingerprint because artifact bytes are invariant to them (pinned
+	// by the shard/batch equivalence tests).
+	Table TableConfig
+}
+
+// TableConfig is the columnar-storage tuning surface.
+type TableConfig struct {
+	// BatchRows is rows per column batch (<=0: 8192).
+	BatchRows int
+	// Shards is the scanner fan-out for order-free table aggregations
+	// (<=0: Workers). Order-sensitive folds ignore it by design.
+	Shards int
+	// SpillDir, when set, bounds resident memory by spilling column
+	// batches to checksummed files under this directory; the 100×–1000×
+	// runs set it. Empty keeps batches resident. Explicit by contract:
+	// pipeline code never consults the environment, so there is no
+	// os.TempDir fallback.
+	SpillDir string
+	// Resident caps in-memory batches per table when spilling (<=0: 4).
+	Resident int
+}
+
+// tableOptions maps the config onto a per-table options value; sub
+// names one table's private spill directory.
+func (c Config) tableOptions(sub string) table.Options {
+	opt := table.Options{
+		BatchSize: c.Table.BatchRows,
+		Resident:  c.Table.Resident,
+	}
+	if c.Table.SpillDir != "" {
+		// Scoped by fingerprint so concurrent runs of different configs
+		// (e.g. under rcpt-serve) never share spill files.
+		opt.SpillDir = filepath.Join(c.Table.SpillDir, c.Fingerprint()[:12], sub)
+	}
+	return opt
+}
+
+// tableShards resolves the shard fan-out for order-free aggregations.
+func (c Config) tableShards() int {
+	if c.Table.Shards > 0 {
+		return c.Table.Shards
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return parallel.Workers()
+}
+
+// traceScale normalizes TraceScale (0 and 1 both mean unscaled).
+func (c Config) traceScale() int {
+	if c.TraceScale <= 1 {
+		return 1
+	}
+	return c.TraceScale
 }
 
 // DefaultConfig returns the standard study configuration: cohort sizes
@@ -92,6 +162,9 @@ func (c Config) Validate() error {
 	if c.NoiseRate < 0 || c.NoiseRate > 0.5 {
 		return fmt.Errorf("core: noise rate %g out of [0, 0.5]", c.NoiseRate)
 	}
+	if c.TraceScale < 0 || c.TraceScale > 100_000 {
+		return fmt.Errorf("core: implausible trace scale %d", c.TraceScale)
+	}
 	return nil
 }
 
@@ -105,13 +178,25 @@ type Artifacts struct {
 	Model2011, Model2024   *population.Model
 	Cohort2011, Cohort2024 []*survey.Response
 	Rake2011, Rake2024     weighting.Result
+	// CohortTab2011 and CohortTab2024 are the cohorts' columnar storage,
+	// built from the final (post-screening, post-raking) responses. The
+	// []*survey.Response views above stay the mutable working set the
+	// weighting code requires; the tables are the at-rest form — content
+	// hashing, spill, and streamed export go through them.
+	CohortTab2011, CohortTab2024 survey.ResponseTable
 
-	Jobs     []trace.Job         // all years, sorted within year
-	JobsByYr map[int][]trace.Job // same jobs keyed by year
+	// Jobs streams the whole multi-year accounting trace: the per-year
+	// tables concatenated in TraceYears order (arrival order within each
+	// year). With Config.Table.SpillDir set it never needs to be resident
+	// at once.
+	Jobs trace.JobTable
+	// JobsByYr holds the same jobs keyed by year (each a concatenation
+	// of that year's TraceScale replica tables, in replica order).
+	JobsByYr map[int]trace.JobTable
 	ModAgg   []modlog.YearShares // telemetry aggregated per year
-	// ModEventsSim holds the raw telemetry events for the sim year,
-	// kept for the co-load analysis (T10).
-	ModEventsSim []modlog.Event
+	// ModEventsSim holds the sim year's telemetry events in columnar
+	// form, kept for the co-load analysis (T10).
+	ModEventsSim modlog.EventTable
 	// Quality2011 and Quality2024 report the data-quality screening run
 	// on each cohort (after optional noise injection).
 	Quality2011, Quality2024 survey.QualityReport
@@ -203,7 +288,7 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Artifact
 		Instrument: survey.Canonical(),
 		Model2011:  population.Model2011(),
 		Model2024:  population.Model2024(),
-		JobsByYr:   map[int][]trace.Job{},
+		JobsByYr:   map[int]trace.JobTable{},
 	}
 	g, err := buildGraph(cfg, a)
 	if err != nil {
@@ -236,11 +321,11 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Artifact
 
 // buildGraph wires the pipeline DAG:
 //
-//	cohort-2011 ──► rake-2011
-//	cohort-2024 ──► rake-2024
+//	cohort-2011 ──► rake-2011 ──► cohort-table-2011
+//	cohort-2024 ──► rake-2024 ──► cohort-table-2024
 //	panel
-//	trace-<y> (per year) ──► jobs-merge
-//	trace-<simyear> ──► sim-easy │ sim-fcfs │ sim-conservative
+//	trace-<y>[-rep<r>] (per year × replica) ──► jobs-merge
+//	trace-<simyear>[-rep<r>] ──► sim-easy │ sim-fcfs │ sim-conservative
 //	modlog-<y> (per year) ──► modlog-merge
 //
 // Every stage owns the artifact fields it writes; concurrent stages
@@ -334,77 +419,122 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 		g.AddRetryable("rake-2024", rakeStage("2024", &a.Cohort2024, a.Model2024, &a.Rake2024), "cohort-2024")
 	}
 
-	// 3+4. Cluster accounting traces and module-load telemetry, one
-	// stage per year each, merged (and preallocated to the known totals)
-	// once every year has landed.
-	jobsPartials := make([][]trace.Job, len(cfg.TraceYears))
-	modPartials := make([][]modlog.Event, len(cfg.TraceYears))
-	traceStages := make([]string, len(cfg.TraceYears))
+	// 2b. Columnar cohort storage, built from the final weighted
+	// responses (after raking when enabled, so the tables carry the
+	// weights every downstream consumer sees at rest).
+	cohortTable := func(name string, src *[]*survey.Response, dst *survey.ResponseTable) func() error {
+		return func() error {
+			tab, err := table.Build[survey.Response](survey.ResponseCodec{}, cfg.tableOptions("cohort-"+name),
+				func(appendRow func(survey.Response)) error {
+					for _, r := range *src {
+						appendRow(*r)
+					}
+					return nil
+				})
+			if err != nil {
+				return fmt.Errorf("core: %s cohort table: %w", name, err)
+			}
+			*dst = tab
+			return nil
+		}
+	}
+	dep2011, dep2024 := "cohort-2011", "cohort-2024"
+	if cfg.Rake {
+		dep2011, dep2024 = "rake-2011", "rake-2024"
+	}
+	g.AddRetryable("cohort-table-2011", cohortTable("2011", &a.Cohort2011, &a.CohortTab2011), dep2011)
+	g.AddRetryable("cohort-table-2024", cohortTable("2024", &a.Cohort2024, &a.CohortTab2024), dep2024)
+
+	// 3+4. Cluster accounting traces and module-load telemetry. Traces
+	// run one stage per (year, replica): TraceScale replicas of a year
+	// are separate stages — that is the per-shard parallelism beyond the
+	// per-year split — each streaming its generator straight into its
+	// own column table, so a replica's working set is O(BatchSize ×
+	// Resident), never the whole year. Telemetry stays one stage per
+	// year (its volume does not scale).
+	scale := cfg.traceScale()
+	repTables := make([][]trace.JobTable, len(cfg.TraceYears))
+	modTables := make([]modlog.EventTable, len(cfg.TraceYears))
+	traceStages := make([]string, 0, len(cfg.TraceYears)*scale)
 	modStages := make([]string, len(cfg.TraceYears))
-	simStage := ""
+	var simStages []string
 	for i, year := range cfg.TraceYears {
 		i, year := i, year
-		traceStages[i] = fmt.Sprintf("trace-%d", year)
-		modStages[i] = fmt.Sprintf("modlog-%d", year)
-		if year == cfg.SimYear {
-			simStage = traceStages[i]
-		}
-		g.AddRetryable(traceStages[i], func() error {
-			traceRng := root.SplitNamed(fmt.Sprintf("trace-%d", year))
-			jobs, err := trace.CampusModel(year).Generate(traceRng, uint64(year)*10_000_000)
-			if err != nil {
-				return fmt.Errorf("core: generating %d trace: %w", year, err)
+		repTables[i] = make([]trace.JobTable, scale)
+		for rep := 0; rep < scale; rep++ {
+			rep := rep
+			stage := traceStreamName(year, rep)
+			traceStages = append(traceStages, stage)
+			if year == cfg.SimYear {
+				simStages = append(simStages, stage)
 			}
-			jobsPartials[i] = jobs
-			return nil
-		})
+			// newStream derives a fresh copy of this replica's stream on
+			// every call (SplitNamed is pure and never advances root), so
+			// the build and any later spill rebuild replay identical draws.
+			newStream := func() *rng.RNG { return root.SplitNamed(stage) }
+			g.AddRetryable(stage, func() error {
+				tab, err := buildTraceReplica(cfg, newStream, year, rep)
+				if err != nil {
+					return fmt.Errorf("core: generating %s: %w", stage, err)
+				}
+				repTables[i][rep] = tab
+				return nil
+			})
+		}
+		modStages[i] = fmt.Sprintf("modlog-%d", year)
 		g.AddRetryable(modStages[i], func() error {
-			modRng := root.SplitNamed(fmt.Sprintf("modlog-%d", year))
-			events, err := modlog.CampusModulesModel(year).Generate(modRng)
+			stream := fmt.Sprintf("modlog-%d", year)
+			events, err := modlog.CampusModulesModel(year).Generate(root.SplitNamed(stream))
 			if err != nil {
 				return fmt.Errorf("core: generating %d module log: %w", year, err)
 			}
-			modPartials[i] = events
+			tab, err := table.FromSlice[modlog.Event](modlog.EventCodec{}, cfg.tableOptions(stream), events)
+			if err != nil {
+				return fmt.Errorf("core: %d module log table: %w", year, err)
+			}
+			tab.SetRebuild(func(lo, hi int, into table.Columns[modlog.Event]) error {
+				evs, err := modlog.CampusModulesModel(year).Generate(root.SplitNamed(stream))
+				if err != nil {
+					return err
+				}
+				for _, e := range evs[lo:hi] {
+					into.Append(e)
+				}
+				return nil
+			})
+			modTables[i] = tab
 			return nil
 		})
 	}
 	g.AddRetryable("jobs-merge", func() error {
-		total := 0
-		for _, p := range jobsPartials {
-			total += len(p)
-		}
-		a.Jobs = make([]trace.Job, 0, total)
+		all := make([]trace.JobTable, len(cfg.TraceYears))
 		for i, year := range cfg.TraceYears {
-			a.JobsByYr[year] = jobsPartials[i]
-			a.Jobs = append(a.Jobs, jobsPartials[i]...)
+			all[i] = concatJobTables(repTables[i])
+			a.JobsByYr[year] = all[i]
 		}
+		a.Jobs = table.Concat[trace.Job](all...)
 		return nil
 	}, traceStages...)
 	g.AddRetryable("modlog-merge", func() error {
-		total := 0
-		for _, p := range modPartials {
-			total += len(p)
+		agg, err := modlog.AggregateByYearTable(table.Concat[modlog.Event](modTables...), cfg.tableShards())
+		if err != nil {
+			return fmt.Errorf("core: aggregating module log: %w", err)
 		}
-		events := make([]modlog.Event, 0, total)
-		for i, p := range modPartials {
-			events = append(events, p...)
-			if cfg.TraceYears[i] == cfg.SimYear {
-				a.ModEventsSim = p
-			}
-		}
-		a.ModAgg = modlog.AggregateByYear(events)
+		a.ModAgg = agg
+		a.ModEventsSim = modTables[simIndex(cfg)]
 		return nil
 	}, modStages...)
 
 	// 5. Scheduler simulations on the sim year: the requested policy
 	// plus the FCFS and conservative baselines, concurrently as soon as
-	// the sim-year trace lands (they need only that year, not the
-	// merge). The generator emits arrival order, so sched skips its
-	// defensive copy+sort.
+	// the sim-year replicas land (they need only that year, not the
+	// merge). The generator emits arrival order and replica submit
+	// windows are disjoint, so the concatenated feed streams straight
+	// into the simulator — no materialization, no sort.
 	cluster := sched.DefaultCampusCluster()
 	simRun := func(dst **sched.Result, opt sched.Options, what string) func() error {
 		return func() error {
-			res, err := sched.Simulate(cluster, jobsPartials[simIndex(cfg)], opt)
+			res, err := sched.SimulateTable(cluster, concatJobTables(repTables[simIndex(cfg)]), opt)
 			if err != nil {
 				return fmt.Errorf("core: %s: %w", what, err)
 			}
@@ -412,10 +542,95 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 			return nil
 		}
 	}
-	g.AddRetryable("sim-policy", simRun(&a.Sim, sched.Options{Policy: cfg.Policy, Fairshare: true}, "scheduler simulation"), simStage)
-	g.AddRetryable("sim-fcfs", simRun(&a.SimFCFS, sched.Options{Policy: sched.FCFS}, "FCFS baseline"), simStage)
-	g.AddRetryable("sim-conservative", simRun(&a.SimConservative, sched.Options{Policy: sched.ConservativeBackfill}, "conservative baseline"), simStage)
+	g.AddRetryable("sim-policy", simRun(&a.Sim, sched.Options{Policy: cfg.Policy, Fairshare: true}, "scheduler simulation"), simStages...)
+	g.AddRetryable("sim-fcfs", simRun(&a.SimFCFS, sched.Options{Policy: sched.FCFS}, "FCFS baseline"), simStages...)
+	g.AddRetryable("sim-conservative", simRun(&a.SimConservative, sched.Options{Policy: sched.ConservativeBackfill}, "conservative baseline"), simStages...)
 	return g, nil
+}
+
+// repStride is the submit-time offset between trace replicas: a full
+// year in seconds, comfortably past the one-month horizon a single
+// replica spans, so replica r's arrivals all land after replica r-1's
+// and the concatenated table is in arrival order by construction.
+const repStride = 366 * 86400
+
+// traceStreamName names a (year, replica) trace stage and its rng
+// stream. Replica 0 keeps the historical "trace-<year>" name so an
+// unscaled run derives bit-identical streams to every release before
+// TraceScale existed.
+func traceStreamName(year, rep int) string {
+	if rep == 0 {
+		return fmt.Sprintf("trace-%d", year)
+	}
+	return fmt.Sprintf("trace-%d-rep%d", year, rep)
+}
+
+// traceFirstID is the job-ID base for a (year, replica) block. Replica
+// 0 keeps the historical year*1e7 base; later replicas sit rep<<32
+// above it. Year bases differ by multiples of 1e7 (max ~1e9 across the
+// valid year range), far below the 2^32 replica stride, and a replica
+// holds far fewer than 1e7 jobs — so blocks can never collide.
+func traceFirstID(year, rep int) uint64 {
+	return uint64(year)*10_000_000 + uint64(rep)<<32
+}
+
+// buildTraceReplica streams one (year, replica) trace generation into a
+// column table and installs the deterministic rebuild hook used if a
+// spill file is later found corrupt. newStream must derive a fresh copy
+// of the replica's named rng stream on every call; the generator is the
+// source of truth, so rebuilding rows [lo, hi) re-runs the stream from
+// the top and recomputes byte-identical rows.
+func buildTraceReplica(cfg Config, newStream func() *rng.RNG, year, rep int) (*table.Batches[trace.Job], error) {
+	stream := traceStreamName(year, rep)
+	offset := int64(rep) * repStride
+	generate := func(emit func(trace.Job) error) error {
+		return trace.CampusModel(year).GenerateStream(newStream(), traceFirstID(year, rep),
+			func(j trace.Job) error {
+				j.Submit += offset
+				return emit(j)
+			})
+	}
+	tab, err := table.Build[trace.Job](trace.JobCodec{}, cfg.tableOptions(stream),
+		func(appendRow func(trace.Job)) error {
+			return generate(func(j trace.Job) error {
+				appendRow(j)
+				return nil
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	tab.SetRebuild(func(lo, hi int, into table.Columns[trace.Job]) error {
+		i := 0
+		err := generate(func(j trace.Job) error {
+			if i >= hi {
+				return errRebuildDone
+			}
+			if i >= lo {
+				into.Append(j)
+			}
+			i++
+			return nil
+		})
+		if err != nil && !errors.Is(err, errRebuildDone) {
+			return err
+		}
+		return nil
+	})
+	return tab, nil
+}
+
+// errRebuildDone short-circuits a rebuild scan once the requested row
+// window has been recomputed.
+var errRebuildDone = errors.New("core: rebuild window complete")
+
+// concatJobTables joins a year's replica tables in replica order (a
+// no-op for the common single-replica case).
+func concatJobTables(reps []trace.JobTable) trace.JobTable {
+	if len(reps) == 1 {
+		return reps[0]
+	}
+	return table.Concat[trace.Job](reps...)
 }
 
 // simIndex returns the position of cfg.SimYear within cfg.TraceYears
@@ -427,6 +642,15 @@ func simIndex(cfg Config) int {
 		}
 	}
 	panic(fmt.Sprintf("core: sim year %d not in trace years", cfg.SimYear))
+}
+
+// JobCount returns the total number of accounting jobs across all trace
+// years and replicas, without materializing any of them.
+func (a *Artifacts) JobCount() int {
+	if a.Jobs == nil {
+		return 0
+	}
+	return a.Jobs.Len(table.Exact)
 }
 
 // ModAggFor returns the telemetry aggregate for one year.

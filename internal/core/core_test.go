@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sched"
+	"repro/internal/table"
 )
 
 // smallConfig keeps integration tests fast: two trace years, small
@@ -66,11 +67,16 @@ func TestRunProducesCompleteArtifacts(t *testing.T) {
 	if !a.Rake2011.Converged || !a.Rake2024.Converged {
 		t.Fatalf("raking did not converge: %+v %+v", a.Rake2011, a.Rake2024)
 	}
-	if len(a.JobsByYr[2011]) == 0 || len(a.JobsByYr[2024]) == 0 {
+	n2011 := a.JobsByYr[2011].Len(table.Exact)
+	n2024 := a.JobsByYr[2024].Len(table.Exact)
+	if n2011 == 0 || n2024 == 0 {
 		t.Fatal("missing trace years")
 	}
-	if len(a.Jobs) <= len(a.JobsByYr[2011])+len(a.JobsByYr[2024]) {
+	if a.JobCount() <= n2011+n2024 {
 		t.Fatal("job totals inconsistent")
+	}
+	if a.CohortTab2011 == nil || a.CohortTab2024.Len(table.Exact) != len(a.Cohort2024) {
+		t.Fatal("cohort tables not built")
 	}
 	if len(a.ModAgg) != 4 {
 		t.Fatalf("%d telemetry years", len(a.ModAgg))

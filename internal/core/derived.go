@@ -20,6 +20,7 @@ import (
 	"repro/internal/modlog"
 	"repro/internal/population"
 	"repro/internal/survey"
+	"repro/internal/table"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,7 @@ type derivations struct {
 
 	jobSummariesOnce sync.Once
 	jobSummaries     []trace.YearSummary
+	jobSummariesErr  error
 
 	usageMu sync.Mutex
 	usage   map[int][]float64
@@ -102,12 +104,13 @@ func (a *Artifacts) Tabulation(year int, qid string) (survey.Tabulation, error) 
 }
 
 // JobSummaries returns the per-year workload summaries over the full
-// multi-year trace, computed once. Read-only.
-func (a *Artifacts) JobSummaries() []trace.YearSummary {
+// multi-year trace, computed once by a single streaming scan of the
+// job table. Read-only.
+func (a *Artifacts) JobSummaries() ([]trace.YearSummary, error) {
 	a.derived.jobSummariesOnce.Do(func() {
-		a.derived.jobSummaries = trace.SummarizeByYear(a.Jobs)
+		a.derived.jobSummaries, a.derived.jobSummariesErr = trace.SummarizeTable(a.Jobs)
 	})
-	return a.derived.jobSummaries
+	return a.derived.jobSummaries, a.derived.jobSummariesErr
 }
 
 // UserUsageFor returns the sorted per-user core-hour usage vector for
@@ -122,7 +125,10 @@ func (a *Artifacts) UserUsageFor(year int) ([]float64, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no jobs for year %d", year)
 	}
-	usage := trace.UserUsage(jobs)
+	usage, err := trace.UserUsageTable(jobs)
+	if err != nil {
+		return nil, err
+	}
 	vals := make([]float64, 0, len(usage))
 	for _, v := range usage {
 		vals = append(vals, v)
@@ -136,14 +142,15 @@ func (a *Artifacts) UserUsageFor(year int) ([]float64, error) {
 }
 
 // CoLoadPairs returns the module co-load affinities for the sim year,
-// computed once off the raw telemetry events. Read-only.
+// computed once off the telemetry event table with a sharded set-union
+// scan. Read-only.
 func (a *Artifacts) CoLoadPairs() ([]modlog.PairAffinity, error) {
 	a.derived.coLoadsOnce.Do(func() {
-		if len(a.ModEventsSim) == 0 {
+		if a.ModEventsSim == nil || a.ModEventsSim.Len(table.Exact) == 0 {
 			a.derived.coLoadsErr = fmt.Errorf("core: no telemetry events for sim year %d", a.Config.SimYear)
 			return
 		}
-		a.derived.coLoads, a.derived.coLoadsErr = modlog.CoLoads(a.ModEventsSim, a.Config.SimYear)
+		a.derived.coLoads, a.derived.coLoadsErr = modlog.CoLoadsTable(a.ModEventsSim, a.Config.SimYear, a.Config.tableShards())
 	})
 	return a.derived.coLoads, a.derived.coLoadsErr
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/survey"
+	"repro/internal/table"
 	"repro/internal/trace"
 )
 
@@ -40,12 +41,23 @@ func TestTabulationMatchesDirectAndCaches(t *testing.T) {
 
 func TestJobSummariesCachedAndEquivalent(t *testing.T) {
 	a := artifacts(t)
-	want := trace.SummarizeByYear(a.Jobs)
-	got := a.JobSummaries()
+	rows, err := table.Rows[trace.Job](a.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.SummarizeByYear(rows)
+	got, err := a.JobSummaries()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(want, got) {
 		t.Fatal("cached job summaries differ from direct computation")
 	}
-	if &got[0] != &a.JobSummaries()[0] {
+	again, err := a.JobSummaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &again[0] {
 		t.Fatal("second call recomputed the summaries")
 	}
 }
@@ -117,7 +129,9 @@ func TestDerivationsConcurrentAccess(t *testing.T) {
 					t.Error(err)
 				}
 			}
-			a.JobSummaries()
+			if _, err := a.JobSummaries(); err != nil {
+				t.Error(err)
+			}
 			if _, err := a.UserUsageFor(a.Config.SimYear); err != nil {
 				t.Error(err)
 			}

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 
+	"repro/internal/modlog"
 	"repro/internal/sched"
+	"repro/internal/table"
 	"repro/internal/trace"
 )
 
@@ -40,10 +43,21 @@ func assertArtifactsEqual(t *testing.T, labelA, labelB string, x, y *Artifacts) 
 	check("Cohort2024", x.Cohort2024, y.Cohort2024)
 	check("Rake2011", x.Rake2011, y.Rake2011)
 	check("Rake2024", x.Rake2024, y.Rake2024)
-	check("Jobs", x.Jobs, y.Jobs)
-	check("JobsByYr", x.JobsByYr, y.JobsByYr)
+	// Tables are compared by materialized rows and by content hash —
+	// the storage (batch layout, spill state) is an execution detail that
+	// legitimately differs between runs.
+	check("Jobs", jobRows(t, x.Jobs), jobRows(t, y.Jobs))
+	check("Jobs.Hash", tableHash(t, x.Jobs), tableHash(t, y.Jobs))
+	if len(x.JobsByYr) != len(y.JobsByYr) {
+		t.Fatalf("%s vs %s: JobsByYr year sets differ", labelA, labelB)
+	}
+	for year, xt := range x.JobsByYr {
+		check(fmt.Sprintf("JobsByYr[%d]", year), jobRows(t, xt), jobRows(t, y.JobsByYr[year]))
+	}
 	check("ModAgg", x.ModAgg, y.ModAgg)
-	check("ModEventsSim", x.ModEventsSim, y.ModEventsSim)
+	check("ModEventsSim", eventRows(t, x.ModEventsSim), eventRows(t, y.ModEventsSim))
+	check("CohortTab2011.Hash", tableHash(t, x.CohortTab2011), tableHash(t, y.CohortTab2011))
+	check("CohortTab2024.Hash", tableHash(t, x.CohortTab2024), tableHash(t, y.CohortTab2024))
 	check("Quality2011", x.Quality2011, y.Quality2011)
 	check("Quality2024", x.Quality2024, y.Quality2024)
 	check("Panel", x.Panel, y.Panel)
@@ -54,10 +68,10 @@ func assertArtifactsEqual(t *testing.T, labelA, labelB string, x, y *Artifacts) 
 	// Byte-identity on the serialized forms, the strongest statement of
 	// "same artifacts": identical accounting files and survey exports.
 	var ja, jb bytes.Buffer
-	if err := trace.WriteAccounting(&ja, x.Jobs); err != nil {
+	if err := trace.WriteAccountingTable(&ja, x.Jobs); err != nil {
 		t.Fatal(err)
 	}
-	if err := trace.WriteAccounting(&jb, y.Jobs); err != nil {
+	if err := trace.WriteAccountingTable(&jb, y.Jobs); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
@@ -97,4 +111,109 @@ func TestRunWorkerCountEquivalence(t *testing.T) {
 	}
 	assertArtifactsEqual(t, "workers=1", "workers=8", one, eight)
 	assertArtifactsEqual(t, "workers=8", "sequential", eight, seq)
+}
+
+func jobRows(t *testing.T, tab trace.JobTable) []trace.Job {
+	t.Helper()
+	rows, err := table.Rows[trace.Job](tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func eventRows(t *testing.T, tab modlog.EventTable) []modlog.Event {
+	t.Helper()
+	rows, err := table.Rows[modlog.Event](tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func tableHash[T any](t *testing.T, tab table.Table[T]) uint64 {
+	t.Helper()
+	h, err := tab.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestRunShardBatchEquivalence pins the columnar-layer contract from
+// DESIGN.md: batch size, shard fan-out, and spill configuration are
+// execution knobs — artifacts (rows, hashes, serialized accounting
+// bytes) are byte-identical across all of them, and the fingerprint
+// does not encode them.
+func TestRunShardBatchEquivalence(t *testing.T) {
+	base, err := Run(equivConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []TableConfig{
+		{BatchRows: 64, Shards: 1},
+		{BatchRows: 512, Shards: 3},
+		{BatchRows: 4096, Shards: 7},
+		{BatchRows: 256, Shards: 5, SpillDir: t.TempDir(), Resident: 2},
+	} {
+		cfg := equivConfig()
+		cfg.Table = tc
+		if cfg.Fingerprint() != equivConfig().Fingerprint() {
+			t.Fatalf("%+v: table knobs leaked into the fingerprint", tc)
+		}
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		assertArtifactsEqual(t, "default", fmt.Sprintf("batch=%d/shards=%d/spill=%t", tc.BatchRows, tc.Shards, tc.SpillDir != ""), base, got)
+	}
+}
+
+// TestTraceScaleReplicas exercises the scaled-trace path: replica 0 of
+// each year is bit-identical to the unscaled trace, totals multiply by
+// the scale, the concatenated feed stays in arrival order (the
+// simulation would reject it otherwise), and the fingerprint changes —
+// scaled artifacts must never share a cache slot with unscaled ones.
+func TestTraceScaleReplicas(t *testing.T) {
+	cfg := equivConfig()
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := cfg
+	scaled.TraceScale = 3
+	if scaled.Fingerprint() == cfg.Fingerprint() {
+		t.Fatal("trace scale did not change the fingerprint")
+	}
+	a, err := Run(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for year, bt := range base.JobsByYr {
+		want := jobRows(t, bt)
+		got := jobRows(t, a.JobsByYr[year])
+		// Each replica draws its own job count from its own rng stream,
+		// so the total is ~3× the base, not exactly.
+		if len(got) < 2*len(want) || len(got) > 4*len(want) {
+			t.Fatalf("year %d: %d jobs at scale 3, base year has %d", year, len(got), len(want))
+		}
+		if !reflect.DeepEqual(got[:len(want)], want) {
+			t.Fatalf("year %d: replica 0 differs from the unscaled trace", year)
+		}
+		ids := map[uint64]bool{}
+		prev := got[0]
+		for i, j := range got {
+			if ids[j.ID] {
+				t.Fatalf("year %d: duplicate job id %d", year, j.ID)
+			}
+			ids[j.ID] = true
+			if i > 0 && (j.Submit < prev.Submit || (j.Submit == prev.Submit && j.ID <= prev.ID)) {
+				t.Fatalf("year %d: scaled trace out of arrival order at row %d", year, i)
+			}
+			prev = j
+		}
+	}
+	if a.Sim == nil || a.Sim.Metrics.Jobs != a.JobsByYr[scaled.SimYear].Len(table.Exact) {
+		t.Fatal("simulation did not cover the scaled sim-year trace")
+	}
 }

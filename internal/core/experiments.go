@@ -10,6 +10,8 @@ import (
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/survey"
+	"repro/internal/table"
+	"repro/internal/trace"
 	"repro/internal/trend"
 )
 
@@ -188,7 +190,10 @@ func table4(a *Artifacts) (*report.Table, error) {
 }
 
 func table5(a *Artifacts) (*report.Table, error) {
-	sums := a.JobSummaries()
+	sums, err := a.JobSummaries()
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Table 5: Cluster workload mix by year",
 		"year", "jobs", "cpu-hours", "gpu-hours", "gpu-job share", "median cores", "mean cores", "p99 cores", "failed")
 	for _, s := range sums {
@@ -353,7 +358,10 @@ func figure1(a *Artifacts, w io.Writer) error {
 }
 
 func figure2(a *Artifacts, w io.Writer) error {
-	sums := a.JobSummaries()
+	sums, err := a.JobSummaries()
+	if err != nil {
+		return err
+	}
 	xs := make([]float64, len(sums))
 	gpuShare := make([]float64, len(sums))
 	gpuJobShare := make([]float64, len(sums))
@@ -379,9 +387,13 @@ func figure3(a *Artifacts, w io.Writer) error {
 		if !ok {
 			return fmt.Errorf("core: figure3: no jobs for %d", year)
 		}
-		cores := make([]float64, len(jobs))
-		for i, j := range jobs {
-			cores[i] = float64(j.Cores())
+		// Core counts are integers, so the sharded collect is order-free
+		// in value; it still preserves row order by contract.
+		cores, err := table.ShardCollect[trace.Job](jobs, a.Config.tableShards(), func(j trace.Job) float64 {
+			return float64(j.Cores())
+		})
+		if err != nil {
+			return err
 		}
 		pts, probs, err := stats.ECDF(cores)
 		if err != nil {
@@ -502,9 +514,14 @@ func figure7(a *Artifacts, w io.Writer) error {
 	jobs := a.JobsByYr[a.Config.SimYear]
 	cpuH := map[string]float64{}
 	gpuH := map[string]float64{}
-	for _, j := range jobs {
+	// Float accumulation: must stream in row order (FoldSeq, not a
+	// sharded fold) so the sums re-associate identically on every run.
+	if _, err := table.FoldSeq[trace.Job](jobs, struct{}{}, func(z struct{}, j trace.Job) struct{} {
 		cpuH[j.Account] += j.CPUHours()
 		gpuH[j.Account] += j.GPUHours()
+		return z
+	}); err != nil {
+		return err
 	}
 	fields := make([]string, 0, len(cpuH))
 	for f := range cpuH {

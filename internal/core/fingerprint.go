@@ -13,11 +13,15 @@ import (
 // fingerprints produce byte-identical artifacts, so the fingerprint is
 // safe to use as a cache key and as the basis for HTTP ETags.
 //
-// Config.Workers is deliberately excluded: the determinism contract
-// (DESIGN.md "Pipeline concurrency & determinism", enforced by
-// TestRunWorkerCountEquivalence) guarantees artifacts are byte-identical
-// for any worker count, so runs differing only in fan-out must share a
-// cache slot.
+// Config.Workers and Config.Table are deliberately excluded: the
+// determinism contract (DESIGN.md "Pipeline concurrency & determinism",
+// enforced by TestRunWorkerCountEquivalence and the shard/batch
+// equivalence tests) guarantees artifacts are byte-identical for any
+// worker count, shard fan-out, batch size, or spill configuration, so
+// runs differing only in execution knobs must share a cache slot.
+// Config.TraceScale does change artifacts, but only when > 1; the
+// unscaled encoding omits the field entirely so every fingerprint from
+// before the field existed stays valid.
 //
 // The encoding is versioned ("rcpt-cfg/1") so a future field addition
 // that changes artifacts can bump the prefix and invalidate every
@@ -43,6 +47,9 @@ func (c Config) Fingerprint() string {
 	// %b prints the exact bit pattern, so two floats hash equal iff they
 	// are the same value (no decimal rounding ambiguity).
 	fmt.Fprintf(&b, "noiserate=%b\n", c.NoiseRate)
+	if c.TraceScale > 1 {
+		fmt.Fprintf(&b, "tracescale=%d\n", c.TraceScale)
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }

@@ -13,6 +13,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/sched"
+	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 // chaosConfig keeps three full pipeline runs cheap under -race.
@@ -65,7 +67,7 @@ func TestChaosArtifactsByteIdenticalAcrossWorkers(t *testing.T) {
 		}
 		t.Logf("workers=%d: injected %d panics, %d errors, %d delays over %d attempts", workers, p, e, d, in.Attempts())
 
-		if !reflect.DeepEqual(clean.Jobs, arts.Jobs) ||
+		if !reflect.DeepEqual(jobRows(t, clean), jobRows(t, arts)) ||
 			!reflect.DeepEqual(clean.Cohort2024, arts.Cohort2024) ||
 			!reflect.DeepEqual(clean.Rake2024, arts.Rake2024) ||
 			!reflect.DeepEqual(clean.Panel, arts.Panel) ||
@@ -77,6 +79,15 @@ func TestChaosArtifactsByteIdenticalAcrossWorkers(t *testing.T) {
 			t.Fatalf("workers=%d: serialized accounting diverged under chaos", workers)
 		}
 	}
+}
+
+func jobRows(t *testing.T, a *core.Artifacts) []trace.Job {
+	t.Helper()
+	rows, err := table.Rows[trace.Job](a.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
 }
 
 func serializeAccounting(t *testing.T, a *core.Artifacts) []byte {

@@ -3,6 +3,8 @@ package modlog
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/table"
 )
 
 // Co-load analysis: which modules are used together by the same user in
@@ -37,6 +39,14 @@ func CoLoads(events []Event, year int) ([]PairAffinity, error) {
 		}
 		users[e.User][e.Name()] = true
 	}
+	return pairAffinities(users), nil
+}
+
+// pairAffinities computes the pair statistics from user→module sets,
+// the shared core of CoLoads and CoLoadsTable. The per-user iteration
+// is map-ordered but every derived quantity is an integer count, so the
+// result (after the final total-order sort) is deterministic.
+func pairAffinities(users map[string]map[string]bool) []PairAffinity {
 	totalUsers := len(users)
 	moduleUsers := map[string]int{}
 	pairUsers := map[[2]string]int{}
@@ -83,7 +93,45 @@ func CoLoads(events []Event, year int) ([]PairAffinity, error) {
 		}
 		return out[i].B < out[j].B
 	})
-	return out, nil
+	return out
+}
+
+// CoLoadsTable is the streaming, shard-parallel equivalent of CoLoads:
+// the user→module sets are built by order-free set union across shard
+// scanners (merged in ascending shard order), then scored by the same
+// pair-affinity core. Identical output for any shard count.
+func CoLoadsTable(t EventTable, year, shards int) ([]PairAffinity, error) {
+	if t.Len(table.Exact) == 0 {
+		return nil, fmt.Errorf("modlog: no events")
+	}
+	users, err := table.ShardFold[Event](t, shards,
+		func() map[string]map[string]bool { return map[string]map[string]bool{} },
+		func(m map[string]map[string]bool, e Event) map[string]map[string]bool {
+			if e.Year != year {
+				panic(fmt.Sprintf("modlog: event for year %d in CoLoadsTable(%d)", e.Year, year))
+			}
+			if m[e.User] == nil {
+				m[e.User] = map[string]bool{}
+			}
+			m[e.User][e.Name()] = true
+			return m
+		},
+		func(a, b map[string]map[string]bool) map[string]map[string]bool {
+			for u, mods := range b {
+				if a[u] == nil {
+					a[u] = mods
+					continue
+				}
+				for m := range mods {
+					a[u][m] = true
+				}
+			}
+			return a
+		})
+	if err != nil {
+		return nil, err
+	}
+	return pairAffinities(users), nil
 }
 
 // TopPairs returns the k highest-lift pairs with at least minUsers

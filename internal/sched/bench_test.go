@@ -13,8 +13,10 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"unsafe"
 
 	"repro/internal/rng"
+	"repro/internal/table"
 	"repro/internal/trace"
 )
 
@@ -106,4 +108,76 @@ func BenchmarkSimulateEASYNaive(b *testing.B) {
 func BenchmarkSimulateConservativeNaive(b *testing.B) {
 	campus, _ := benchTraces(b)
 	benchSimulate(b, campus, Options{Policy: ConservativeBackfill}, true)
+}
+
+// gen10xStream streams the same 10× workload benchTraces materializes,
+// without ever holding it whole: ten year-strided generations emitted
+// in arrival order (the stride keeps their submit windows disjoint).
+func gen10xStream(emit func(trace.Job) error) error {
+	const yearStride = 366 * 86400
+	for i := 0; i < 10; i++ {
+		off := int64(i) * yearStride
+		err := trace.CampusModel(2024).GenerateStream(rng.New(uint64(100+i)), uint64(i)*10_000_000,
+			func(j trace.Job) error {
+				j.Submit += off
+				return emit(j)
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkSimulateFeed10x measures the whole feed path — trace
+// storage plus simulation — on the 10× trace, one sub-benchmark per
+// storage strategy. Run with -benchmem: bytes/op and allocs/op carry
+// the comparison, and the resident-trace-b metric reports how much of
+// the trace each strategy keeps in memory while simulating (the
+// []trace.Job slice holds everything; the spilling column table holds
+// O(BatchSize × Resident) regardless of trace length).
+func BenchmarkSimulateFeed10x(b *testing.B) {
+	opt := Options{Policy: EASYBackfill, Fairshare: true}
+	cluster := DefaultCampusCluster()
+	jobSize := int(unsafe.Sizeof(trace.Job{}))
+	b.Run("slice", func(b *testing.B) {
+		b.ReportAllocs()
+		resident := 0.0
+		for i := 0; i < b.N; i++ {
+			var jobs []trace.Job
+			if err := gen10xStream(func(j trace.Job) error { jobs = append(jobs, j); return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Simulate(cluster, jobs, opt); err != nil {
+				b.Fatal(err)
+			}
+			resident = float64(cap(jobs) * jobSize)
+		}
+		b.ReportMetric(resident, "resident-trace-b")
+	})
+	bench := func(b *testing.B, opts func(b *testing.B) table.Options) {
+		b.ReportAllocs()
+		resident := 0.0
+		for i := 0; i < b.N; i++ {
+			tab, err := table.Build[trace.Job](trace.JobCodec{}, opts(b), func(appendRow func(trace.Job)) error {
+				return gen10xStream(func(j trace.Job) error { appendRow(j); return nil })
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := SimulateTable(cluster, tab, opt); err != nil {
+				b.Fatal(err)
+			}
+			resident = float64(tab.MemBytes())
+		}
+		b.ReportMetric(resident, "resident-trace-b")
+	}
+	b.Run("table", func(b *testing.B) {
+		bench(b, func(b *testing.B) table.Options { return table.Options{} })
+	})
+	b.Run("table-spill", func(b *testing.B) {
+		bench(b, func(b *testing.B) table.Options {
+			return table.Options{SpillDir: b.TempDir(), Resident: 2}
+		})
+	})
 }

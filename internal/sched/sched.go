@@ -166,30 +166,10 @@ func simulate(cluster Cluster, jobs []trace.Job, opt Options, naive bool) (*Resu
 	if len(jobs) == 0 {
 		return nil, errors.New("sched: no jobs")
 	}
-	if opt.UtilSampleEvery <= 0 {
-		opt.UtilSampleEvery = 3600
-	}
-	if opt.FairshareHalfLife <= 0 {
-		opt.FairshareHalfLife = 7 * 86400
-	}
+	applyOptionDefaults(&opt)
 	for _, j := range jobs {
-		if err := j.Validate(); err != nil {
+		if err := validateJobForCluster(cluster, j); err != nil {
 			return nil, err
-		}
-		switch j.Partition {
-		case "gpu":
-			if j.Cores() > cluster.gpuCoreCap() || j.GPUs > cluster.gpuCapacity() {
-				return nil, fmt.Errorf("sched: job %d wants %d cores / %d gpus, gpu partition has %d / %d",
-					j.ID, j.Cores(), j.GPUs, cluster.gpuCoreCap(), cluster.gpuCapacity())
-			}
-		default:
-			if j.Cores() > cluster.cpuCapacity() {
-				return nil, fmt.Errorf("sched: job %d wants %d cores, cpu partition has %d",
-					j.ID, j.Cores(), cluster.cpuCapacity())
-			}
-			if j.GPUs > 0 {
-				return nil, fmt.Errorf("sched: job %d requests gpus on partition %q", j.ID, j.Partition)
-			}
 		}
 	}
 	s := newSim(cluster, jobs, opt)
@@ -205,8 +185,9 @@ type sim struct {
 	cluster Cluster
 	opt     Options
 
-	pending []trace.Job // sorted by submit
-	nextArr int
+	src      jobSource // arrival feed, in (Submit, ID) order
+	total    int       // jobs the feed will deliver
+	arrivals int       // jobs consumed so far; assigns arrival seq numbers
 
 	queue   []*queued
 	running runHeap
@@ -333,13 +314,31 @@ func newSim(cluster Cluster, jobs []trace.Job, opt Options) *sim {
 		span := pending[n-1].Submit - pending[0].Submit
 		sampleCap += int(span / opt.UtilSampleEvery)
 	}
+	return newSimFromSource(cluster, &sliceSource{jobs: pending}, len(pending), sampleCap, opt)
+}
+
+// applyOptionDefaults fills the option defaults shared by the batch and
+// streaming entry points.
+func applyOptionDefaults(opt *Options) {
+	if opt.UtilSampleEvery <= 0 {
+		opt.UtilSampleEvery = 3600
+	}
+	if opt.FairshareHalfLife <= 0 {
+		opt.FairshareHalfLife = 7 * 86400
+	}
+}
+
+// newSimFromSource builds the simulation state over any arrival feed.
+// total is the exact job count; sampleCap is only a capacity hint.
+func newSimFromSource(cluster Cluster, src jobSource, total, sampleCap int, opt Options) *sim {
 	return &sim{
 		cluster:  cluster,
 		opt:      opt,
-		pending:  pending,
+		src:      src,
+		total:    total,
 		queue:    make([]*queued, 0, 64),
 		running:  make(runHeap, 0, 256),
-		results:  make([]JobResult, 0, len(pending)),
+		results:  make([]JobResult, 0, total),
 		samples:  make([]UtilSample, 0, sampleCap),
 		cpuFree:  cluster.cpuCapacity(),
 		gpuCore:  cluster.gpuCoreCap(),
@@ -618,21 +617,30 @@ func (s *sim) shadow(head trace.Job) (shadowTime int64, spareCPU, spareGPUCore, 
 
 func (s *sim) run() error {
 	guard := 0
-	maxEvents := len(s.pending)*4 + 16
-	for s.nextArr < len(s.pending) || len(s.queue) > 0 || s.running.Len() > 0 {
+	maxEvents := s.total*4 + 16
+	for {
+		_, more := s.src.peek()
+		if !more && len(s.queue) == 0 && s.running.Len() == 0 {
+			break
+		}
 		guard++
 		if guard > maxEvents*4 {
 			return fmt.Errorf("sched: event budget exceeded (%d events) — scheduler wedged", guard)
 		}
 		// Next event: arrival or completion.
 		var next int64 = math.MaxInt64
-		if s.nextArr < len(s.pending) {
-			next = s.pending[s.nextArr].Submit
+		if t, ok := s.src.peek(); ok {
+			next = t
 		}
 		if s.running.Len() > 0 && s.running[0].end < next {
 			next = s.running[0].end
 		}
 		if next == math.MaxInt64 {
+			if err := s.src.err(); err != nil {
+				// The feed died with jobs still queued; report the feed
+				// failure, not a phantom deadlock.
+				return err
+			}
 			// Queue non-empty but nothing running and no arrivals: the
 			// queue head cannot ever start — run() pre-validation should
 			// have caught this.
@@ -651,15 +659,25 @@ func (s *sim) run() error {
 			s.removeRelease(e.end-e.job.Elapsed+e.job.Limit, e.seq)
 		}
 		// Process arrivals at this instant.
-		for s.nextArr < len(s.pending) && s.pending[s.nextArr].Submit == next {
-			j := s.pending[s.nextArr]
-			s.queue = append(s.queue, &queued{job: j, arrived: next, seq: s.nextArr, user: s.internUser(j.User)})
-			s.nextArr++
+		for {
+			t, ok := s.src.peek()
+			if !ok || t != next {
+				break
+			}
+			j := s.src.pop()
+			s.queue = append(s.queue, &queued{job: j, arrived: next, seq: s.arrivals, user: s.internUser(j.User)})
+			s.arrivals++
 			s.prioDirty = true
 		}
 		if err := s.schedule(); err != nil {
 			return err
 		}
+	}
+	// A feed failure (scan error, invalid or out-of-order job) presents
+	// as a drained source; surface it rather than returning a partial
+	// simulation.
+	if err := s.src.err(); err != nil {
+		return err
 	}
 	return nil
 }

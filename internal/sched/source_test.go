@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/table"
+	"repro/internal/trace"
+)
+
+func feedTrace(t *testing.T) []trace.Job {
+	t.Helper()
+	jobs, err := trace.CampusModel(2024).Generate(rng.New(5).SplitNamed("feed-test"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestSimulateTableMatchesSlice pins the feed equivalence: the streamed
+// simulation is event-for-event identical to the batch one, across
+// policies, batch sizes, and the spill path.
+func TestSimulateTableMatchesSlice(t *testing.T) {
+	jobs := feedTrace(t)
+	cluster := DefaultCampusCluster()
+	for _, pol := range []Policy{FCFS, EASYBackfill, ConservativeBackfill} {
+		opt := Options{Policy: pol, Fairshare: pol == EASYBackfill}
+		want, err := Simulate(cluster, jobs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			name string
+			opt  table.Options
+		}{
+			{"batch64", table.Options{BatchSize: 64}},
+			{"batch4096", table.Options{BatchSize: 4096}},
+			{"spill", table.Options{BatchSize: 512, SpillDir: t.TempDir(), Resident: 2}},
+		} {
+			tab, err := table.FromSlice[trace.Job](trace.JobCodec{}, tc.opt, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SimulateTable(cluster, tab, opt)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", pol, tc.name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v/%s: streamed result differs from batch result", pol, tc.name)
+			}
+		}
+	}
+}
+
+func TestSimulateTableRejectsOutOfOrderFeed(t *testing.T) {
+	jobs := feedTrace(t)[:100]
+	jobs[40], jobs[60] = jobs[60], jobs[40] // break arrival order
+	tab := table.NewSlice(jobs, trace.JobCodec{}.HashRow)
+	_, err := SimulateTable(DefaultCampusCluster(), tab, Options{Policy: FCFS})
+	if err == nil || !strings.Contains(err.Error(), "out of arrival order") {
+		t.Fatalf("want out-of-order feed error, got %v", err)
+	}
+}
+
+func TestSimulateTableValidatesLazily(t *testing.T) {
+	jobs := feedTrace(t)[:100]
+	jobs[50].Nodes = 10_000 // exceeds any partition
+	tab := table.NewSlice(jobs, trace.JobCodec{}.HashRow)
+	_, err := SimulateTable(DefaultCampusCluster(), tab, Options{Policy: FCFS})
+	if err == nil || !strings.Contains(err.Error(), "wants") {
+		t.Fatalf("want capacity rejection from the streamed feed, got %v", err)
+	}
+}
+
+func TestSimulateTableEmpty(t *testing.T) {
+	tab := table.NewSlice[trace.Job](nil, trace.JobCodec{}.HashRow)
+	if _, err := SimulateTable(DefaultCampusCluster(), tab, Options{Policy: FCFS}); err == nil {
+		t.Fatal("want error for empty table")
+	}
+}

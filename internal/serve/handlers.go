@@ -480,7 +480,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Kept2011: len(arts.Cohort2011), Kept2024: len(arts.Cohort2024),
 			EffectiveN2011: arts.Rake2011.EffectiveN, EffectiveN2024: arts.Rake2024.EffectiveN,
 		},
-		Jobs: len(arts.Jobs),
+		Jobs: arts.JobCount(),
 		Scheduler: schedSummary{
 			Policy:     arts.Sim.Metrics.Policy.String(),
 			MeanWait:   arts.Sim.Metrics.MeanWait,

@@ -1,0 +1,238 @@
+package survey
+
+import (
+	"sort"
+
+	"repro/internal/table"
+)
+
+// ResponseColumns is the struct-of-arrays batch form of survey
+// responses. The fixed fields are plain columns; the per-question
+// answers flatten into shared answer columns with per-row offsets, with
+// question IDs and choice strings dictionary-encoded (a cohort shares a
+// small instrument vocabulary). Answers are stored sorted by question
+// ID so the encoding — and the row hash — is canonical even though
+// Response holds them in a map.
+//
+// Rows are stored and returned by value; Row materializes a fresh
+// Response with its own Answers map, so batch storage can never alias
+// the mutable *Response views the weighting code adjusts in place.
+type ResponseColumns struct {
+	ids     []string
+	cohorts []int32
+	weights []float64
+
+	ansOff []int32 // per row: start index into the answer columns; len = rows+1
+
+	ansQID     []uint32
+	ansChoice  []uint32
+	ansChOff   []int32 // per answer: start into ansChoices; len = answers+1
+	ansChoices []uint32
+	ansRating  []int32
+	ansValue   []float64
+	ansText    []string
+
+	qidDict table.Dict
+	strDict table.Dict
+}
+
+func (c *ResponseColumns) init() {
+	if c.ansOff == nil {
+		c.ansOff = append(c.ansOff, 0)
+	}
+	if c.ansChOff == nil {
+		c.ansChOff = append(c.ansChOff, 0)
+	}
+}
+
+// sortedQIDs returns the response's question IDs in sorted order.
+func sortedQIDs(r Response) []string {
+	qids := make([]string, 0, len(r.Answers))
+	for id := range r.Answers {
+		qids = append(qids, id)
+	}
+	sort.Strings(qids)
+	return qids
+}
+
+// Append implements table.Columns.
+func (c *ResponseColumns) Append(r Response) {
+	c.init()
+	c.ids = append(c.ids, r.ID)
+	c.cohorts = append(c.cohorts, int32(r.Cohort))
+	c.weights = append(c.weights, r.Weight)
+	for _, qid := range sortedQIDs(r) {
+		a := r.Answers[qid]
+		c.ansQID = append(c.ansQID, c.qidDict.Code(qid))
+		c.ansChoice = append(c.ansChoice, c.strDict.Code(a.Choice))
+		for _, ch := range a.Choices {
+			c.ansChoices = append(c.ansChoices, c.strDict.Code(ch))
+		}
+		c.ansChOff = append(c.ansChOff, int32(len(c.ansChoices)))
+		c.ansRating = append(c.ansRating, int32(a.Rating))
+		c.ansValue = append(c.ansValue, a.Value)
+		c.ansText = append(c.ansText, a.Text)
+	}
+	c.ansOff = append(c.ansOff, int32(len(c.ansQID)))
+}
+
+// Len implements table.Columns.
+func (c *ResponseColumns) Len() int { return len(c.ids) }
+
+// Row implements table.Columns.
+func (c *ResponseColumns) Row(i int) Response {
+	r := Response{
+		ID:      c.ids[i],
+		Cohort:  int(c.cohorts[i]),
+		Weight:  c.weights[i],
+		Answers: map[string]Answer{},
+	}
+	for ai := c.ansOff[i]; ai < c.ansOff[i+1]; ai++ {
+		a := Answer{
+			Choice: c.strDict.Value(c.ansChoice[ai]),
+			Rating: int(c.ansRating[ai]),
+			Value:  c.ansValue[ai],
+			Text:   c.ansText[ai],
+		}
+		if lo, hi := c.ansChOff[ai], c.ansChOff[ai+1]; hi > lo {
+			a.Choices = make([]string, 0, hi-lo)
+			for ci := lo; ci < hi; ci++ {
+				a.Choices = append(a.Choices, c.strDict.Value(c.ansChoices[ci]))
+			}
+		}
+		r.Answers[c.qidDict.Value(c.ansQID[ai])] = a
+	}
+	return r
+}
+
+// Reset implements table.Columns.
+func (c *ResponseColumns) Reset() {
+	c.ids, c.cohorts, c.weights = c.ids[:0], c.cohorts[:0], c.weights[:0]
+	c.ansOff, c.ansChOff = c.ansOff[:0], c.ansChOff[:0]
+	c.ansQID, c.ansChoice, c.ansChoices = c.ansQID[:0], c.ansChoice[:0], c.ansChoices[:0]
+	c.ansRating, c.ansValue, c.ansText = c.ansRating[:0], c.ansValue[:0], c.ansText[:0]
+	c.qidDict.Reset()
+	c.strDict.Reset()
+	c.init()
+}
+
+// EncodeTo implements table.Columns.
+func (c *ResponseColumns) EncodeTo(w *table.Writer) error {
+	c.init()
+	c.qidDict.EncodeTo(w)
+	c.strDict.EncodeTo(w)
+	w.Uvarint(uint64(len(c.ids)))
+	for i := range c.ids {
+		w.String(c.ids[i])
+		w.Varint(int64(c.cohorts[i]))
+		w.Float64(c.weights[i])
+		w.Uvarint(uint64(c.ansOff[i+1] - c.ansOff[i]))
+	}
+	w.Uvarint(uint64(len(c.ansQID)))
+	for ai := range c.ansQID {
+		w.Uvarint(uint64(c.ansQID[ai]))
+		w.Uvarint(uint64(c.ansChoice[ai]))
+		w.Uvarint(uint64(c.ansChOff[ai+1] - c.ansChOff[ai]))
+		w.Varint(int64(c.ansRating[ai]))
+		w.Float64(c.ansValue[ai])
+		w.String(c.ansText[ai])
+	}
+	for _, ch := range c.ansChoices {
+		w.Uvarint(uint64(ch))
+	}
+	return w.Err()
+}
+
+// DecodeFrom implements table.Columns.
+func (c *ResponseColumns) DecodeFrom(r *table.Reader) error {
+	c.Reset()
+	c.qidDict.DecodeFrom(r)
+	c.strDict.DecodeFrom(r)
+	rows := r.Uvarint()
+	total := int32(0)
+	for i := uint64(0); i < rows && r.Err() == nil; i++ {
+		c.ids = append(c.ids, r.String())
+		c.cohorts = append(c.cohorts, int32(r.Varint()))
+		c.weights = append(c.weights, r.Float64())
+		total += int32(r.Uvarint())
+		c.ansOff = append(c.ansOff, total)
+	}
+	answers := r.Uvarint()
+	chTotal := int32(0)
+	for ai := uint64(0); ai < answers && r.Err() == nil; ai++ {
+		c.ansQID = append(c.ansQID, uint32(r.Uvarint()))
+		c.ansChoice = append(c.ansChoice, uint32(r.Uvarint()))
+		chTotal += int32(r.Uvarint())
+		c.ansChOff = append(c.ansChOff, chTotal)
+		c.ansRating = append(c.ansRating, int32(r.Varint()))
+		c.ansValue = append(c.ansValue, r.Float64())
+		c.ansText = append(c.ansText, r.String())
+	}
+	for ci := int32(0); ci < chTotal && r.Err() == nil; ci++ {
+		c.ansChoices = append(c.ansChoices, uint32(r.Uvarint()))
+	}
+	return r.Err()
+}
+
+// MemBytes implements table.Columns.
+func (c *ResponseColumns) MemBytes() int {
+	n := 0
+	for _, s := range c.ids {
+		n += len(s) + 16
+	}
+	for _, s := range c.ansText {
+		n += len(s) + 16
+	}
+	n += len(c.cohorts)*4 + len(c.weights)*8 + len(c.ansOff)*4
+	n += len(c.ansQID)*4 + len(c.ansChoice)*4 + len(c.ansChOff)*4
+	n += len(c.ansChoices)*4 + len(c.ansRating)*4 + len(c.ansValue)*8
+	return n + c.qidDict.MemBytes() + c.strDict.MemBytes()
+}
+
+// ResponseCodec binds Response (by value) to its columnar form.
+type ResponseCodec struct{}
+
+// NewColumns implements table.Codec.
+func (ResponseCodec) NewColumns() table.Columns[Response] { return &ResponseColumns{} }
+
+// HashRow implements table.Codec, hashing answers in sorted question
+// order so the hash is independent of map iteration.
+func (ResponseCodec) HashRow(r Response) uint64 {
+	h := table.HashInit()
+	h = table.HashString(h, r.ID)
+	h = table.HashInt64(h, int64(r.Cohort))
+	h = table.HashFloat64(h, r.Weight)
+	for _, qid := range sortedQIDs(r) {
+		a := r.Answers[qid]
+		h = table.HashString(h, qid)
+		h = table.HashString(h, a.Choice)
+		h = table.HashUint64(h, uint64(len(a.Choices)))
+		for _, ch := range a.Choices {
+			h = table.HashString(h, ch)
+		}
+		h = table.HashInt64(h, int64(a.Rating))
+		h = table.HashFloat64(h, a.Value)
+		h = table.HashString(h, a.Text)
+	}
+	return h
+}
+
+// ResponseTable is the streaming form of a cohort.
+type ResponseTable = table.Table[Response]
+
+// MaterializeResponses builds the mutable []*Response view analysis
+// code works with (weighting adjusts Weight in place). One shared view
+// per cohort: callers hold the result, not the table, when they need
+// pointer identity.
+func MaterializeResponses(t ResponseTable) ([]*Response, error) {
+	out := make([]*Response, 0, t.Len(table.Exact))
+	err := table.Each(t, func(r Response) bool {
+		rc := r
+		out = append(out, &rc)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package survey
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func colTestResponses(n int) []Response {
+	out := make([]Response, n)
+	for i := range out {
+		r := Response{
+			ID:      fmt.Sprintf("r%05d", i),
+			Cohort:  2011 + 13*(i%2),
+			Weight:  1 + float64(i)*0.01,
+			Answers: map[string]Answer{},
+		}
+		r.Answers["role"] = Answer{Choice: []string{"faculty", "postdoc", "grad"}[i%3]}
+		r.Answers["languages"] = Answer{Choices: []string{"python", "c++"}[:1+i%2]}
+		r.Answers["satisfaction"] = Answer{Rating: 1 + i%5}
+		r.Answers["years_hpc"] = Answer{Value: float64(i % 20)}
+		if i%4 == 0 {
+			r.Answers["pain_point"] = Answer{Text: fmt.Sprintf("queue waits %d", i)}
+		}
+		if i%7 == 0 {
+			delete(r.Answers, "satisfaction") // skip logic leaves gaps
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestResponseColumnsRoundTrip(t *testing.T) {
+	rs := colTestResponses(500)
+	for _, bs := range []int{32, 128, 600} {
+		tab, err := table.FromSlice[Response](ResponseCodec{}, table.Options{BatchSize: bs}, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := table.Rows[Response](tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rs) {
+			t.Fatalf("BatchSize=%d: responses differ after columnar round trip", bs)
+		}
+	}
+}
+
+func TestResponseColumnsSpillRoundTrip(t *testing.T) {
+	rs := colTestResponses(1000)
+	tab, err := table.FromSlice[Response](ResponseCodec{}, table.Options{
+		BatchSize: 100, SpillDir: t.TempDir(), Resident: 2,
+	}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := table.Rows[Response](tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rs) {
+		t.Fatal("responses differ after spill round trip")
+	}
+}
+
+func TestResponseHashCanonicalOverMapOrder(t *testing.T) {
+	rs := colTestResponses(20)
+	r := rs[0]
+	// Rebuild the answers map in a different insertion order; the hash
+	// must not change (map iteration order is not part of the content).
+	reb := Response{ID: r.ID, Cohort: r.Cohort, Weight: r.Weight, Answers: map[string]Answer{}}
+	qids := sortedQIDs(r)
+	for i := len(qids) - 1; i >= 0; i-- {
+		reb.Answers[qids[i]] = r.Answers[qids[i]]
+	}
+	if (ResponseCodec{}).HashRow(r) != (ResponseCodec{}).HashRow(reb) {
+		t.Fatal("hash depends on map insertion order")
+	}
+	mut := rs[1]
+	mut.Weight += 1e-12
+	if (ResponseCodec{}).HashRow(rs[1]) == (ResponseCodec{}).HashRow(mut) {
+		t.Fatal("hash ignored a weight perturbation")
+	}
+}
+
+func TestMaterializeResponsesIsolation(t *testing.T) {
+	rs := colTestResponses(50)
+	tab, err := table.FromSlice[Response](ResponseCodec{}, table.Options{BatchSize: 16}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := MaterializeResponses(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view) != len(rs) {
+		t.Fatalf("materialized %d responses, want %d", len(view), len(rs))
+	}
+	// Mutating the view (as raking does) must not leak into the table.
+	view[0].Weight = 99
+	again, err := table.Rows[Response](tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Weight == 99 {
+		t.Fatal("view mutation leaked into table storage")
+	}
+}

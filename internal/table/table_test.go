@@ -1,0 +1,398 @@
+package table
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testRow exercises every column primitive: integer, dict string, float.
+type testRow struct {
+	ID   uint64
+	Name string
+	Val  float64
+}
+
+type testColumns struct {
+	ids   []uint64
+	names []uint32
+	vals  []float64
+	dict  Dict
+}
+
+func (c *testColumns) Append(r testRow) {
+	c.ids = append(c.ids, r.ID)
+	c.names = append(c.names, c.dict.Code(r.Name))
+	c.vals = append(c.vals, r.Val)
+}
+
+func (c *testColumns) Len() int { return len(c.ids) }
+
+func (c *testColumns) Row(i int) testRow {
+	return testRow{ID: c.ids[i], Name: c.dict.Value(c.names[i]), Val: c.vals[i]}
+}
+
+func (c *testColumns) Reset() {
+	c.ids, c.names, c.vals = c.ids[:0], c.names[:0], c.vals[:0]
+	c.dict.Reset()
+}
+
+func (c *testColumns) EncodeTo(w *Writer) error {
+	c.dict.EncodeTo(w)
+	w.Uvarint(uint64(len(c.ids)))
+	for i := range c.ids {
+		w.Uvarint(c.ids[i])
+		w.Uvarint(uint64(c.names[i]))
+		w.Float64(c.vals[i])
+	}
+	return w.Err()
+}
+
+func (c *testColumns) DecodeFrom(r *Reader) error {
+	c.Reset()
+	c.dict.DecodeFrom(r)
+	n := r.Uvarint()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		c.ids = append(c.ids, r.Uvarint())
+		c.names = append(c.names, uint32(r.Uvarint()))
+		c.vals = append(c.vals, r.Float64())
+	}
+	return r.Err()
+}
+
+func (c *testColumns) MemBytes() int {
+	return len(c.ids)*8 + len(c.names)*4 + len(c.vals)*8 + c.dict.MemBytes()
+}
+
+type testCodec struct{}
+
+func (testCodec) NewColumns() Columns[testRow] { return &testColumns{} }
+
+func (testCodec) HashRow(r testRow) uint64 {
+	h := HashInit()
+	h = HashUint64(h, r.ID)
+	h = HashString(h, r.Name)
+	h = HashFloat64(h, r.Val)
+	return h
+}
+
+func testRows(n int) []testRow {
+	rows := make([]testRow, n)
+	for i := range rows {
+		rows[i] = testRow{
+			ID:   uint64(i) * 7,
+			Name: fmt.Sprintf("name-%d", i%13),
+			Val:  float64(i) * 1.25,
+		}
+	}
+	return rows
+}
+
+func TestShardRangePartition(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 8192} {
+		for _, total := range []int{1, 2, 3, 7, 16} {
+			prev := 0
+			for s := 0; s < total; s++ {
+				lo, hi := ShardRange(s, s+1, total, n)
+				if lo != prev {
+					t.Fatalf("n=%d total=%d shard %d: lo=%d, want %d (gap/overlap)", n, total, s, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d total=%d shard %d: hi %d < lo %d", n, total, s, hi, lo)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d total=%d: shards cover %d rows", n, total, prev)
+			}
+		}
+	}
+}
+
+func TestSliceScannerShards(t *testing.T) {
+	rows := testRows(101)
+	tab := NewSlice(rows, testCodec{}.HashRow)
+	for _, shards := range []int{1, 2, 3, 7, 101, 200} {
+		var got []testRow
+		for s := 0; s < shards; s++ {
+			sc := tab.Scanner(s, s+1, shards)
+			for sc.Scan() {
+				got = append(got, sc.Row())
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(got, rows) {
+			t.Fatalf("shards=%d: sharded scan differs from rows", shards)
+		}
+	}
+}
+
+func TestBatchesRoundTrip(t *testing.T) {
+	rows := testRows(1000)
+	for _, bs := range []int{1, 7, 100, 1000, 5000} {
+		tab, err := FromSlice[testRow](testCodec{}, Options{BatchSize: bs}, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Len(Exact) != len(rows) {
+			t.Fatalf("BatchSize=%d: Len=%d, want %d", bs, tab.Len(Exact), len(rows))
+		}
+		got, err := Rows[testRow](tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rows) {
+			t.Fatalf("BatchSize=%d: rows differ after round trip", bs)
+		}
+	}
+}
+
+func TestHashInvariantToBatchSizeAndStorage(t *testing.T) {
+	rows := testRows(500)
+	ref, err := NewSlice(rows, testCodec{}.HashRow).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{3, 64, 500} {
+		for _, spill := range []bool{false, true} {
+			opt := Options{BatchSize: bs}
+			if spill {
+				opt.SpillDir = t.TempDir()
+				opt.Resident = 2
+			}
+			tab, err := FromSlice[testRow](testCodec{}, opt, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := tab.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h != ref {
+				t.Fatalf("BatchSize=%d spill=%v: hash %x != slice hash %x", bs, spill, h, ref)
+			}
+		}
+	}
+	// Different content must hash differently.
+	mut := append([]testRow(nil), rows...)
+	mut[250].Val += 1e-9
+	if h, _ := NewSlice(mut, testCodec{}.HashRow).Hash(); h == ref {
+		t.Fatal("hash ignored a float perturbation")
+	}
+}
+
+func TestBatchesSpillBoundedAndLossless(t *testing.T) {
+	rows := testRows(10_000)
+	dir := t.TempDir()
+	tab, err := FromSlice[testRow](testCodec{}, Options{BatchSize: 256, SpillDir: dir, Resident: 2}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spilled, err := filepath.Glob(filepath.Join(dir, "batch-*.col"))
+	if err != nil || len(spilled) == 0 {
+		t.Fatalf("expected spill files, got %v (err %v)", spilled, err)
+	}
+	// Residency stays bounded while building; scanning must not blow it
+	// back up (allow current + prefetch headroom).
+	if got := tab.resident; got > 2 {
+		t.Fatalf("resident after build = %d, want <= 2", got)
+	}
+	got, err := Rows[testRow](tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatal("rows differ after spill round trip")
+	}
+	if got := tab.resident; got > 4 {
+		t.Fatalf("resident after full scan = %d, want <= 4", got)
+	}
+	// Sharded scan across spilled batches, merged in shard order,
+	// equals row order.
+	for _, shards := range []int{3, 7} {
+		var merged []testRow
+		for s := 0; s < shards; s++ {
+			sc := tab.Scanner(s, s+1, shards)
+			for sc.Scan() {
+				merged = append(merged, sc.Row())
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(merged, rows) {
+			t.Fatalf("shards=%d over spilled table: merged scan differs", shards)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, b, c := testRows(37), testRows(1)[:0], testRows(64)
+	for i := range c {
+		c[i].ID += 1000
+	}
+	want := append(append(append([]testRow(nil), a...), b...), c...)
+	batched, err := FromSlice[testRow](testCodec{}, Options{BatchSize: 10}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := Concat[testRow](
+		NewSlice(a, testCodec{}.HashRow),
+		NewSlice(b, testCodec{}.HashRow),
+		batched,
+	)
+	if cat.Len(Exact) != len(want) {
+		t.Fatalf("Len=%d, want %d", cat.Len(Exact), len(want))
+	}
+	got, err := Rows[testRow](cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("concat rows differ from concatenated slices")
+	}
+	for _, shards := range []int{2, 5, 11} {
+		var merged []testRow
+		for s := 0; s < shards; s++ {
+			sc := cat.Scanner(s, s+1, shards)
+			for sc.Scan() {
+				merged = append(merged, sc.Row())
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(merged, want) {
+			t.Fatalf("shards=%d: concat sharded scan differs", shards)
+		}
+	}
+	// Hash equals a flat table over the same rows? No — Concat chains
+	// part hashes, so compare against an identically partitioned concat.
+	cat2 := Concat[testRow](
+		NewSlice(append([]testRow(nil), a...), testCodec{}.HashRow),
+		NewSlice(nil, testCodec{}.HashRow),
+		NewSlice(append([]testRow(nil), c...), testCodec{}.HashRow),
+	)
+	h1, err1 := cat.Hash()
+	h2, err2 := cat2.Hash()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if h1 != h2 {
+		t.Fatal("concat hash depends on part storage, not content")
+	}
+}
+
+func TestShardFoldOrderFreeCount(t *testing.T) {
+	rows := testRows(999)
+	tab, err := FromSlice[testRow](testCodec{}, Options{BatchSize: 64}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 7} {
+		counts, err := ShardFold[testRow](tab, shards,
+			func() map[string]int { return map[string]int{} },
+			func(m map[string]int, r testRow) map[string]int { m[r.Name]++; return m },
+			func(a, b map[string]int) map[string]int {
+				for k, v := range b {
+					a[k] += v
+				}
+				return a
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, v := range counts {
+			total += v
+		}
+		if total != len(rows) {
+			t.Fatalf("shards=%d: counted %d rows, want %d", shards, total, len(rows))
+		}
+	}
+}
+
+func TestShardCollectPreservesRowOrder(t *testing.T) {
+	rows := testRows(500)
+	tab := NewSlice(rows, testCodec{}.HashRow)
+	for _, shards := range []int{1, 4, 9} {
+		ids, err := ShardCollect[testRow](tab, shards, func(r testRow) uint64 { return r.ID })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != len(rows) {
+			t.Fatalf("shards=%d: %d ids", shards, len(ids))
+		}
+		for i, id := range ids {
+			if id != rows[i].ID {
+				t.Fatalf("shards=%d: ids out of row order at %d", shards, i)
+			}
+		}
+	}
+}
+
+func TestFoldSeqMatchesLoop(t *testing.T) {
+	rows := testRows(777)
+	tab, err := FromSlice[testRow](testCodec{}, Options{BatchSize: 50}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, r := range rows {
+		want += r.Val
+	}
+	got, err := FoldSeq(tab, 0.0, func(a float64, r testRow) float64 { return a + r.Val })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("FoldSeq = %v, want %v (bit-exact)", got, want)
+	}
+}
+
+func TestSpillFileCorruptionWithoutRebuildFails(t *testing.T) {
+	dir := t.TempDir()
+	rows := testRows(300)
+	tab, err := FromSlice[testRow](testCodec{}, Options{BatchSize: 50, SpillDir: dir, Resident: 2}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptOneSpill(t, dir)
+	evictAll(tab)
+	if _, err := Rows[testRow](tab); err == nil {
+		t.Fatal("scan over corrupt spill succeeded without a rebuild hook")
+	}
+}
+
+// corruptOneSpill flips a byte near the end of the first spill file.
+func corruptOneSpill(t *testing.T, dir string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "batch-*.col"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no spill files in %s (err %v)", dir, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// evictAll drops every batch that has a spill file, forcing re-reads.
+func evictAll[T any](tab *Batches[T]) {
+	tab.mu.Lock()
+	defer tab.mu.Unlock()
+	for bi := range tab.batches {
+		if tab.batches[bi].cols != nil && spillExists(tab.opt.SpillDir, bi) {
+			tab.batches[bi].cols = nil
+			tab.resident--
+		}
+	}
+}

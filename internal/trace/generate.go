@@ -70,8 +70,31 @@ func (m *WorkloadModel) Validate() error {
 // Generate produces one year's jobs, sorted by submit time, with IDs
 // starting at firstID. Deterministic in r.
 func (m *WorkloadModel) Generate(r *rng.RNG, firstID uint64) ([]Job, error) {
-	if err := m.Validate(); err != nil {
+	var jobs []Job
+	if err := m.GenerateStream(r, firstID, func(j Job) error {
+		jobs = append(jobs, j)
+		return nil
+	}); err != nil {
 		return nil, err
+	}
+	return jobs, nil
+}
+
+// GenerateStream produces exactly the jobs Generate would, in the same
+// (Submit, ID) order, but emits them incrementally while holding only a
+// rolling ~2-day pending buffer instead of the whole year. This is what
+// bounds generation memory on 100×–1000× runs.
+//
+// Correctness of the incremental flush: every job generated on or after
+// day d has Submit >= d*86400 (the diurnal draw stays within the day
+// and array siblings only push submit forward), so once day d begins,
+// pending jobs with Submit < d*86400 are final and can be emitted in
+// (Submit, ID) order — the same total order the batch path sorts by.
+// RNG consumption is the draw order of the day loop, identical in both
+// paths, so the two are byte-equivalent (pinned by tests).
+func (m *WorkloadModel) GenerateStream(r *rng.RNG, firstID uint64, emit func(Job) error) error {
+	if err := m.Validate(); err != nil {
+		return err
 	}
 	weights := make([]float64, len(m.Classes))
 	for i, c := range m.Classes {
@@ -79,22 +102,46 @@ func (m *WorkloadModel) Generate(r *rng.RNG, firstID uint64) ([]Job, error) {
 	}
 	classAlias, err := rng.NewAlias(weights)
 	if err != nil {
-		return nil, fmt.Errorf("trace: class mixture: %w", err)
+		return fmt.Errorf("trace: class mixture: %w", err)
 	}
 	fieldCat, err := rng.NewCategorical(m.FieldShare)
 	if err != nil {
-		return nil, fmt.Errorf("trace: field share: %w", err)
+		return fmt.Errorf("trace: field share: %w", err)
 	}
 	langCat, err := rng.NewCategorical(m.LangShare)
 	if err != nil {
-		return nil, fmt.Errorf("trace: language share: %w", err)
+		return fmt.Errorf("trace: language share: %w", err)
 	}
 	userZipf := rng.NewZipf(m.Users, 1.2) // few users dominate, as in real logs
 
-	var jobs []Job
+	var pending []Job
+	sortPending := func() {
+		sort.Slice(pending, func(a, b int) bool {
+			if pending[a].Submit != pending[b].Submit {
+				return pending[a].Submit < pending[b].Submit
+			}
+			return pending[a].ID < pending[b].ID
+		})
+	}
+	// flushBefore emits pending jobs with Submit < cutoff in (Submit,
+	// ID) order and keeps the rest buffered.
+	flushBefore := func(cutoff int64) error {
+		sortPending()
+		n := sort.Search(len(pending), func(i int) bool { return pending[i].Submit >= cutoff })
+		for _, j := range pending[:n] {
+			if err := emit(j); err != nil {
+				return err
+			}
+		}
+		pending = append(pending[:0], pending[n:]...)
+		return nil
+	}
 	id := firstID
 	const day = 86400
 	for d := 0; d < m.Days; d++ {
+		if err := flushBefore(int64(d * day)); err != nil {
+			return err
+		}
 		// Weekly and diurnal structure: weekends run at under half the
 		// weekday rate, and submissions concentrate in working hours —
 		// the shape every campus accounting log shows.
@@ -150,9 +197,9 @@ func (m *WorkloadModel) Generate(r *rng.RNG, firstID uint64) ([]Job, error) {
 				Language:  langCat.Draw(r),
 			}
 			if err := j.Validate(); err != nil {
-				return nil, fmt.Errorf("trace: generated invalid job: %w", err)
+				return fmt.Errorf("trace: generated invalid job: %w", err)
 			}
-			jobs = append(jobs, j)
+			pending = append(pending, j)
 			id++
 			// Job arrays: emit sibling tasks from the same user with
 			// the same shape, seconds apart, with per-task runtime
@@ -175,21 +222,21 @@ func (m *WorkloadModel) Generate(r *rng.RNG, firstID uint64) ([]Job, error) {
 						sib.Elapsed = sib.Limit
 					}
 					if err := sib.Validate(); err != nil {
-						return nil, fmt.Errorf("trace: generated invalid array task: %w", err)
+						return fmt.Errorf("trace: generated invalid array task: %w", err)
 					}
-					jobs = append(jobs, sib)
+					pending = append(pending, sib)
 					id++
 				}
 			}
 		}
 	}
-	sort.Slice(jobs, func(a, b int) bool {
-		if jobs[a].Submit != jobs[b].Submit {
-			return jobs[a].Submit < jobs[b].Submit
+	sortPending()
+	for _, j := range pending {
+		if err := emit(j); err != nil {
+			return err
 		}
-		return jobs[a].ID < jobs[b].ID
-	})
-	return jobs, nil
+	}
+	return nil
 }
 
 // hourWeights is the within-day submission intensity profile (sums to

@@ -96,26 +96,46 @@ const accountingHeader = "JobID|User|Account|Partition|Year|Submit|NNodes|CoresP
 
 // WriteAccounting streams jobs in the pipe-separated accounting format.
 func WriteAccounting(w io.Writer, jobs []Job) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, accountingHeader); err != nil {
+	aw, err := newAccountingWriter(w)
+	if err != nil {
 		return err
 	}
 	for _, j := range jobs {
-		if err := j.Validate(); err != nil {
-			return err
-		}
-		if strings.Contains(j.User, "|") || strings.Contains(j.Account, "|") || strings.Contains(j.Language, "|") {
-			return fmt.Errorf("trace: job %d has a field containing the separator", j.ID)
-		}
-		_, err := fmt.Fprintf(bw, "%d|%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%s|%s\n",
-			j.ID, j.User, j.Account, j.Partition, j.Year, j.Submit,
-			j.Nodes, j.CoresPer, j.GPUs, j.Limit, j.Elapsed, j.State, j.Language)
-		if err != nil {
+		if err := aw.writeJob(j); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return aw.flush()
 }
+
+// accountingWriter is the row-at-a-time core of WriteAccounting, shared
+// with the table-streaming variant so both emit identical bytes.
+type accountingWriter struct {
+	bw *bufio.Writer
+}
+
+func newAccountingWriter(w io.Writer) (*accountingWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, accountingHeader); err != nil {
+		return nil, err
+	}
+	return &accountingWriter{bw: bw}, nil
+}
+
+func (aw *accountingWriter) writeJob(j Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if strings.Contains(j.User, "|") || strings.Contains(j.Account, "|") || strings.Contains(j.Language, "|") {
+		return fmt.Errorf("trace: job %d has a field containing the separator", j.ID)
+	}
+	_, err := fmt.Fprintf(aw.bw, "%d|%s|%s|%s|%d|%d|%d|%d|%d|%d|%d|%s|%s\n",
+		j.ID, j.User, j.Account, j.Partition, j.Year, j.Submit,
+		j.Nodes, j.CoresPer, j.GPUs, j.Limit, j.Elapsed, j.State, j.Language)
+	return err
+}
+
+func (aw *accountingWriter) flush() error { return aw.bw.Flush() }
 
 // ParseAccounting reads the accounting format, validating each record.
 // Errors carry the 1-based line number.

@@ -7,6 +7,8 @@
 # The sched microbenchmarks cover all three policies on the campus trace
 # plus a 10x synthetic trace, and the *Naive variants run the reference
 # oracle so the optimized-vs-naive speedup is recorded in the same file.
+# -benchmem is always on: bytes_per_op/allocs_per_op in the JSON carry
+# the slice-vs-columnar memory comparison (BenchmarkSimulateFeed10x).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,7 +18,7 @@ OUT="${OUT:-BENCH_sched.json}"
 
 go build -o /tmp/rcpt-bench ./cmd/rcpt-bench
 {
-  go test -run '^$' -bench 'BenchmarkSimulate' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/sched/
-  go test -run '^$' -bench 'BenchmarkFullPipeline$' -benchtime "$BENCHTIME" -count "$COUNT" .
+  go test -run '^$' -bench 'BenchmarkSimulate' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/sched/
+  go test -run '^$' -bench 'BenchmarkFullPipeline$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" .
 } | tee /dev/stderr | /tmp/rcpt-bench -benchtime "$BENCHTIME" -count "$COUNT" -out "$OUT"
 echo "wrote $OUT" >&2
