@@ -1,18 +1,21 @@
 // rcptlint enforces the pipeline's reproducibility contract with the
-// analyzer suite in internal/analysis: maporder, rngpurity, splitshare,
-// floatfold, and errdrop. It loads and type-checks packages with the
-// module-aware loader (no go tool invocation, std-lib only) and prints
-// findings as "file:line: [analyzer] message".
+// analyzer suite in internal/analysis: the syntactic rules (maporder,
+// rngpurity, errdrop, panicsafe) and the interprocedural dataflow rules
+// (nondetflow, ctxprop, shardpure, splitshare, floatfold) built on the
+// call-graph engine in internal/analysis/flow. It loads and type-checks
+// packages with the module-aware loader (no go tool invocation, std-lib
+// only) and prints findings as "file:line: [analyzer] message".
 //
 // Usage:
 //
-//	rcptlint [-json] [-list] [packages...]
+//	rcptlint [-json] [-sarif] [-strict] [-timing] [-budget seconds] [-list] [packages...]
 //
 // Package patterns ("./...", "./internal/core", ...) resolve relative to
 // the working directory; the default is "./...". Exit status: 0 clean,
-// 1 findings, 2 load or type-check failure. Suppress a single finding
-// with an inline "//rcpt:allow <analyzer>" comment on (or directly
-// above) the flagged line.
+// 1 findings (or a -strict/-budget failure), 2 load or type-check
+// failure. Suppress a single finding with an inline "//rcpt:allow
+// <analyzer>" comment on (or directly above) the flagged line; under
+// -strict, a directive that suppresses nothing is itself a finding.
 package main
 
 import (
@@ -30,6 +33,10 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (code-scanning upload)")
+	strict := flag.Bool("strict", false, "treat stale //rcpt:allow directives as findings")
+	timing := flag.Bool("timing", false, "print per-analyzer wall times to stderr")
+	budget := flag.Float64("budget", 0, "fail if total analysis wall time exceeds this many seconds")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	flag.Parse()
 
@@ -38,6 +45,10 @@ func run() int {
 			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "rcptlint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 
 	patterns := flag.Args()
@@ -73,18 +84,42 @@ func run() int {
 		return 2
 	}
 
-	findings, err := analysis.Run(pkgs, analysis.All())
+	// Loaded() adds the module-internal dependencies of the requested
+	// patterns to the dataflow engine, so interprocedural summaries are
+	// identical whether you lint ./... or a single package.
+	suite, err := analysis.RunSuite(pkgs, analysis.All(), loader.Loaded()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rcptlint:", err)
 		return 2
 	}
+	findings := suite.Findings
+	if *strict {
+		findings = append(findings, suite.Stale...)
+	}
 
-	if *jsonOut {
+	var total float64
+	for _, tm := range suite.Timings {
+		total += tm.Seconds
+		if *timing {
+			fmt.Fprintf(os.Stderr, "rcptlint: timing %-11s %7.3fs\n", tm.Analyzer, tm.Seconds)
+		}
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "rcptlint: timing %-11s %7.3fs\n", "total", total)
+	}
+
+	switch {
+	case *jsonOut:
 		if err := analysis.WriteJSON(os.Stdout, findings, wd); err != nil {
 			fmt.Fprintln(os.Stderr, "rcptlint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, findings, analysis.All(), wd); err != nil {
+			fmt.Fprintln(os.Stderr, "rcptlint:", err)
+			return 2
+		}
+	default:
 		for _, f := range findings {
 			rel := f
 			if r, err := filepath.Rel(wd, f.Pos.Filename); err == nil {
@@ -93,11 +128,17 @@ func run() int {
 			fmt.Println(rel.String())
 		}
 	}
+
+	status := 0
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "rcptlint: %d finding(s)\n", len(findings))
 		}
-		return 1
+		status = 1
 	}
-	return 0
+	if *budget > 0 && total > *budget {
+		fmt.Fprintf(os.Stderr, "rcptlint: analysis took %.3fs, over the %.3fs budget\n", total, *budget)
+		status = 1
+	}
+	return status
 }

@@ -26,6 +26,9 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
+
+	"repro/internal/analysis/flow"
 )
 
 // Analyzer is one static check. Run inspects the package held by the
@@ -44,6 +47,12 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Flow is the interprocedural dataflow engine built once over the
+	// whole loaded package set and shared by every analyzer in the
+	// suite. Call-graph-aware analyzers consult it; purely syntactic
+	// ones ignore it.
+	Flow *flow.Engine
 
 	report func(Finding)
 }
@@ -70,14 +79,84 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
 }
 
+// Timing is one analyzer's cumulative wall time across every package
+// it ran over; the pseudo-entry "flowengine" is the shared engine's
+// build-plus-summarize time (paid once, not per analyzer).
+type Timing struct {
+	Analyzer string
+	Seconds  float64
+}
+
+// Suite is the full result of one rcptlint run: surviving findings,
+// stale suppression directives (for -strict), and per-analyzer wall
+// times (for -timing / -budget).
+type Suite struct {
+	Findings []Finding
+	// Stale holds one synthetic Finding (Analyzer "staleallow") per
+	// //rcpt:allow directive that names an analyzer which ran over the
+	// directive's package yet reported nothing the directive suppressed.
+	// A stale allowance is a lie in the source: it claims a violation
+	// that no longer exists.
+	Stale   []Finding
+	Timings []Timing
+}
+
 // Run executes every analyzer over every package, applies //rcpt:allow
 // suppression, and returns the surviving findings sorted by file, line,
 // column, and analyzer. Duplicate (analyzer, position) reports are
 // collapsed to the first.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	suite, err := RunSuite(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return suite.Findings, nil
+}
+
+// RunSuite is Run plus suite metadata: it builds the shared dataflow
+// engine once over the whole package set, hands it to every Pass,
+// tracks which //rcpt:allow directives actually suppressed something,
+// and records per-analyzer wall times.
+//
+// deps are extra packages folded into the engine (typically
+// Loader.Loaded(): module-internal dependencies of the requested
+// patterns) so call-graph summaries exist for helpers the analyzed
+// code calls. Analyzers run — and findings are reported — only over
+// pkgs; duplicates between pkgs and deps are ignored.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer, deps ...*Package) (*Suite, error) {
 	var all []Finding
+	durations := map[string]time.Duration{}
+
+	var engine *flow.Engine
+	if len(pkgs) > 0 {
+		start := time.Now()
+		units := make([]flow.PackageUnit, 0, len(pkgs)+len(deps))
+		seen := map[string]bool{}
+		for _, pkg := range append(append([]*Package{}, pkgs...), deps...) {
+			if seen[pkg.PkgPath] {
+				continue
+			}
+			seen[pkg.PkgPath] = true
+			units = append(units, flow.PackageUnit{
+				Path:  pkg.PkgPath,
+				Files: pkg.Files,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+			})
+		}
+		engine = flow.Build(pkgs[0].Fset, units)
+		durations["flowengine"] = time.Since(start)
+	}
+
+	names := map[string]bool{}
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+
+	var allows []allowances
 	for _, pkg := range pkgs {
 		allow := allowMap(pkg)
+		allows = append(allows, allow)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -85,17 +164,37 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Flow:     engine,
 			}
 			pass.report = func(f Finding) {
 				if !allow.suppressed(f) {
 					all = append(all, f)
 				}
 			}
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			durations[a.Name] += time.Since(start)
+			if err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
+
+	suite := &Suite{Findings: sortFindings(all)}
+	for _, allow := range allows {
+		suite.Stale = append(suite.Stale, allow.stale(names)...)
+	}
+	suite.Stale = sortFindings(suite.Stale)
+	for _, a := range analyzers {
+		suite.Timings = append(suite.Timings, Timing{Analyzer: a.Name, Seconds: durations[a.Name].Seconds()})
+	}
+	suite.Timings = append(suite.Timings, Timing{Analyzer: "flowengine", Seconds: durations["flowengine"].Seconds()})
+	return suite, nil
+}
+
+// sortFindings orders findings by file, line, column, analyzer and
+// collapses exact duplicates.
+func sortFindings(all []Finding) []Finding {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -122,11 +221,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		out = append(out, f)
 	}
-	return out, nil
+	return out
 }
 
-// allowances maps file -> line -> set of analyzer names allowed there.
-type allowances map[string]map[int]map[string]bool
+// allowSite is one //rcpt:allow directive: the analyzers it names, which
+// of them it actually suppressed during the run, and where it sits.
+type allowSite struct {
+	names map[string]bool
+	hits  map[string]bool
+	pos   token.Position
+}
+
+// allowances maps file -> line -> the allow directive on that line.
+type allowances map[string]map[int]*allowSite
 
 // allowMap scans a package's comments for //rcpt:allow directives.
 func allowMap(pkg *Package) allowances {
@@ -141,16 +248,16 @@ func allowMap(pkg *Package) allowances {
 				pos := pkg.Fset.Position(c.Pos())
 				byLine := al[pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int]*allowSite{}
 					al[pos.Filename] = byLine
 				}
-				set := byLine[pos.Line]
-				if set == nil {
-					set = map[string]bool{}
-					byLine[pos.Line] = set
+				site := byLine[pos.Line]
+				if site == nil {
+					site = &allowSite{names: map[string]bool{}, hits: map[string]bool{}, pos: pos}
+					byLine[pos.Line] = site
 				}
 				for _, n := range names {
-					set[n] = true
+					site.names[n] = true
 				}
 			}
 		}
@@ -159,18 +266,59 @@ func allowMap(pkg *Package) allowances {
 }
 
 // suppressed reports whether f is covered by an allow directive on its
-// own line or the line directly above.
+// own line or the line directly above, marking the directive as used.
 func (al allowances) suppressed(f Finding) bool {
 	byLine := al[f.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		if byLine[line][f.Analyzer] {
+		if site := byLine[line]; site != nil && site.names[f.Analyzer] {
+			site.hits[f.Analyzer] = true
 			return true
 		}
 	}
 	return false
+}
+
+// stale returns one synthetic finding per directive name that either
+// refers to an analyzer outside the running set (typo) or suppressed
+// nothing during the run. Iteration is over sorted keys so output
+// order never depends on map iteration.
+func (al allowances) stale(running map[string]bool) []Finding {
+	var out []Finding
+	files := make([]string, 0, len(al))
+	for file := range al {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		byLine := al[file]
+		lines := make([]int, 0, len(byLine))
+		for line := range byLine {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			site := byLine[line]
+			names := make([]string, 0, len(site.names))
+			for name := range site.names {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if site.hits[name] {
+					continue
+				}
+				msg := fmt.Sprintf("stale //rcpt:allow %s: the analyzer reported nothing here; delete the directive", name)
+				if !running[name] {
+					msg = fmt.Sprintf("unknown analyzer %q in //rcpt:allow; delete or fix the directive", name)
+				}
+				out = append(out, Finding{Analyzer: "staleallow", Pos: site.pos, Message: msg})
+			}
+		}
+	}
+	return out
 }
 
 // parseAllow extracts analyzer names from an //rcpt:allow comment.

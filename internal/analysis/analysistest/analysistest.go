@@ -46,10 +46,15 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtureDirs ...string) {
 	if t.Failed() {
 		return
 	}
-	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	// Loaded() includes the module-internal dependencies the fixtures
+	// import (parallel, table, rng, ...), so the dataflow engine has
+	// their bodies and interprocedural checks behave exactly as they do
+	// over the real tree.
+	suite, err := analysis.RunSuite(pkgs, []*analysis.Analyzer{a}, loader.Loaded()...)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
+	findings := suite.Findings
 	for _, f := range findings {
 		if !claim(wants, f) {
 			t.Errorf("unexpected finding at %s", f)

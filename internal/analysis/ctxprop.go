@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxProp enforces context plumbing along blocking call chains: a
+// function that is reachable from context-aware code (anything taking a
+// context.Context or an *http.Request) and that can block — channel
+// operations, selects without default, sleeps, sync waits, network or
+// subprocess I/O, or a mutex held across a possibly-blocking call —
+// must itself accept a context.Context, or cancellation stops
+// propagating exactly where the goroutine can get stuck.
+//
+// Exemption: a function whose body launches goroutines (contains a
+// `go` statement) is a fork-join primitive; its channel/WaitGroup
+// waits are bounded by its own spawned work, so requiring a ctx there
+// would force signatures through every fan-out helper without making
+// cancellation more responsive.
+var CtxProp = &Analyzer{
+	Name: "ctxprop",
+	Doc:  "blocking functions reachable from context-aware callers must accept context.Context",
+	Run:  runCtxProp,
+}
+
+func runCtxProp(pass *Pass) error {
+	if pass.Flow == nil {
+		return nil
+	}
+	eng := pass.Flow
+	var roots []*types.Func
+	for _, fn := range eng.Funcs() {
+		s := eng.Summary(fn)
+		if s != nil && (s.HasCtx || hasHTTPRequestParam(fn)) {
+			roots = append(roots, fn)
+		}
+	}
+	reach := eng.Reachable(roots)
+	for _, fn := range eng.Funcs() {
+		if fn.Pkg() != pass.Pkg || !reach[fn] {
+			continue
+		}
+		s := eng.Summary(fn)
+		if s == nil || s.HasCtx || hasHTTPRequestParam(fn) || len(s.Blocks) == 0 {
+			continue
+		}
+		fi := eng.Info(fn)
+		if fi == nil || spawnsGoroutines(fi.Decl.Body) {
+			continue
+		}
+		for _, b := range s.Blocks {
+			pass.Reportf(b.Pos,
+				"%s blocks (%s) and is reachable from context-aware callers but takes no context.Context; plumb ctx so cancellation reaches the wait",
+				fn.Name(), b.Desc)
+		}
+	}
+	return nil
+}
+
+// hasHTTPRequestParam reports whether fn takes an *http.Request — the
+// handler shape, which carries its context via Request.Context().
+func hasHTTPRequestParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		ptr, ok := params.At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnsGoroutines reports whether the body contains a `go` statement.
+func spawnsGoroutines(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -6,15 +6,6 @@ import (
 	"go/types"
 )
 
-// spawnerMethods name the call sinks that execute a function literal
-// concurrently with its siblings: goroutine pools, stage graphs.
-var spawnerMethods = map[string]bool{
-	"Submit": true, // parallel.Pool
-	"Add":    true, // parallel.Graph stages
-	"Stage":  true,
-	"Go":     true,
-}
-
 // FloatFold flags float reductions whose accumulation order is decided
 // by goroutine completion rather than by data: accumulating into an
 // outer float while ranging over a channel, and compound float updates
@@ -24,6 +15,13 @@ var spawnerMethods = map[string]bool{
 // bits run-to-run even when every partial value is identical. The
 // deterministic alternative is parallel.Fold over index-ordered chunk
 // partials.
+//
+// Whether a closure argument actually runs concurrently is decided by
+// the flow engine's dispatch summaries (the callee's parameter is
+// handed to a `go` statement, stored, or sent down a channel —
+// transitively), not by method-name pattern matching, so closures
+// handed to sequential helpers (sort.Slice, table.FoldSeq, a local
+// forEach) are not flagged.
 var FloatFold = &Analyzer{
 	Name: "floatfold",
 	Doc:  "float reductions must fold partials in a fixed order, not goroutine completion order",
@@ -49,12 +47,15 @@ func runFloatFold(pass *Pass) error {
 						"inside a goroutine: update order is completion order")
 				}
 			case *ast.CallExpr:
-				sel, ok := n.Fun.(*ast.SelectorExpr)
-				if !ok || !spawnerMethods[sel.Sel.Name] {
+				if pass.Flow == nil {
 					return true
 				}
-				for _, arg := range n.Args {
-					if lit, ok := arg.(*ast.FuncLit); ok {
+				for ai, arg := range n.Args {
+					lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if pass.Flow.SpawnsArg(pass.Info, n, ai) {
 						checkOrderSensitiveBody(pass, lit.Body, lit.Pos(), lit.End(),
 							"inside a concurrently executed closure: update order is completion order")
 					}
@@ -74,6 +75,26 @@ func checkOrderSensitiveBody(pass *Pass, body *ast.BlockStmt, lo, hi token.Pos, 
 		// themselves spawned they get their own visit from runFloatFold.
 		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != lo {
 			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && pass.Flow != nil {
+			// Accumulation hidden behind a helper: passing &outer to a
+			// callee whose summary marks that parameter as a float
+			// accumulator (*p += x somewhere inside, transitively).
+			for ai, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				v := outerPlainVar(pass, u.X, lo, hi)
+				if v == nil || !isFloat(v.Type()) {
+					continue
+				}
+				if pass.Flow.FloatAccumArg(pass.Info, call, ai) {
+					pass.Reportf(arg.Pos(),
+						"float accumulation into shared %q through a helper %s; fold index-ordered partials instead", v.Name(), context)
+				}
+			}
+			return true
 		}
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {

@@ -1,0 +1,270 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file resolves call sites to callee sets and computes the call
+// graph's strongly-connected components, the traversal order for
+// bottom-up summaries (recursion collapses into one SCC whose
+// summaries are iterated to fixpoint).
+
+// buildCalls walks fi's body (including nested function literals — the
+// engine treats a closure's statements as part of its enclosing
+// function, which is how captured variables stay visible to the
+// flow-insensitive taint pass) and records one CallSite per call
+// expression.
+func (e *Engine) buildCalls(fi *FuncInfo) {
+	info := fi.Unit.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isTypeConversion(info, call) || isBuiltinCall(info, call) {
+			return true
+		}
+		fi.calls = append(fi.calls, e.resolveCall(info, call))
+		return true
+	})
+}
+
+// resolveCall produces the callee set for one call expression.
+func (e *Engine) resolveCall(info *types.Info, call *ast.CallExpr) CallSite {
+	site := CallSite{Call: call}
+	switch fun := unwrapFun(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			site.addCallee(e, origin(obj))
+		default:
+			site.Dynamic = true // call through a func-typed variable
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[fun]
+		if !ok {
+			// Qualified identifier: pkg.Func.
+			if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				site.addCallee(e, origin(fn))
+			} else {
+				site.Dynamic = true
+			}
+			break
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok {
+			site.Dynamic = true // method-valued field etc.
+			break
+		}
+		if types.IsInterface(sel.Recv()) {
+			// Interface dispatch: the callee set is every method of a
+			// loaded named type that implements the interface, plus the
+			// interface method itself so external analyzers can match
+			// source/sink identities (hash.Hash.Write and friends) even
+			// when no loaded type implements the interface.
+			site.Callees = e.implementers(sel.Recv(), origin(fn))
+			if len(site.Callees) == 0 {
+				site.Dynamic = true
+			}
+			site.Callees = append(site.Callees, origin(fn))
+		} else {
+			site.addCallee(e, origin(fn))
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: its statements already belong to
+		// the enclosing function's soup; no edge needed.
+	default:
+		site.Dynamic = true
+	}
+	return site
+}
+
+// addCallee appends fn if the engine knows it; otherwise the site is
+// marked dynamic (external function — summary unknown).
+func (s *CallSite) addCallee(e *Engine, fn *types.Func) {
+	if fn == nil {
+		s.Dynamic = true
+		return
+	}
+	if _, ok := e.funcs[fn]; ok {
+		s.Callees = append(s.Callees, fn)
+	} else {
+		s.Dynamic = true
+		// Still record the external callee so analyzers can match
+		// sources/sinks by package path and name.
+		s.Callees = append(s.Callees, fn)
+	}
+}
+
+// implementers resolves an interface method to the corresponding
+// methods of every loaded named type that implements the interface.
+// Results are memoized per interface method and include only methods
+// with bodies in the loaded set.
+func (e *Engine) implementers(recv types.Type, ifaceMethod *types.Func) []*types.Func {
+	if cached, ok := e.implCache[ifaceMethod]; ok {
+		return cached
+	}
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	for _, named := range e.namedTypes {
+		if types.IsInterface(named) {
+			continue
+		}
+		for _, t := range []types.Type{named, types.NewPointer(named)} {
+			if !types.Implements(t, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(t, true, ifaceMethod.Pkg(), ifaceMethod.Name())
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			m = origin(m)
+			if _, known := e.funcs[m]; known && !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+			break // pointer method set contains the value method set
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	e.implCache[ifaceMethod] = out
+	return out
+}
+
+// Callees returns the known-body callees of fn, deduplicated, in
+// deterministic order.
+func (e *Engine) Callees(fn *types.Func) []*types.Func {
+	fi := e.Info(fn)
+	if fi == nil {
+		return nil
+	}
+	seen := map[*types.Func]bool{}
+	var out []*types.Func
+	for _, site := range fi.calls {
+		for _, c := range site.Callees {
+			if _, known := e.funcs[c]; known && !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Reachable returns the set of functions reachable from roots over the
+// call graph (including the roots themselves).
+func (e *Engine) Reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var stack []*types.Func
+	for _, r := range roots {
+		r = origin(r)
+		if _, ok := e.funcs[r]; ok && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range e.Callees(fn) {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}
+
+// sccs computes strongly-connected components of the call graph in
+// reverse topological order (callees before callers) with Tarjan's
+// algorithm, iteratively to stay stack-safe on deep graphs.
+func (e *Engine) sccs() [][]*types.Func {
+	index := map[*types.Func]int{}
+	low := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	var comps [][]*types.Func
+	next := 0
+
+	type frame struct {
+		fn    *types.Func
+		succs []*types.Func
+		i     int
+	}
+	for _, root := range e.order {
+		if _, visited := index[root]; visited {
+			continue
+		}
+		work := []frame{{fn: root, succs: e.Callees(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.succs) {
+				succ := f.succs[f.i]
+				f.i++
+				if _, visited := index[succ]; !visited {
+					index[succ], low[succ] = next, next
+					next++
+					stack = append(stack, succ)
+					onStack[succ] = true
+					work = append(work, frame{fn: succ, succs: e.Callees(succ)})
+				} else if onStack[succ] && index[succ] < low[f.fn] {
+					low[f.fn] = index[succ]
+				}
+				continue
+			}
+			// Post-order: pop the frame, maybe emit a component.
+			fn := f.fn
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].fn
+				if low[fn] < low[parent] {
+					low[parent] = low[fn]
+				}
+			}
+			if low[fn] == index[fn] {
+				var comp []*types.Func
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == fn {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// isTypeConversion reports whether call is a conversion like T(x).
+func isTypeConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isBuiltinCall reports whether call targets a builtin (append, len,
+// panic, recover, ...).
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

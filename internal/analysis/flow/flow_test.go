@@ -1,0 +1,170 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+// buildEngine loads the engine fixture package and constructs the
+// engine over it, returning the engine and the fixture's scope.
+func buildEngine(t *testing.T) (*flow.Engine, *types.Scope) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("testdata/src/engine")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture does not type-check: %v", terr)
+	}
+	eng := flow.Build(pkg.Fset, []flow.PackageUnit{{
+		Path:  pkg.PkgPath,
+		Files: pkg.Files,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+	}})
+	return eng, pkg.Types.Scope()
+}
+
+func fnOf(t *testing.T, scope *types.Scope, name string) *types.Func {
+	t.Helper()
+	fn, ok := scope.Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("fixture function %s not found", name)
+	}
+	return fn
+}
+
+func methodOf(t *testing.T, scope *types.Scope, typeName, method string) *types.Func {
+	t.Helper()
+	tn, ok := scope.Lookup(typeName).(*types.TypeName)
+	if !ok {
+		t.Fatalf("fixture type %s not found", typeName)
+	}
+	obj, _, _ := types.LookupFieldOrMethod(tn.Type(), true, tn.Pkg(), method)
+	m, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("method %s.%s not found", typeName, method)
+	}
+	return m
+}
+
+// TestInterfaceDispatch checks that a call through an interface
+// resolves to every implementing method with a body in the loaded set.
+func TestInterfaceDispatch(t *testing.T) {
+	eng, scope := buildEngine(t)
+	callees := eng.Callees(fnOf(t, scope, "UseWriter"))
+	want := map[*types.Func]bool{
+		methodOf(t, scope, "FileW", "Write"): false,
+		methodOf(t, scope, "BufW", "Write"):  false,
+	}
+	for _, c := range callees {
+		if _, ok := want[c]; ok {
+			want[c] = true
+		}
+	}
+	for fn, seen := range want {
+		if !seen {
+			t.Errorf("UseWriter callees missing %s", fn.FullName())
+		}
+	}
+}
+
+// TestRecursionSummaries checks that mutually recursive functions land
+// in one SCC whose summaries converge, and that a blocking fact in the
+// leaf propagates MayBlock through the cycle.
+func TestRecursionSummaries(t *testing.T) {
+	eng, scope := buildEngine(t)
+	ping := fnOf(t, scope, "Ping")
+	pong := fnOf(t, scope, "Pong")
+	wait := fnOf(t, scope, "wait")
+
+	ws := eng.Summary(wait)
+	if ws == nil || len(ws.Blocks) != 1 || ws.Blocks[0].Kind != flow.BlockChanRecv {
+		t.Fatalf("wait summary = %+v, want one channel-receive block fact", ws)
+	}
+	if !eng.MayBlock(ping) || !eng.MayBlock(pong) {
+		t.Errorf("MayBlock(Ping)=%v MayBlock(Pong)=%v, want true through the recursive cycle",
+			eng.MayBlock(ping), eng.MayBlock(pong))
+	}
+	if s := eng.Summary(ping); s == nil || len(s.Blocks) != 0 {
+		t.Errorf("Ping has direct block facts %+v, want none (it only calls)", s.Blocks)
+	}
+}
+
+// TestParamDispatch checks the spawn/call/store classification of
+// func-typed parameters, including transitive forwarding.
+func TestParamDispatch(t *testing.T) {
+	eng, scope := buildEngine(t)
+	cases := []struct {
+		name       string
+		wantSpawns bool
+		wantCalls  bool
+	}{
+		{"Spawn", true, false},
+		{"CallSync", false, true},
+		{"Store", true, false},
+		{"SpawnVia", true, false},
+	}
+	for _, tc := range cases {
+		s := eng.Summary(fnOf(t, scope, tc.name))
+		if s == nil {
+			t.Fatalf("no summary for %s", tc.name)
+		}
+		if got := s.SpawnsParams&1 != 0; got != tc.wantSpawns {
+			t.Errorf("%s SpawnsParams bit0 = %v, want %v", tc.name, got, tc.wantSpawns)
+		}
+		if got := s.CallsParams&1 != 0; got != tc.wantCalls {
+			t.Errorf("%s CallsParams bit0 = %v, want %v", tc.name, got, tc.wantCalls)
+		}
+	}
+}
+
+// TestFloatAccumParams checks pointer-to-float accumulator detection.
+func TestFloatAccumParams(t *testing.T) {
+	eng, scope := buildEngine(t)
+	s := eng.Summary(fnOf(t, scope, "AddInto"))
+	if s == nil || s.FloatAccumParams&1 == 0 {
+		t.Errorf("AddInto FloatAccumParams = %+v, want bit 0 set", s)
+	}
+}
+
+// TestTaintFlows drives a minimal source-to-sink spec: direct flows and
+// flows laundered through a helper report; constants do not.
+func TestTaintFlows(t *testing.T) {
+	eng, scope := buildEngine(t)
+	spec := &flow.TaintSpec{
+		Name: "test",
+		IsSource: func(fn *types.Func, _ *ast.CallExpr) (string, bool) {
+			return "Source", fn.Name() == "Source"
+		},
+		SinkArgs: func(fn *types.Func, _ *ast.CallExpr, _ *types.Info) (string, []ast.Expr, bool) {
+			return "Sink", nil, fn.Name() == "Sink"
+		},
+	}
+	flows := eng.Taint(spec)
+	got := map[string]int{}
+	for _, fl := range flows {
+		got[fl.Fn.Name()]++
+	}
+	for _, name := range []string{"Direct", "Laundered"} {
+		if got[name] != 1 {
+			t.Errorf("flows in %s = %d, want 1", name, got[name])
+		}
+	}
+	if got["Clean"] != 0 {
+		t.Errorf("Clean reported %d flows, want 0", got["Clean"])
+	}
+	_ = fnOf(t, scope, "Clean")
+}

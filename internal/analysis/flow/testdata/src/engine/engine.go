@@ -1,0 +1,68 @@
+// Fixture for the flow engine unit tests: interface dispatch, mutual
+// recursion, closure-parameter dispatch, float accumulators, and a
+// minimal source-to-sink taint chain.
+package engine
+
+// --- interface dispatch ---
+
+type Writer interface {
+	Write(p []byte) (int, error)
+}
+
+type FileW struct{}
+
+func (FileW) Write(p []byte) (int, error) { return len(p), nil }
+
+type BufW struct{}
+
+func (*BufW) Write(p []byte) (int, error) { return len(p), nil }
+
+// UseWriter dispatches through the interface: the engine must resolve
+// both implementing methods.
+func UseWriter(w Writer, p []byte) {
+	_, _ = w.Write(p)
+}
+
+// --- mutual recursion with a blocking leaf ---
+
+var ch = make(chan int)
+
+func wait() int { return <-ch }
+
+func Ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return Pong(n - 1)
+}
+
+func Pong(n int) int {
+	wait()
+	return Ping(n - 1)
+}
+
+// --- closure-parameter dispatch ---
+
+var saved func()
+
+func Spawn(f func())    { go f() }
+func CallSync(f func()) { f() }
+func Store(f func())    { saved = f }
+
+// SpawnVia forwards its parameter to a spawner: the spawn fact must
+// propagate transitively.
+func SpawnVia(f func()) { Spawn(f) }
+
+// --- float accumulator parameter ---
+
+func AddInto(p *float64, v float64) { *p += v }
+
+// --- taint chain ---
+
+func Source() int       { return 42 }
+func Sink(v int)        { _ = v }
+func launder(v int) int { return v }
+
+func Direct()    { Sink(Source()) }
+func Laundered() { Sink(launder(Source())) }
+func Clean()     { Sink(7) }

@@ -3,6 +3,7 @@ package analysis_test
 import (
 	"bytes"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -45,6 +46,60 @@ func TestJSONGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("JSON output drifted from %s.\ngot:\n%s\nwant:\n%s", goldenPath, buf.Bytes(), want)
+	}
+}
+
+// TestSARIFGolden pins the rcptlint -sarif output byte-for-byte against
+// the same golden fixture as the JSON test, so the code-scanning upload
+// format cannot drift silently.
+func TestSARIFGolden(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load("testdata/src/golden")
+	if err != nil {
+		t.Fatalf("Load golden fixture: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Fatalf("golden fixture does not type-check: %v", terr)
+		}
+	}
+	findings, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("golden fixture produced no findings")
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, findings, analysis.All(), loader.ModuleRoot); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	const goldenPath = "testdata/rcptlint.golden.sarif"
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s: %v (regenerate by writing the got output below)", goldenPath, err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output drifted from %s.\ngot:\n%s\nwant:\n%s", goldenPath, buf.Bytes(), want)
+	}
+}
+
+// TestSARIFEmpty checks the clean-tree shape: rules still listed,
+// results an empty (not null) array.
+func TestSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, nil, analysis.All(), ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"results": []`) {
+		t.Errorf("empty SARIF lacks an empty results array:\n%s", out)
+	}
+	if !strings.Contains(out, `"id": "nondetflow"`) {
+		t.Errorf("empty SARIF lacks the analyzer rule listing:\n%s", out)
 	}
 }
 

@@ -163,6 +163,22 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// Loaded returns every package the loader has type-checked so far —
+// the requested patterns plus every module-internal dependency pulled
+// in during type checking — sorted by import path. Callers hand these
+// to RunSuite as engine dependencies so interprocedural summaries
+// exist for helper packages even when only a subset was requested
+// (fixture tests load one directory but still need the bodies of
+// repro/internal/parallel and friends).
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out
+}
+
 func hasGoFiles(dir string) bool {
 	entries, err := os.ReadDir(dir)
 	if err != nil {

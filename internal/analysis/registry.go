@@ -4,11 +4,14 @@ package analysis
 // runs exactly this set; fixture tests exercise each member alone.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxProp,
 		ErrDrop,
 		FloatFold,
 		MapOrder,
+		NondetFlow,
 		PanicSafe,
 		RNGPurity,
+		ShardPure,
 		SplitShare,
 	}
 }

@@ -29,6 +29,15 @@ var pipelinePackages = map[string]bool{
 	"table": true,
 }
 
+// pipelinePaths extends the scope to packages matched by import path
+// rather than name — command-line tools whose output feeds recorded
+// artifacts. cmd/rcpt-bench parses `go test -bench` output into the
+// benchmark JSON that scripts/bench.sh commits, so its bytes must be a
+// pure function of its input stream too.
+var pipelinePaths = map[string]bool{
+	"repro/cmd/rcpt-bench": true,
+}
+
 // forbiddenCalls maps package import path -> function names whose call
 // sites smuggle ambient nondeterminism into a pipeline package.
 var forbiddenCalls = map[string]map[string]bool{
@@ -47,8 +56,15 @@ var RNGPurity = &Analyzer{
 }
 
 func runRNGPurity(pass *Pass) error {
-	if pass.Pkg == nil || !pipelinePackages[pass.Pkg.Name()] {
+	if pass.Pkg == nil {
 		return nil
+	}
+	if !pipelinePackages[pass.Pkg.Name()] && !pipelinePaths[pass.Pkg.Path()] {
+		return nil
+	}
+	label := pass.Pkg.Name()
+	if pipelinePaths[pass.Pkg.Path()] {
+		label = pass.Pkg.Path()
 	}
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
@@ -58,7 +74,7 @@ func runRNGPurity(pass *Pass) error {
 			}
 			if path == "math/rand" || path == "math/rand/v2" {
 				pass.Reportf(imp.Pos(),
-					"deterministic pipeline package %q imports %s; use internal/rng streams instead", pass.Pkg.Name(), path)
+					"deterministic pipeline package %q imports %s; use internal/rng streams instead", label, path)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -81,7 +97,7 @@ func runRNGPurity(pass *Pass) error {
 			if names := forbiddenCalls[pkgName.Imported().Path()]; names[sel.Sel.Name] {
 				pass.Reportf(call.Pos(),
 					"call to %s.%s in deterministic pipeline package %q; inject the value through config so runs stay a pure function of the seed",
-					pkgName.Imported().Path(), sel.Sel.Name, pass.Pkg.Name())
+					pkgName.Imported().Path(), sel.Sel.Name, label)
 			}
 			return true
 		})

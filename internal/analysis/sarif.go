@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF output (-sarif) for code-scanning upload. The document is the
+// minimal static-analysis interchange subset: one run, one driver, one
+// reportingDescriptor per analyzer, one result per finding. Field order
+// is fixed by the struct definitions and results arrive pre-sorted, so
+// the bytes are deterministic and golden-testable.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// staleAllowDoc describes the synthetic staleallow rule emitted by
+// -strict; it has no Analyzer in the registry, so the SARIF writer
+// declares it explicitly whenever a finding references it.
+const staleAllowDoc = "//rcpt:allow directives must suppress a live finding"
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. analyzers defines
+// the rule metadata (registry order); any finding naming an analyzer
+// outside that set (staleallow) gets a rule appended on the fly. File
+// names are rewritten relative to base when base is non-empty, matching
+// WriteJSON, with %SRCROOT% as the uriBaseId so upload actions resolve
+// them against the checkout root.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, base string) error {
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "rcptlint", Rules: []sarifRule{}}},
+		Results: []sarifResult{},
+	}
+	ruleIndex := map[string]int{}
+	addRule := func(id, doc string) int {
+		if i, ok := ruleIndex[id]; ok {
+			return i
+		}
+		ruleIndex[id] = len(run.Tool.Driver.Rules)
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: doc},
+		})
+		return ruleIndex[id]
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	for _, f := range findings {
+		doc := f.Analyzer
+		if f.Analyzer == "staleallow" {
+			doc = staleAllowDoc
+		}
+		idx := addRule(f.Analyzer, doc)
+		file := f.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       file,
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{Schema: sarifSchema, Version: sarifVersion, Runs: []sarifRun{run}})
+}

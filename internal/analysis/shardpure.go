@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/flow"
+)
+
+// ShardPure enforces table.ShardFold's "ORDER-FREE AGGREGATIONS ONLY"
+// contract on the closures passed to the shard-parallel helpers
+// (ShardFold, ShardFoldParts, ShardCollect):
+//
+//   - fold and merge closures must not accumulate floats into the
+//     accumulator: float addition is not associative, so changing the
+//     shard count (a pure performance knob) re-associates the sum and
+//     changes artifact bits — the package contract points float folds
+//     at FoldSeq. Covered spellings: acc.x += v, acc = acc + v,
+//     accumulating return expressions, and accumulation hidden behind
+//     a helper taking a *float64 (via the engine's FloatAccumParams
+//     summaries);
+//   - no closure may write to variables captured from the enclosing
+//     scope: shards run concurrently, so escaping writes race and land
+//     in completion order;
+//   - no closure may draw ambient nondeterminism (time.Now, env,
+//     global rand — the nondetflow source set): per-row values must be
+//     functions of the row.
+//
+// ShardCollect's per-row fn keeps row order (results land by index),
+// so float math there is legal; the capture and nondeterminism rules
+// still apply.
+var ShardPure = &Analyzer{
+	Name: "shardpure",
+	Doc:  "closures passed to table shard helpers must be order-insensitive and capture-free",
+	Run:  runShardPure,
+}
+
+// closureRole describes what a closure argument is for, which decides
+// where its accumulator parameters are.
+type closureRole int
+
+const (
+	roleMap    closureRole = iota // per-row map: no accumulator
+	roleNewAcc                    // constructor: no accumulator
+	roleFold                      // fold(acc, row): acc is param 0
+	roleMerge                     // merge(a, b): both params accumulate
+)
+
+// shardHelperRoles maps helper name -> arg index -> closure role.
+var shardHelperRoles = map[string]map[int]closureRole{
+	"ShardFold":      {2: roleNewAcc, 3: roleFold, 4: roleMerge},
+	"ShardFoldParts": {2: roleFold},
+	"ShardCollect":   {2: roleMap},
+}
+
+func runShardPure(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := flow.FuncOf(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			path, name := flow.PathAndName(fn)
+			roles, isHelper := shardHelperRoles[name]
+			if !isHelper || !strings.HasSuffix(path, "internal/table") {
+				return true
+			}
+			for ai, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				role, known := roles[ai]
+				if !known {
+					role = roleMap
+				}
+				checkShardClosure(pass, name, lit, role)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// accumulatorVars returns the closure parameters that carry partial
+// aggregates between calls, per the closure's role.
+func accumulatorVars(pass *Pass, lit *ast.FuncLit, role closureRole) map[*types.Var]bool {
+	acc := map[*types.Var]bool{}
+	if role != roleFold && role != roleMerge {
+		return acc
+	}
+	first := role == roleFold
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+				acc[v] = true
+			}
+		}
+		if first {
+			break // fold: only param 0 accumulates
+		}
+	}
+	return acc
+}
+
+func checkShardClosure(pass *Pass, helper string, lit *ast.FuncLit, role closureRole) {
+	lo, hi := lit.Pos(), lit.End()
+	acc := accumulatorVars(pass, lit, role)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkShardAssign(pass, helper, n, lo, hi, acc)
+		case *ast.IncDecStmt:
+			// x++ / x-- are accumulation too: escaping targets race,
+			// float accumulator targets re-associate.
+			if v := outerPlainVar(pass, n.X, lo, hi); v != nil {
+				pass.Reportf(n.Pos(),
+					"%s closure writes captured variable %q; shards run concurrently, so escaping writes land in completion order",
+					helper, v.Name())
+			} else if root := lvalueRoot(pass, n.X); root != nil && acc[root] && isFloat(pass.Info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), shardFloatMsg, helper)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				checkAccumReturn(pass, helper, res, acc)
+			}
+		case *ast.CallExpr:
+			checkShardCall(pass, helper, n, acc)
+		}
+		return true
+	})
+}
+
+const shardFloatMsg = "order-sensitive float accumulation in a %s closure; float folds re-associate across shard counts — use table.FoldSeq"
+
+// checkShardAssign flags escaping writes (any type) and float
+// accumulation into accumulator parameters.
+func checkShardAssign(pass *Pass, helper string, as *ast.AssignStmt, lo, hi token.Pos, acc map[*types.Var]bool) {
+	for i, lhs := range as.Lhs {
+		if v := outerPlainVar(pass, lhs, lo, hi); v != nil && as.Tok != token.DEFINE {
+			pass.Reportf(as.Pos(),
+				"%s closure writes captured variable %q; shards run concurrently, so escaping writes land in completion order",
+				helper, v.Name())
+			continue
+		}
+		root := lvalueRoot(pass, lhs)
+		if root == nil || !acc[root] || !isFloat(pass.Info.TypeOf(lhs)) {
+			continue
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			pass.Reportf(as.Pos(), shardFloatMsg, helper)
+		case token.ASSIGN:
+			if i < len(as.Rhs) && mentionsVar(pass, as.Rhs[i], root) {
+				pass.Reportf(as.Pos(), shardFloatMsg, helper)
+			}
+		}
+	}
+}
+
+// checkAccumReturn flags float arithmetic combining an accumulator
+// parameter anywhere inside a returned expression — `return a + r.V`
+// and the struct spelling `return A{sum: a.sum + r.V}` alike.
+func checkAccumReturn(pass *Pass, helper string, res ast.Expr, acc map[*types.Var]bool) {
+	if len(acc) == 0 {
+		return
+	}
+	ast.Inspect(res, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return true
+		}
+		if !isFloat(pass.Info.TypeOf(bin)) {
+			return true
+		}
+		for v := range acc {
+			if mentionsVar(pass, bin, v) {
+				pass.Reportf(bin.Pos(), shardFloatMsg, helper)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkShardCall flags ambient-nondeterminism sources and float
+// accumulation hidden behind helpers taking a pointer into the
+// accumulator.
+func checkShardCall(pass *Pass, helper string, call *ast.CallExpr, acc map[*types.Var]bool) {
+	fn := flow.FuncOf(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if desc, ok := nondetSource(fn, call); ok {
+		pass.Reportf(call.Pos(),
+			"%s closure calls %s; per-row values must be a function of the row, not ambient state", helper, desc)
+		return
+	}
+	if len(acc) == 0 || pass.Flow == nil {
+		return
+	}
+	for ai, arg := range call.Args {
+		u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			continue
+		}
+		root := lvalueRoot(pass, u.X)
+		if root == nil || !acc[root] {
+			continue
+		}
+		if pass.Flow.FloatAccumArg(pass.Info, call, ai) {
+			pass.Reportf(arg.Pos(),
+				"%s closure passes %s to a float-accumulating helper; the hidden += re-associates across shard counts — use table.FoldSeq",
+				helper, types.ExprString(arg))
+		}
+	}
+}
+
+// lvalueRoot walks selectors/indexes/stars to the base variable of an
+// lvalue, resolving either a use or a definition.
+func lvalueRoot(pass *Pass, expr ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.Ident:
+			if v := useObj(pass.Info, x); v != nil {
+				return v
+			}
+			if v, ok := pass.Info.Defs[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsVar reports whether expr references v.
+func mentionsVar(pass *Pass, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && useObj(pass.Info, id) == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -8,13 +8,21 @@ import (
 )
 
 // SplitShare flags an *rng.RNG stream that is captured by more than one
-// closure (or passed into more than one `go` call) within a function.
-// Such closures typically become parallel.Graph stages or pool tasks,
-// and an RNG stream is single-consumer state: two concurrent users race,
-// and even without a race the interleaving perturbs the stream. The
-// pipeline's convention is to derive one child per consumer with
-// SplitNamed *before* the fan-out; captures that only call SplitNamed
-// are therefore allowed (it reads but never advances the parent).
+// concurrently executed closure within a function. Such closures
+// become parallel.Graph stages or pool tasks, and an RNG stream is
+// single-consumer state: two concurrent users race, and even without a
+// race the interleaving perturbs the stream. The pipeline's convention
+// is to derive one child per consumer with SplitNamed *before* the
+// fan-out; captures that only call SplitNamed are therefore allowed
+// (it reads but never advances the parent).
+//
+// A closure counts as a concurrent consumer only when it provably
+// leaves the sequential path: it is the target of a `go` statement, or
+// it is passed at an argument position the flow engine's dispatch
+// summaries mark as spawned (handed to a goroutine, stored, or sent
+// down a channel inside the callee, transitively). Two closures handed
+// to sequential helpers — sort comparators, table.FoldSeq folds,
+// deferred cleanups — share nothing and are not flagged.
 var SplitShare = &Analyzer{
 	Name: "splitshare",
 	Doc:  "an rng stream must not be shared across closures/stages; derive SplitNamed children instead",
@@ -50,17 +58,42 @@ type streamCapture struct {
 }
 
 func checkFuncForSharedStreams(pass *Pass, body *ast.BlockStmt) {
+	// Collect function literals that provably run concurrently: `go`
+	// targets, and closure arguments at spawn positions per the flow
+	// engine's dispatch summaries.
 	var units []concurrencyUnit
+	spawned := map[ast.Node]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.FuncLit:
-			units = append(units, concurrencyUnit{node: n})
-			return false // nested literals count as part of this unit
 		case *ast.GoStmt:
-			if _, isLit := n.Call.Fun.(*ast.FuncLit); !isLit {
+			if lit, isLit := n.Call.Fun.(*ast.FuncLit); isLit {
+				spawned[lit] = true
+			} else {
+				// go f(rng, ...): the arguments escape to another
+				// goroutine; the call expression is the unit.
 				units = append(units, concurrencyUnit{node: n.Call})
 				return false
 			}
+		case *ast.CallExpr:
+			if pass.Flow == nil {
+				return true
+			}
+			for ai, arg := range n.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok || spawned[lit] {
+					continue
+				}
+				if pass.Flow.SpawnsArg(pass.Info, n, ai) {
+					spawned[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && spawned[lit] {
+			units = append(units, concurrencyUnit{node: lit})
+			return false // nested literals count as part of this unit
 		}
 		return true
 	})

@@ -1,0 +1,83 @@
+// Fixture for the ctxprop analyzer: blocking functions reachable from
+// context-aware roots must accept a context.Context.
+package ctxprop
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// drain blocks on a bare receive and is called from a ctx-aware root
+// without taking ctx: cancellation stops propagating right here.
+func drain(ch chan int) int {
+	return <-ch // want `drain blocks \(receive from ch\) and is reachable from context-aware callers but takes no context\.Context; plumb ctx so cancellation reaches the wait`
+}
+
+// backoff sleeps, two frames below the root.
+func backoff() {
+	time.Sleep(10 * time.Millisecond) // want `backoff blocks \(time\.Sleep\) and is reachable from context-aware callers but takes no context\.Context`
+}
+
+func retryLoop() {
+	for i := 0; i < 3; i++ {
+		backoff()
+	}
+}
+
+// Run is the context-aware root; it never blocks directly, so only its
+// ctx-less blocking callees are flagged.
+func Run(ctx context.Context, ch chan int) int {
+	_ = ctx
+	retryLoop()
+	return drain(ch)
+}
+
+// --- exempt shapes below: no findings allowed ---
+
+// drainCtx is the fixed spelling of drain: it takes ctx and selects on
+// it, so cancellation reaches the wait.
+func drainCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func RunCtx(ctx context.Context, ch chan int) int {
+	return drainCtx(ctx, ch)
+}
+
+// forkJoin launches its own goroutines; its Wait is bounded by its own
+// spawned work, so requiring ctx here would plumb signatures through
+// every fan-out helper for no added responsiveness.
+func forkJoin(xs []int) int {
+	var wg sync.WaitGroup
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i, x int) {
+			defer wg.Done()
+			out[i] = x * 2
+		}(i, x)
+	}
+	wg.Wait()
+	s := 0
+	for _, v := range out {
+		s += v
+	}
+	return s
+}
+
+func RunForkJoin(ctx context.Context, xs []int) int {
+	_ = ctx
+	return forkJoin(xs)
+}
+
+// unreachedWait blocks but is never called from a context-aware root,
+// so it is outside ctxprop's contract.
+func unreachedWait(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,107 @@
+// Fixture for the nondetflow analyzer: ambient-nondeterminism sources
+// flowing into artifact-byte sinks, directly and through helpers, next
+// to clean flows that must stay silent.
+package nondetflow
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/report"
+)
+
+// directEnvHash feeds an environment variable straight into a hash: the
+// fingerprint depends on the machine, not the config.
+func directEnvHash() [32]byte {
+	return sha256.Sum256([]byte(os.Getenv("RCPT_TAG"))) // want `nondeterministic value from os.Getenv \(nondetflow\.go:\d+\) reaches hash input sha256\.Sum256`
+}
+
+// stamp launders a wall-clock read through a helper; the taint rides
+// the return value.
+func stamp() string {
+	return time.Now().Format(time.RFC3339)
+}
+
+// stampedRow sinks the helper's result into a report table.
+func stampedRow(t *report.Table) {
+	t.MustAddRow("run", stamp()) // want `nondeterministic value from time\.Now \(nondetflow\.go:\d+\) reaches report\.Table\.MustAddRow`
+}
+
+// meta carries the taint through a struct field.
+type meta struct{ host string }
+
+func gather() meta {
+	h, _ := os.Hostname()
+	return meta{host: h}
+}
+
+func hostRow(t *report.Table) {
+	m := gather()
+	t.MustAddRow("host", fmt.Sprintf("%s", m.host)) // want `nondeterministic value from os\.Hostname \(nondetflow\.go:\d+\) reaches report\.Table\.MustAddRow`
+}
+
+// writeRow is a sink one frame down: its second parameter reaches
+// MustAddRow, so tainted arguments at its call sites are reported.
+func writeRow(t *report.Table, v string) {
+	t.MustAddRow("v", v)
+}
+
+func timestampViaHelper(t *report.Table) {
+	writeRow(t, time.Now().String()) // want `nondeterministic value from time\.Now \(nondetflow\.go:\d+\) reaches report\.Table\.MustAddRow \(via writeRow\)`
+}
+
+// globalRandRow draws from the process-global source.
+func globalRandRow(t *report.Table) {
+	t.MustAddRow("j", fmt.Sprintf("%f", rand.Float64())) // want `nondeterministic value from math/rand\.Float64 \(global rand\) \(nondetflow\.go:\d+\) reaches report\.Table\.MustAddRow`
+}
+
+// mapOrderRow emits rows while ranging over a map: row order depends on
+// iteration order, which reaches the artifact inside the loop.
+func mapOrderRow(t *report.Table, m map[string]int) {
+	for k := range m {
+		t.MustAddRow("k", k) // want `nondeterministic value from map iteration order \(nondetflow\.go:\d+\) reaches report\.Table\.MustAddRow`
+	}
+}
+
+// --- clean flows below: no findings allowed ---
+
+// constHash hashes a constant: pure function of the source text.
+func constHash() [32]byte {
+	return sha256.Sum256([]byte("v1"))
+}
+
+// seededRow draws from an explicitly seeded stream, which is
+// deterministic given the seed.
+func seededRow(t *report.Table, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	t.MustAddRow("x", fmt.Sprintf("%f", r.Float64()))
+}
+
+// sanitizedWorkers passes a machine-dependent worker count to
+// parallel.Map, whose results land by index: the sanitizer strips the
+// width taint, so the summed result is clean.
+func sanitizedWorkers(t *report.Table, xs []int) error {
+	parts, err := parallel.Map(parallel.Workers(), xs, func(i, x int) (int, error) {
+		return x * 2, nil
+	})
+	if err != nil {
+		return err
+	}
+	s := 0
+	for _, p := range parts {
+		s += p
+	}
+	t.MustAddRow("sum", fmt.Sprintf("%d", s))
+	return nil
+}
+
+// timingToStderr measures wall time but never lets it near an artifact;
+// diagnostics are allowed to be nondeterministic.
+func timingToStderr() {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "elapsed %v\n", time.Since(start))
+}

@@ -1,0 +1,111 @@
+// Fixture for the shardpure analyzer: closures passed to the
+// shard-parallel table helpers must be order-insensitive and
+// capture-free.
+package shardpure
+
+import (
+	"time"
+
+	"repro/internal/table"
+)
+
+type row struct {
+	V float64
+	N int
+}
+
+// sumFold accumulates floats in the fold and merge closures: changing
+// the shard count re-associates the sum and changes artifact bits.
+func sumFold(t table.Table[row], shards int) (float64, error) {
+	return table.ShardFold(t, shards,
+		func() float64 { return 0 },
+		func(acc float64, r row) float64 {
+			return acc + r.V // want `order-sensitive float accumulation in a ShardFold closure; float folds re-associate across shard counts — use table\.FoldSeq`
+		},
+		func(a, b float64) float64 {
+			return a + b // want `order-sensitive float accumulation in a ShardFold closure`
+		},
+	)
+}
+
+// countCaptured writes a variable captured from the enclosing scope:
+// shards run concurrently, so the writes race.
+func countCaptured(t table.Table[row], shards int) (int, error) {
+	seen := 0
+	n, err := table.ShardFold(t, shards,
+		func() int { return 0 },
+		func(acc int, r row) int {
+			seen++ // want `ShardFold closure writes captured variable "seen"; shards run concurrently, so escaping writes land in completion order`
+			return acc + 1
+		},
+		func(a, b int) int { return a + b },
+	)
+	_ = seen
+	return n, err
+}
+
+// stampedRows draws wall-clock time per row: the artifact depends on
+// when the shard ran, not on the row.
+func stampedRows(t table.Table[row], shards int) ([]string, error) {
+	return table.ShardCollect(t, shards, func(r row) string {
+		return time.Now().String() // want `ShardCollect closure calls time\.Now; per-row values must be a function of the row, not ambient state`
+	})
+}
+
+// addInto hides the float accumulation behind a helper taking a
+// pointer into the accumulator.
+func addInto(p *float64, v float64) { *p += v }
+
+func hiddenFold(t table.Table[row], shards int) (float64, error) {
+	return table.ShardFold(t, shards,
+		func() float64 { return 0 },
+		func(acc float64, r row) float64 {
+			addInto(&acc, r.V) // want `ShardFold closure passes &acc to a float-accumulating helper; the hidden \+= re-associates across shard counts — use table\.FoldSeq`
+			return acc
+		},
+		func(a, b float64) float64 {
+			addInto(&a, b) // want `ShardFold closure passes &a to a float-accumulating helper`
+			return a
+		},
+	)
+}
+
+// --- legal shapes below: no findings allowed ---
+
+// totalN folds ints, which are exact: shard count cannot change the
+// result.
+func totalN(t table.Table[row], shards int) (int, error) {
+	return table.ShardFold(t, shards,
+		func() int { return 0 },
+		func(acc int, r row) int { return acc + r.N },
+		func(a, b int) int { return a + b },
+	)
+}
+
+// scaled does float math per row in ShardCollect: results land by row
+// index, so order cannot leak.
+func scaled(t table.Table[row], shards int) ([]float64, error) {
+	return table.ShardCollect(t, shards, func(r row) float64 {
+		return r.V * 2
+	})
+}
+
+// maxFold computes an order-free float reduction without arithmetic on
+// the accumulator: comparisons are associative and commutative.
+func maxFold(t table.Table[row], shards int) (float64, error) {
+	return table.ShardFold(t, shards,
+		func() float64 { return 0 },
+		func(acc float64, r row) float64 {
+			if r.V > acc {
+				return r.V
+			}
+			return acc
+		},
+		func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+	)
+}

@@ -1,0 +1,18 @@
+// Fixture for stale //rcpt:allow auditing: a directive that suppresses
+// a live finding is fine; one that suppresses nothing, or names an
+// unknown analyzer, is reported by RunSuite as a staleallow finding.
+package stalecheck
+
+func sums(m map[string]float64) (float64, float64) {
+	var a, b float64
+	for _, v := range m {
+		a += v //rcpt:allow maporder Live directive: suppresses a real finding.
+	}
+	for _, v := range m {
+		_ = v
+	}
+	//rcpt:allow maporder Stale: nothing on the next line violates anything.
+	b = 1
+	//rcpt:allow nosuchanalyzer Typo that must be caught.
+	return a, b
+}
