@@ -13,6 +13,20 @@
 //	           [-pprof localhost:6060]
 //	           [-trace-scale N] [-spill-dir DIR] [-table-shards N]
 //	           [-batch-rows N]
+//	           [-peers URL,URL,...] [-self URL] [-peer-secret S]
+//	           [-lease-ttl 15s] [-peer-stage-limit 4] [-readyz-quorum]
+//
+// -peers turns on distributed serving (see internal/cluster): the
+// comma-separated list is the full static membership, -self is this
+// replica's own advertised base URL (it must appear in -peers), and
+// every replica must be started with the same -peers set. A consistent
+// hash ring routes each config fingerprint to an owner replica,
+// non-owners fill their caches from it, compute leases keep duplicate
+// pipeline runs off the ring even when the owner dies, and trace
+// stages are work-stolen by idle peers. Replicas share no state —
+// determinism is the replication protocol — so any replica can always
+// fall back to serving alone. -readyz-quorum makes /readyz fail (503)
+// on quorum loss instead of reporting degraded detail with a 200.
 //
 // -trace-scale replicates every trace year N× (a 100× or 1000×
 // synthetic trace for scaling studies); -spill-dir bounds trace memory
@@ -47,6 +61,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/serve"
 )
@@ -84,6 +99,13 @@ func run() error {
 	spillDir := flag.String("spill-dir", "", "spill column batches here to bound trace memory (empty = fully resident)")
 	tableShards := flag.Int("table-shards", 0, "scan shards per columnar aggregation (0 = worker count)")
 	batchRows := flag.Int("batch-rows", 0, "rows per column batch (0 = default)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every replica, including this one (empty = standalone)")
+	self := flag.String("self", "", "this replica's advertised base URL (required with -peers; must be listed in -peers)")
+	peerSecret := flag.String("peer-secret", "", "shared secret authenticating peer endpoints (empty = unauthenticated; localhost only)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "compute-lease TTL; bounds how long a dead replica blocks takeover")
+	peerStageLimit := flag.Int("peer-stage-limit", 4, "concurrent stolen trace stages executed for peers")
+	probeInterval := flag.Duration("peer-probe-interval", 2*time.Second, "peer health probe period")
+	readyzQuorum := flag.Bool("readyz-quorum", false, "make /readyz return 503 on cluster quorum loss (default: 200 with degraded detail)")
 	flag.Parse()
 
 	chaosSpec, err := fault.ParseSpec(*chaos)
@@ -112,21 +134,36 @@ func run() error {
 		cfg.SimYear = ys[len(ys)-1]
 	}
 
-	srv, err := serve.New(serve.Options{
-		BaseConfig:       cfg,
-		CacheBytes:       *cacheMB << 20,
-		RunCacheEntries:  *runCache,
-		MaxCohort:        *maxCohort,
-		RenderLimit:      *renderLimit,
-		RunLimit:         *runLimit,
-		QueueTimeout:     *queueTimeout,
-		RunTimeout:       *runTimeout,
-		CacheDir:         *cacheDir,
-		StageRetries:     *stageRetries,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		Chaos:            chaosSpec,
-	})
+	opts := serve.Options{
+		BaseConfig:         cfg,
+		CacheBytes:         *cacheMB << 20,
+		RunCacheEntries:    *runCache,
+		MaxCohort:          *maxCohort,
+		RenderLimit:        *renderLimit,
+		RunLimit:           *runLimit,
+		QueueTimeout:       *queueTimeout,
+		RunTimeout:         *runTimeout,
+		CacheDir:           *cacheDir,
+		StageRetries:       *stageRetries,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		Chaos:              chaosSpec,
+		ReadyzQuorumStrict: *readyzQuorum,
+		PeerStageLimit:     *peerStageLimit,
+	}
+	if *peers != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (this replica's own base URL)")
+		}
+		opts.Cluster = &cluster.Options{
+			Self:          *self,
+			Peers:         strings.Split(*peers, ","),
+			Secret:        *peerSecret,
+			LeaseTTL:      *leaseTTL,
+			ProbeInterval: *probeInterval,
+		}
+	}
+	srv, err := serve.New(opts)
 	if err != nil {
 		return err
 	}
@@ -164,6 +201,10 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "rcpt-serve: listening on %s (base config %s)\n",
 		ln.Addr(), srv.BaseFingerprint()[:12])
+	if opts.Cluster != nil {
+		fmt.Fprintf(os.Stderr, "rcpt-serve: cluster mode — %d replicas, self %s\n",
+			len(opts.Cluster.Peers), *self)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

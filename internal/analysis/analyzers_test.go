@@ -18,7 +18,8 @@ func TestMapOrder(t *testing.T) {
 
 func TestRNGPurity(t *testing.T) {
 	analysistest.Run(t, analysis.RNGPurity,
-		"testdata/src/rngpurity/core", "testdata/src/rngpurity/render")
+		"testdata/src/rngpurity/core", "testdata/src/rngpurity/render",
+		"testdata/src/rngpurity/cluster")
 }
 
 func TestSplitShare(t *testing.T) {
@@ -27,7 +28,8 @@ func TestSplitShare(t *testing.T) {
 
 func TestPanicSafe(t *testing.T) {
 	analysistest.Run(t, analysis.PanicSafe,
-		"testdata/src/panicsafe/serve", "testdata/src/panicsafe/other")
+		"testdata/src/panicsafe/serve", "testdata/src/panicsafe/other",
+		"testdata/src/panicsafe/cluster")
 }
 
 func TestFloatFold(t *testing.T) {
@@ -49,7 +51,7 @@ func TestShardPure(t *testing.T) {
 func TestErrDrop(t *testing.T) {
 	analysistest.Run(t, analysis.ErrDrop,
 		"testdata/src/errdrop/report", "testdata/src/errdrop/other",
-		"testdata/src/errdrop/serve")
+		"testdata/src/errdrop/serve", "testdata/src/errdrop/cluster")
 }
 
 // TestSuppression drives //rcpt:allow handling end to end: annotated

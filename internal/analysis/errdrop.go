@@ -33,12 +33,16 @@ var writerCloserFuncs = map[string]map[string]bool{
 // errdropScopePackages limits the analyzer to where dropped write errors
 // corrupt study artifacts: the report renderers, the HTTP serving layer
 // (a dropped ResponseWriter or encoder error ships a truncated body with
-// a success status), and the CLI binaries (package main covers cmd/* and
+// a success status), the cluster peer protocol (a dropped write on a
+// peer response ships a truncated stage table — caught by the stream
+// checksum, but as a spurious integrity failure instead of the real
+// cause), and the CLI binaries (package main covers cmd/* and
 // examples/*).
 var errdropScopePackages = map[string]bool{
-	"report": true,
-	"serve":  true,
-	"main":   true,
+	"report":  true,
+	"serve":   true,
+	"cluster": true,
+	"main":    true,
 }
 
 // ErrDrop flags statements (including defers) that silently discard the

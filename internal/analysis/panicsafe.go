@@ -7,12 +7,15 @@ import (
 
 // panicsafeScopePackages limits the analyzer to the long-running layers
 // where an unrecovered goroutine panic kills the whole process: the
-// concurrency primitives, the HTTP daemon, and the binaries (package
-// main covers cmd/* and examples/*). Pipeline packages run inside
-// parallel.Graph stages, which already recover for them.
+// concurrency primitives, the HTTP daemon, the cluster layer (its
+// health prober is a background goroutine living as long as the
+// daemon), and the binaries (package main covers cmd/* and
+// examples/*). Pipeline packages run inside parallel.Graph stages,
+// which already recover for them.
 var panicsafeScopePackages = map[string]bool{
 	"parallel": true,
 	"serve":    true,
+	"cluster":  true,
 	"main":     true,
 }
 

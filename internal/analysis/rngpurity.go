@@ -27,6 +27,11 @@ var pipelinePackages = map[string]bool{
 	// depend on ambient state, or artifact bytes stop being a pure
 	// function of the seed.
 	"table": true,
+	// cluster executes pipeline stages on behalf of peers: any ambient
+	// time or env read there would make remotely computed bytes diverge
+	// from local ones. Leases and breakers take their clock via
+	// Options.Now instead.
+	"cluster": true,
 }
 
 // pipelinePaths extends the scope to packages matched by import path

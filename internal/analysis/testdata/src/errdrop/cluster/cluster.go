@@ -1,0 +1,30 @@
+// Fixture for the errdrop analyzer's cluster scope: peer protocol code
+// where a silently dropped write truncates a stage-table response —
+// the thief's checksum catches it, but as a spurious integrity failure
+// pointing at the network instead of the bug.
+package cluster
+
+import "io"
+
+// closer mirrors the error-returning surface of a response body.
+type closer interface {
+	Close() error
+}
+
+// shipStage drops the envelope write's error: the peer sees a
+// truncated stream and blames the transport.
+func shipStage(w io.Writer, envelope []byte) {
+	w.Write(envelope) // want `error from io.Writer.Write is discarded`
+}
+
+// drainClose is the production shape: the discard is explicit, so it
+// reads as a decision rather than an accident.
+func drainClose(body closer) {
+	_ = body.Close()
+}
+
+// shipStageChecked propagates the write error to the dispatch layer.
+func shipStageChecked(w io.Writer, envelope []byte) error {
+	_, err := w.Write(envelope)
+	return err
+}

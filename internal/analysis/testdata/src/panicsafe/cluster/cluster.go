@@ -1,0 +1,45 @@
+// Fixture for the panicsafe analyzer's cluster scope: the peer layer's
+// background goroutines (health prober, async close waiter) live as
+// long as the daemon, so every one needs a panic backstop.
+package cluster
+
+func probeRound() {}
+
+// bareProber is the violation the scope exists to catch: a prober
+// goroutine with no recover takes the whole replica down with it.
+func bareProber() {
+	go func() { // want `goroutine does not recover panics`
+		for {
+			probeRound()
+		}
+	}()
+}
+
+// probeLoop is the production shape: a named loop whose own body
+// installs the recover, launched via `go named(...)`.
+func probeLoop() {
+	defer func() {
+		if p := recover(); p != nil {
+			_ = p
+		}
+	}()
+	for {
+		probeRound()
+	}
+}
+
+func startProber() {
+	go probeLoop()
+}
+
+// closeWaiter is the bounded-wait shape from Cluster.Close: the inline
+// literal recovers before waiting.
+func closeWaiter(done chan struct{}) {
+	go func() {
+		defer close(done)
+		defer func() {
+			_ = recover()
+		}()
+		probeRound()
+	}()
+}

@@ -1,0 +1,39 @@
+// Fixture for the rngpurity analyzer's cluster scope: the peer layer
+// executes pipeline stages on behalf of other replicas, so ambient
+// time or env reads there would let remotely computed bytes diverge
+// from local ones. Clocks must be injected (Options.Now), never read.
+package cluster
+
+import (
+	"os"
+	"time"
+)
+
+// leaseEntry shows the legal use of package time: durations and
+// comparisons on injected values.
+type leaseEntry struct {
+	expires time.Time
+}
+
+// expiredAmbient reads the wall clock directly — the violation.
+func expiredAmbient(e leaseEntry) bool {
+	return !time.Now().Before(e.expires) // want `call to time.Now in deterministic pipeline package "cluster"`
+}
+
+// expiredInjected is the production shape: the clock arrives as a
+// value; referencing time.Now as a *default* is the caller's call
+// site, not this package's.
+func expiredInjected(e leaseEntry, now func() time.Time) bool {
+	return !now().Before(e.expires)
+}
+
+// defaultClock pins that a bare reference (no call) stays legal: it is
+// how Options.Now defaults without the package ever reading time
+// itself.
+var defaultClock func() time.Time = time.Now
+
+// peerFromEnv reads ambient configuration — also forbidden; membership
+// arrives by flag.
+func peerFromEnv() string {
+	return os.Getenv("RCPT_PEERS") // want `call to os.Getenv in deterministic pipeline package "cluster"`
+}

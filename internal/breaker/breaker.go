@@ -1,0 +1,110 @@
+// Package breaker is the repo's shared three-state circuit breaker: the
+// state machine PR 4 built for per-fingerprint run protection in the
+// serving layer, extracted so the cluster layer can reuse it per peer.
+// A Breaker holds pure state — no clock, no locks, no metrics. Callers
+// pass their own notion of now (injectable in tests), hold their own
+// mutex (the serve runner and the cluster membership each already have
+// one), and translate the returned transitions into their own counters.
+package breaker
+
+import "time"
+
+// State is the classic circuit-breaker lifecycle.
+type State int
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed State = iota
+	// Open: requests fast-fail until the cooldown elapses.
+	Open
+	// HalfOpen: one trial request is in flight; its outcome decides
+	// between Closed and another Open cooldown.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker tracks one subject's failure streak (a config fingerprint, a
+// peer replica). After Threshold consecutive failures the circuit opens
+// for Cooldown; then one trial is admitted (half-open), whose success
+// closes the circuit and whose failure re-opens it.
+//
+// Not safe for concurrent use on its own: the owner serializes access
+// under whatever lock already guards its breaker map.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state     State
+	fails     int       // consecutive failures while closed
+	openUntil time.Time // when an open circuit admits its trial
+}
+
+// New returns a closed breaker. threshold < 1 is clamped to 1.
+func New(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State { return b.state }
+
+// Allow decides whether a request may proceed at time now. While the
+// circuit is open it returns (remaining cooldown, false); when the
+// cooldown has elapsed it transitions to half-open — admitting exactly
+// one trial — and reports halfOpened so the caller can count the
+// transition.
+func (b *Breaker) Allow(now time.Time) (wait time.Duration, halfOpened, ok bool) {
+	if b.state != Open {
+		return 0, false, true
+	}
+	if now.Before(b.openUntil) {
+		return b.openUntil.Sub(now), false, false
+	}
+	b.state = HalfOpen
+	return 0, true, true
+}
+
+// Success records a successful request. It returns true when the call
+// closed a previously open or half-open circuit (a state transition the
+// caller may want to count); a success on a closed circuit just resets
+// the failure streak.
+func (b *Breaker) Success() (closed bool) {
+	closed = b.state != Closed
+	b.state = Closed
+	b.fails = 0
+	return closed
+}
+
+// Failure records a failed request at time now. It returns true when
+// the call opened the circuit (either the threshold was reached while
+// closed, or a half-open trial failed).
+func (b *Breaker) Failure(now time.Time) (opened bool) {
+	switch b.state {
+	case HalfOpen:
+		// The trial failed: straight back to open for another cooldown.
+		b.state = Open
+		b.openUntil = now.Add(b.cooldown)
+		return true
+	case Closed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = Open
+			b.openUntil = now.Add(b.cooldown)
+			b.fails = 0
+			return true
+		}
+	}
+	return false
+}

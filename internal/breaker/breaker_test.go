@@ -1,0 +1,80 @@
+package breaker
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOpensAtThresholdAndCoolsDown(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := New(3, 10*time.Second)
+
+	for i := 0; i < 2; i++ {
+		if opened := b.Failure(now); opened {
+			t.Fatalf("failure %d opened the circuit early", i+1)
+		}
+	}
+	if !b.Failure(now) {
+		t.Fatal("threshold failure did not open the circuit")
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	wait, halfOpened, ok := b.Allow(now.Add(5 * time.Second))
+	if ok || halfOpened {
+		t.Fatalf("Allow inside cooldown: ok=%v halfOpened=%v", ok, halfOpened)
+	}
+	if wait != 5*time.Second {
+		t.Fatalf("remaining cooldown = %v, want 5s", wait)
+	}
+	// Cooldown over: exactly one trial admitted, with the transition
+	// reported once.
+	_, halfOpened, ok = b.Allow(now.Add(10 * time.Second))
+	if !ok || !halfOpened {
+		t.Fatalf("Allow after cooldown: ok=%v halfOpened=%v", ok, halfOpened)
+	}
+	if _, halfOpened, ok = b.Allow(now.Add(10 * time.Second)); !ok || halfOpened {
+		t.Fatalf("second Allow while half-open: ok=%v halfOpened=%v", ok, halfOpened)
+	}
+}
+
+func TestHalfOpenOutcomes(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := New(1, time.Second)
+	b.Failure(now)
+	if _, _, ok := b.Allow(now.Add(time.Second)); !ok {
+		t.Fatal("trial not admitted after cooldown")
+	}
+	// Trial failure re-opens for a fresh cooldown.
+	if !b.Failure(now.Add(time.Second)) {
+		t.Fatal("failed trial did not re-open")
+	}
+	if _, _, ok := b.Allow(now.Add(time.Second + 500*time.Millisecond)); ok {
+		t.Fatal("allowed during re-opened cooldown")
+	}
+	if _, _, ok := b.Allow(now.Add(2 * time.Second)); !ok {
+		t.Fatal("second trial not admitted")
+	}
+	if closed := b.Success(); !closed {
+		t.Fatal("successful trial did not report the close transition")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	// Success on a closed circuit resets the streak without a transition.
+	b2 := New(2, time.Second)
+	b2.Failure(now)
+	if closed := b2.Success(); closed {
+		t.Fatal("success on closed circuit reported a transition")
+	}
+	if b2.Failure(now) {
+		t.Fatal("streak not reset by success")
+	}
+}
+
+func TestThresholdClamp(t *testing.T) {
+	b := New(0, time.Second)
+	if !b.Failure(time.Unix(0, 0)) {
+		t.Fatal("threshold 0 should clamp to 1 and open on first failure")
+	}
+}

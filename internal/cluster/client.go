@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/table"
+	"repro/internal/trace"
+)
+
+// The peer protocol's client half. Three verbs, all under /v1/peer/ and
+// all authenticated with the shared secret header:
+//
+//	GET  /v1/peer/artifact/{fp}/{artifact}?format=&config=   cache fill
+//	POST /v1/peer/lease                                      compute lease
+//	POST /v1/peer/stage                                      stage steal
+//
+// Every byte-carrying response is integrity-checked on this side: an
+// artifact body must hash to its own ETag (the determinism contract
+// makes the ETag a content address, so the check needs no extra
+// protocol), and a stage response is a checksummed "rcpt-col/1"
+// envelope whose decoded table must match the peer's declared content
+// hash. A peer that sends damaged bytes is indistinguishable from a
+// peer that sent none — callers fall back, and corruption can never
+// reach a client.
+
+// SecretHeader carries the shared cluster secret on peer requests.
+const SecretHeader = "X-Rcpt-Peer-Secret"
+
+// TableHashHeader carries the content hash (table.Table.Hash, hex) of a
+// stage response, computed by the peer before encoding.
+const TableHashHeader = "X-Rcpt-Table-Hash"
+
+// ConfigParam is the query parameter carrying the base64url-encoded
+// JSON config on peer artifact requests, so an owner can compute a run
+// it has never seen. (A fingerprint alone names the bytes but cannot
+// reconstruct the configuration that produces them.)
+const ConfigParam = "config"
+
+// peerClient issues peer-protocol requests.
+type peerClient struct {
+	hc     *http.Client
+	secret string
+}
+
+// Fill is a successfully fetched, integrity-verified artifact body.
+type Fill struct {
+	Body        []byte
+	ETag        string
+	ContentType string
+}
+
+// LeaseRequest / LeaseResponse are the lease endpoint's JSON bodies.
+// Release true drops the holder's lease instead of acquiring one.
+type LeaseRequest struct {
+	Key     string `json:"key"`
+	Holder  string `json:"holder"`
+	Release bool   `json:"release,omitempty"`
+}
+
+type LeaseResponse struct {
+	Granted bool   `json:"granted"`
+	Holder  string `json:"holder"`
+	TTLMs   int64  `json:"ttl_ms"`
+}
+
+// StageRequest is the stage-steal endpoint's JSON body.
+type StageRequest struct {
+	Config core.Config `json:"config"`
+	Year   int         `json:"year"`
+	Rep    int         `json:"rep"`
+}
+
+// EncodeConfigParam serializes cfg for the artifact request's config
+// query parameter.
+func EncodeConfigParam(cfg core.Config) (string, error) {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("cluster: encoding config: %w", err)
+	}
+	return base64.RawURLEncoding.EncodeToString(raw), nil
+}
+
+// DecodeConfigParam reverses EncodeConfigParam (used by the serve-side
+// peer handler).
+func DecodeConfigParam(s string) (core.Config, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("cluster: config parameter: %w", err)
+	}
+	var cfg core.Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return core.Config{}, fmt.Errorf("cluster: config parameter: %w", err)
+	}
+	return cfg, nil
+}
+
+// fetchArtifact GETs one rendered artifact from peer and verifies the
+// body against its ETag: the ETag is the quoted sha256 of the bytes, so
+// recomputing it client-side proves the transfer intact end to end.
+func (cl *peerClient) fetchArtifact(ctx context.Context, peer, fp, artifact, format, cfgParam string) (*Fill, error) {
+	u := fmt.Sprintf("%s/v1/peer/artifact/%s/%s?format=%s&%s=%s",
+		peer, url.PathEscape(fp), url.PathEscape(artifact), url.QueryEscape(format), ConfigParam, url.QueryEscape(cfgParam))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	cl.auth(req)
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, peerErr(peer, resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading artifact from %s: %w", peer, err)
+	}
+	etag := resp.Header.Get("ETag")
+	sum := sha256.Sum256(body)
+	if want := `"` + hex.EncodeToString(sum[:]) + `"`; etag != want {
+		return nil, &table.IntegrityError{Reason: fmt.Sprintf("artifact body from %s does not hash to its ETag", peer)}
+	}
+	return &Fill{Body: body, ETag: etag, ContentType: resp.Header.Get("Content-Type")}, nil
+}
+
+// postLease asks authority for (or releases) the compute lease on
+// lr.Key.
+func (cl *peerClient) postLease(ctx context.Context, authority string, lr LeaseRequest) (*LeaseResponse, error) {
+	body, err := json.Marshal(lr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, authority+"/v1/peer/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	cl.auth(req)
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, peerErr(authority, resp)
+	}
+	var lresp LeaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lresp); err != nil {
+		return nil, fmt.Errorf("cluster: lease response from %s: %w", authority, err)
+	}
+	return &lresp, nil
+}
+
+// postStage asks peer to execute one (year, rep) trace stage and
+// returns the decoded, doubly verified table: the stream envelope
+// checksums the wire bytes, and the decoded table's content hash must
+// equal the one the peer computed before encoding.
+func (cl *peerClient) postStage(ctx context.Context, peer string, cfg core.Config, year, rep int) (trace.JobTable, error) {
+	body, err := json.Marshal(StageRequest{Config: cfg, Year: year, Rep: rep})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/peer/stage", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	cl.auth(req)
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, peerErr(peer, resp)
+	}
+	tab, err := table.DecodeStream[trace.Job](resp.Body, trace.JobCodec{})
+	if err != nil {
+		return nil, err
+	}
+	declared := resp.Header.Get(TableHashHeader)
+	if declared == "" {
+		return nil, &table.IntegrityError{Reason: fmt.Sprintf("stage response from %s carries no content hash", peer)}
+	}
+	want, err := strconv.ParseUint(declared, 16, 64)
+	if err != nil {
+		return nil, &table.IntegrityError{Reason: fmt.Sprintf("stage response from %s: bad content hash %q", peer, declared)}
+	}
+	got, err := tab.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, &table.IntegrityError{Reason: fmt.Sprintf("stage table from %s hashes to %x, peer declared %x", peer, got, want)}
+	}
+	return tab, nil
+}
+
+// status fetches a peer's /v1/peer/status JSON (raw; the caller shapes
+// it for display).
+func (cl *peerClient) status(ctx context.Context, peer string) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/peer/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	cl.auth(req)
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, peerErr(peer, resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (cl *peerClient) auth(req *http.Request) {
+	if cl.secret != "" {
+		req.Header.Set(SecretHeader, cl.secret)
+	}
+}
+
+// peerErr shapes a non-200 peer response, keeping a bounded prefix of
+// the body for diagnostics.
+func peerErr(peer string, resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return &PeerError{Peer: peer, Status: resp.StatusCode, Body: string(bytes.TrimSpace(b))}
+}
+
+// drainClose drains and closes a response body so the transport can
+// reuse the connection; close errors on a fully read body carry no
+// information worth propagating.
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}
+
+// newHTTPClient builds the default peer transport: modest timeouts and
+// connection reuse across probe rounds and steals.
+func newHTTPClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}

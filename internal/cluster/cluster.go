@@ -1,0 +1,429 @@
+// Package cluster turns the determinism contract into a scaling
+// mechanism. A configuration fingerprint names exactly one artifact
+// byte-set no matter which process computes it, so a set of rcpt-serve
+// replicas needs no state replication at all — only agreement on who
+// computes what first. Three pieces provide that agreement, each
+// degrading to local compute when peers misbehave:
+//
+//   - a consistent-hash ring (ring.go) routes each fingerprint to an
+//     owner replica, concentrating cache hits and collapsing duplicate
+//     work onto the owner's singleflight;
+//   - cluster-wide singleflight (lease.go + the serve integration):
+//     non-owners first try a peer cache fill from the owner, and when
+//     the owner is gone they race for a compute lease so at most one
+//     surviving replica executes the run;
+//   - work-stealing stage dispatch (dispatch.go): the replica executing
+//     a run farms per-(year, replica) trace stages out to idle peers
+//     over a checksummed columnar stream, falling back to local
+//     recompute on any fault.
+//
+// The resulting invariant, pinned by the peer-death tests: faults cost
+// latency, never bytes. Any replica, any failure pattern, same
+// artifacts.
+//
+// Membership is static (-peers flag): the ring is fixed at startup and
+// liveness is layered on top via health probes and per-peer circuit
+// breakers, rather than by mutating membership at runtime — a dead
+// peer's keys are taken over by the next healthy peer in ring order
+// without remapping anyone else's.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/obs"
+)
+
+// Options configures a replica's view of the cluster.
+type Options struct {
+	// Self is this replica's advertised base URL (e.g.
+	// "http://127.0.0.1:8091"); it must appear in Peers.
+	Self string
+	// Peers lists every replica's base URL, including Self. Order is
+	// irrelevant; all replicas must be configured with the same set.
+	Peers []string
+	// Secret authenticates peer endpoints. Empty disables auth (tests,
+	// trusted localhost rings).
+	Secret string
+	// VirtualNodes per peer on the hash ring (<=0: 128).
+	VirtualNodes int
+	// LeaseTTL bounds how long a dead lease holder blocks takeover
+	// (<=0: 15s).
+	LeaseTTL time.Duration
+	// ProbeInterval is the health-probe period (<=0: 2s); ProbeTimeout
+	// bounds one probe request (<=0: 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// BreakerThreshold consecutive request failures open a peer's
+	// circuit for BreakerCooldown (<=0: 3 failures, 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RequestTimeout bounds control-plane requests: lease and status
+	// calls (<=0: 5s). Artifact fills and stage steals are
+	// compute-bound on the far side and use FillTimeout (<=0: 120s).
+	RequestTimeout time.Duration
+	FillTimeout    time.Duration
+	// HTTPClient overrides the peer transport (tests). Nil builds one
+	// with FillTimeout as overall timeout.
+	HTTPClient *http.Client
+	// Now injects the clock for breakers and leases. Nil uses time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = defaultVirtualNodes
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = defaultLeaseTTL
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.FillTimeout <= 0 {
+		o.FillTimeout = 120 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Cluster is one replica's handle on the peer protocol: ring routing,
+// lease acquisition, peer fills, stage stealing, and health tracking.
+type Cluster struct {
+	opts   Options
+	self   string
+	ring   *Ring
+	client *peerClient
+	leases *LeaseTable
+	now    func() time.Time
+
+	remotes []*peerState // ring order of r.ring.Peers(), self excluded
+	byName  map[string]*peerState
+
+	selfInflight atomic.Int64
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+
+	peerFills         *obs.CounterVec // outcome: ok | error | integrity
+	leaseReqs         *obs.CounterVec // outcome: granted | denied | error
+	steals            *obs.CounterVec // outcome: local | remote | fallback
+	stealSeconds      *obs.Histogram
+	takeovers         *obs.Counter
+	peerHealthyG      *obs.GaugeVec   // peer
+	breakerOpenG      *obs.GaugeVec   // peer
+	probeFailures     *obs.CounterVec // peer
+	healthTransitions *obs.CounterVec // peer, direction: up | down
+	probePanics       *obs.Counter
+}
+
+// New validates the membership, builds the ring, and registers the
+// cluster metric families on reg. It does not start probing — call
+// Start once the local listener is up, so peers' first probes of a
+// booting ring don't race its bind.
+func New(opts Options, reg *obs.Registry) (*Cluster, error) {
+	opts = opts.withDefaults()
+	if opts.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	opts.Self = normalizePeer(opts.Self)
+	seen := map[string]bool{}
+	peers := make([]string, 0, len(opts.Peers))
+	for _, p := range opts.Peers {
+		p = normalizePeer(p)
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer URL")
+		}
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			return nil, fmt.Errorf("cluster: peer %q is not an http(s) base URL", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	if !seen[opts.Self] {
+		return nil, fmt.Errorf("cluster: Self %q is not among the configured peers", opts.Self)
+	}
+	if len(peers) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 peers (got %d); run without -peers for a single replica", len(peers))
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = newHTTPClient(opts.FillTimeout)
+	}
+	c := &Cluster{
+		opts:   opts,
+		self:   opts.Self,
+		ring:   NewRing(peers, opts.VirtualNodes),
+		client: &peerClient{hc: hc, secret: opts.Secret},
+		now:    opts.Now,
+		byName: map[string]*peerState{},
+		stop:   make(chan struct{}),
+
+		peerFills: reg.CounterVec("rcpt_cluster_peer_fills_total",
+			"peer cache-fill attempts by outcome", "outcome"),
+		leaseReqs: reg.CounterVec("rcpt_cluster_lease_requests_total",
+			"compute-lease acquisition attempts by outcome", "outcome"),
+		steals: reg.CounterVec("rcpt_cluster_stage_steals_total",
+			"trace-stage dispatch decisions by outcome", "outcome"),
+		stealSeconds: reg.Histogram("rcpt_cluster_stage_steal_seconds",
+			"remote stage execution latency (successful steals)", obs.DefBuckets()),
+		takeovers: reg.Counter("rcpt_cluster_lease_takeovers_total",
+			"leases acquired from a non-owner authority after the owner was unreachable"),
+		peerHealthyG: reg.GaugeVec("rcpt_cluster_peer_healthy",
+			"1 when the peer's last health probe succeeded", "peer"),
+		breakerOpenG: reg.GaugeVec("rcpt_cluster_peer_breaker_open",
+			"1 while the peer's circuit breaker is open", "peer"),
+		probeFailures: reg.CounterVec("rcpt_cluster_probe_failures_total",
+			"failed health probes per peer", "peer"),
+		healthTransitions: reg.CounterVec("rcpt_cluster_health_transitions_total",
+			"peer health flips observed by the prober", "peer", "direction"),
+		probePanics: reg.Counter("rcpt_cluster_probe_panics_total",
+			"recovered panics inside the health prober"),
+	}
+	for _, p := range c.ring.Peers() {
+		if p == c.self {
+			continue
+		}
+		ps := &peerState{name: p, b: breaker.New(opts.BreakerThreshold, opts.BreakerCooldown)}
+		c.remotes = append(c.remotes, ps)
+		c.byName[p] = ps
+		c.peerHealthyG.With(p).Set(1)
+		c.breakerOpenG.With(p).Set(0)
+	}
+	c.leases = NewLeaseTable(opts.LeaseTTL, c.now)
+	return c, nil
+}
+
+// Start launches the health prober. Idempotent.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.wg.Add(1)
+	go c.probeLoop()
+}
+
+// Close stops the prober and waits for it to exit — at most one probe
+// round (bounded by ProbeTimeout) — unless ctx expires first, in which
+// case the prober is left to die on its own and ctx's error is
+// returned. Idempotent.
+func (c *Cluster) Close(ctx context.Context) error {
+	if !c.started {
+		return nil
+	}
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			// wg.Wait cannot panic; the backstop is the package-wide rule
+			// that no cluster goroutine may unwind the process.
+			_ = recover()
+		}()
+		c.wg.Wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Self returns this replica's normalized base URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Secret returns the shared peer secret (serve's auth middleware needs
+// it to verify inbound peer requests).
+func (c *Cluster) Secret() string { return c.opts.Secret }
+
+// Leases exposes the local lease table: this replica grants leases for
+// keys it is the authority of.
+func (c *Cluster) Leases() *LeaseTable { return c.leases }
+
+// Owner returns the ring owner of key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// IsOwner reports whether this replica owns key.
+func (c *Cluster) IsOwner(key string) bool { return c.ring.Owner(key) == c.self }
+
+// Sequence returns the takeover order for key (owner first).
+func (c *Cluster) Sequence(key string) []string { return c.ring.Sequence(key) }
+
+// Members returns the ring membership (sorted).
+func (c *Cluster) Members() []string { return c.ring.Peers() }
+
+// healthyPeer reports whether peer (never self) currently passes
+// probes; unknown peers are unhealthy.
+func (c *Cluster) healthyPeer(peer string) bool {
+	p, ok := c.byName[peer]
+	return ok && p.healthyNow()
+}
+
+// Authority returns the current lease authority for key: the first
+// peer in the ring sequence that is self or healthy. Every replica
+// walks the same sequence with (eventually) the same health view, so
+// they converge on the same authority; transient disagreement during a
+// failure is safe because duplicate computes produce identical bytes.
+func (c *Cluster) Authority(key string) string {
+	for _, p := range c.ring.Sequence(key) {
+		if p == c.self || c.healthyPeer(p) {
+			return p
+		}
+	}
+	return c.self
+}
+
+// Quorum reports how many replicas (including self) are currently
+// believed healthy, and the total membership.
+func (c *Cluster) Quorum() (healthy, total int) {
+	healthy = 1 // self
+	for _, p := range c.remotes {
+		if p.healthyNow() {
+			healthy++
+		}
+	}
+	return healthy, len(c.remotes) + 1
+}
+
+// PeerHealth snapshots every remote peer's state in ring order.
+func (c *Cluster) PeerHealth() []PeerHealth {
+	out := make([]PeerHealth, 0, len(c.remotes))
+	for _, p := range c.remotes {
+		out = append(out, p.snapshot())
+	}
+	return out
+}
+
+// AcquireLease obtains (or is denied) the compute lease on key,
+// walking the takeover sequence: ask the owner first; if it is
+// unhealthy or unreachable, ask the next healthy peer, and so on. Self
+// grants locally. The final fallback — every candidate unreachable —
+// grants locally: with the whole ring dark this replica must be able
+// to serve alone, and a duplicate compute costs CPU, not correctness.
+func (c *Cluster) AcquireLease(ctx context.Context, key string) (granted bool, holder string, err error) {
+	for _, candidate := range c.ring.Sequence(key) {
+		if candidate == c.self {
+			g, h, _ := c.leases.Acquire(key, c.self)
+			c.countLease(g)
+			if g && c.ring.Owner(key) != c.self {
+				c.takeovers.Inc()
+			}
+			return g, h, nil
+		}
+		p := c.byName[candidate]
+		if p == nil || !p.healthyNow() || !p.allow(c.now()) {
+			continue
+		}
+		lctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+		lr, lerr := c.client.postLease(lctx, candidate, LeaseRequest{Key: key, Holder: c.self})
+		cancel()
+		if lerr != nil {
+			c.reportFailure(p, lerr)
+			c.leaseReqs.With("error").Inc()
+			continue // authority unreachable: next in sequence takes over
+		}
+		c.reportSuccess(p)
+		c.countLease(lr.Granted)
+		if lr.Granted && c.ring.Owner(key) != candidate {
+			c.takeovers.Inc()
+		}
+		return lr.Granted, lr.Holder, nil
+	}
+	g, h, _ := c.leases.Acquire(key, c.self)
+	c.countLease(g)
+	return g, h, nil
+}
+
+func (c *Cluster) countLease(granted bool) {
+	if granted {
+		c.leaseReqs.With("granted").Inc()
+	} else {
+		c.leaseReqs.With("denied").Inc()
+	}
+}
+
+// ReleaseLease drops the lease on key, wherever it was granted.
+// Best-effort: an unreachable authority's lease simply expires.
+func (c *Cluster) ReleaseLease(ctx context.Context, key string) {
+	authority := c.Authority(key)
+	if authority == c.self {
+		c.leases.Release(key, c.self)
+		return
+	}
+	p := c.byName[authority]
+	if p == nil || !p.healthyNow() {
+		return
+	}
+	lctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	// TTL expiry is the backstop: a failed release costs at most one
+	// LeaseTTL of blocked takeover, never correctness.
+	if _, err := c.client.postLease(lctx, authority, LeaseRequest{Key: key, Holder: c.self, Release: true}); err != nil {
+		c.reportFailure(p, err)
+	}
+}
+
+// FetchArtifact pulls one rendered artifact from peer with breaker
+// gating and integrity verification. cfgParam is the encoded config
+// (EncodeConfigParam) so the peer can compute a run it has never seen.
+func (c *Cluster) FetchArtifact(ctx context.Context, peer, fp, artifact, format, cfgParam string) (*Fill, error) {
+	p := c.byName[peer]
+	if p == nil {
+		return nil, fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	if !p.allow(c.now()) {
+		c.peerFills.With("error").Inc()
+		return nil, fmt.Errorf("cluster: circuit open for peer %s", peer)
+	}
+	fctx, cancel := context.WithTimeout(ctx, c.opts.FillTimeout)
+	defer cancel()
+	fill, err := c.client.fetchArtifact(fctx, peer, fp, artifact, format, cfgParam)
+	if err != nil {
+		c.reportFailure(p, err)
+		if isIntegrity(err) {
+			c.peerFills.With("integrity").Inc()
+		} else {
+			c.peerFills.With("error").Inc()
+		}
+		return nil, err
+	}
+	c.reportSuccess(p)
+	c.peerFills.With("ok").Inc()
+	return fill, nil
+}
+
+// normalizePeer canonicalizes a peer base URL (no trailing slash).
+func normalizePeer(p string) string {
+	return strings.TrimRight(strings.TrimSpace(p), "/")
+}

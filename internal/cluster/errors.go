@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// RemoteStageError records a failed attempt to execute a pipeline stage
+// on a peer. It wraps the transport/decode cause and carries enough
+// attribution — which peer, which stage, which attempt — for the
+// serving layer's error envelope to say *where* distribution failed.
+// It flows through the ordinary error chain: when a steal's local
+// fallback also fails, the stage fails with a *parallel.StageError
+// whose chain contains this, so errors.As pulls the peer attribution
+// out of the same typed path every local stage error takes.
+type RemoteStageError struct {
+	Peer    string // base URL of the peer that failed
+	Stage   string // pipeline stage name, e.g. "trace-2024-rep3"
+	Attempt int    // 1-based attempt number against this peer
+	Err     error
+}
+
+func (e *RemoteStageError) Error() string {
+	return fmt.Sprintf("cluster: stage %s on peer %s (attempt %d): %v", e.Stage, e.Peer, e.Attempt, e.Err)
+}
+
+func (e *RemoteStageError) Unwrap() error { return e.Err }
+
+// PeerError is a non-2xx response from a peer endpoint, preserving the
+// status code so callers can distinguish "peer is up but refused"
+// (auth, validation) from transport failures.
+type PeerError struct {
+	Peer   string
+	Status int
+	Body   string
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster: peer %s returned %d: %s", e.Peer, e.Status, e.Body)
+}
+
+// isIntegrity reports whether err is a table integrity failure (as
+// opposed to a transport or peer error) — metered separately because a
+// checksum mismatch on intact transport points at a bug, not weather.
+func isIntegrity(err error) bool {
+	var ie *table.IntegrityError
+	return errors.As(err, &ie)
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/breaker"
+)
+
+// Per-peer failure handling: a background prober keeps a liveness bit
+// per peer, and every peer carries its own circuit breaker (the shared
+// internal/breaker machine, the same one guarding per-fingerprint runs
+// in serve) so a flapping replica is cut off after repeated request
+// failures instead of adding its timeout to every render. Health gates
+// routing — lease authority and steal targets only consider healthy
+// peers — while the breaker gates individual requests in between
+// probes.
+
+// peerState is everything the cluster tracks about one remote peer. The
+// mutex guards the breaker and probe results; inflight is atomic so the
+// dispatcher's least-loaded choice never takes the lock.
+type peerState struct {
+	name string // base URL
+
+	inflight atomic.Int64 // outstanding steal requests from this replica
+
+	mu      sync.Mutex
+	b       *breaker.Breaker
+	probed  bool // at least one probe completed
+	healthy bool
+	lastErr string
+}
+
+// PeerHealth is the externally visible snapshot of one peer, reported
+// by /v1/peer/status and the cluster-aware readyz detail.
+type PeerHealth struct {
+	Peer     string `json:"peer"`
+	Healthy  bool   `json:"healthy"`
+	Breaker  string `json:"breaker"` // closed | open | half_open
+	Inflight int64  `json:"inflight_steals"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// healthy reports whether the peer passed its most recent probe. A
+// never-probed peer is optimistically healthy so a cluster is usable
+// the instant it starts, before the first probe round lands.
+func (p *peerState) healthyNow() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.probed || p.healthy
+}
+
+// allow consults the breaker before a request to this peer.
+func (p *peerState) allow(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, _, ok := p.b.Allow(now)
+	return ok
+}
+
+// snapshot renders the PeerHealth view.
+func (p *peerState) snapshot() PeerHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := "closed"
+	switch p.b.State() {
+	case breaker.Open:
+		st = "open"
+	case breaker.HalfOpen:
+		st = "half_open"
+	}
+	return PeerHealth{
+		Peer:     p.name,
+		Healthy:  !p.probed || p.healthy,
+		Breaker:  st,
+		Inflight: p.inflight.Load(),
+		LastErr:  p.lastErr,
+	}
+}
+
+// reportSuccess feeds a successful request into the breaker.
+func (c *Cluster) reportSuccess(p *peerState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.b.Success() {
+		c.breakerOpenG.With(p.name).Set(0)
+	}
+}
+
+// reportFailure feeds a failed request into the breaker.
+func (c *Cluster) reportFailure(p *peerState, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastErr = err.Error()
+	if p.b.Failure(c.now()) {
+		c.breakerOpenG.With(p.name).Set(1)
+	}
+}
+
+// probeLoop probes every peer at the configured interval until Close.
+// It runs in its own goroutine; the deferred recover is the
+// daemon-survival backstop required of every goroutine in this layer.
+func (c *Cluster) probeLoop() {
+	defer c.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			// A prober panic must not kill the process. Peers keep their
+			// last-known health; requests still go through per-request
+			// breakers, so the cluster degrades instead of crashing.
+			c.probePanics.Inc()
+		}
+	}()
+	t := time.NewTicker(c.opts.ProbeInterval)
+	defer t.Stop()
+	c.probeAll()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll probes all peers concurrently and waits for the round to
+// finish — rounds never overlap, so a hung peer costs one timeout per
+// round, not a goroutine per tick.
+func (c *Cluster) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range c.remotes {
+		wg.Add(1)
+		p := p
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					c.probePanics.Inc()
+				}
+			}()
+			c.probeOne(p)
+		}()
+	}
+	wg.Wait()
+}
+
+// probeOne hits the peer's health endpoint and records the outcome.
+func (c *Cluster) probeOne(p *peerState) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
+	defer cancel()
+	err := c.client.probe(ctx, p.name)
+
+	p.mu.Lock()
+	p.probed = true
+	wasHealthy := p.healthy
+	p.healthy = err == nil
+	if err != nil {
+		p.lastErr = err.Error()
+	} else {
+		p.lastErr = ""
+	}
+	p.mu.Unlock()
+
+	if err == nil {
+		c.peerHealthyG.With(p.name).Set(1)
+		if !wasHealthy {
+			c.healthTransitions.With(p.name, "up").Inc()
+		}
+	} else {
+		c.peerHealthyG.With(p.name).Set(0)
+		c.probeFailures.With(p.name).Inc()
+		if wasHealthy {
+			c.healthTransitions.With(p.name, "down").Inc()
+		}
+	}
+}
+
+// probe issues the health request (GET <peer>/healthz).
+func (cl *peerClient) probe(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: probe %s: status %d", peer, resp.StatusCode)
+	}
+	return nil
+}

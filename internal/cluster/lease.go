@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Cluster-wide singleflight, step two: when the owner of a fingerprint
+// is unreachable, replicas race to compute it themselves — the lease
+// table is what keeps that race down to one winner. A lease is
+// permission to execute a run, granted by the key's current authority
+// (the first healthy peer in the ring sequence) and expiring after a
+// TTL so a holder that dies mid-compute merely delays the run instead
+// of wedging it. Leases are advisory for correctness — two replicas
+// computing the same fingerprint produce identical bytes, so a split
+// grant during an authority handover wastes CPU, never correctness —
+// which is why a simple in-memory table with TTL expiry is enough and
+// no consensus protocol is needed.
+
+// defaultLeaseTTL bounds how long a crashed holder can block a rerun.
+// It should comfortably exceed a typical pipeline run on served
+// configurations (sub-second for cached-size configs) but stay short
+// enough that takeover is prompt.
+const defaultLeaseTTL = 15 * time.Second
+
+// LeaseTable grants per-key compute leases with TTL expiry. The clock
+// is injected: pipeline-adjacent packages never read ambient time, and
+// the expiry tests need to move the clock by hand.
+type LeaseTable struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu     sync.Mutex
+	leases map[string]leaseEntry
+}
+
+type leaseEntry struct {
+	holder  string
+	expires time.Time
+}
+
+// NewLeaseTable builds a lease table. ttl<=0 uses the default; now is
+// required (the Cluster passes its injected clock).
+func NewLeaseTable(ttl time.Duration, now func() time.Time) *LeaseTable {
+	if ttl <= 0 {
+		ttl = defaultLeaseTTL
+	}
+	return &LeaseTable{ttl: ttl, now: now, leases: map[string]leaseEntry{}}
+}
+
+// Acquire asks for the compute lease on key. Exactly one holder owns a
+// key at a time: the first caller (or any caller after expiry) is
+// granted; a repeat call by the current holder renews; everyone else is
+// denied and told who holds it and for how much longer at most.
+func (l *LeaseTable) Acquire(key, holder string) (granted bool, current string, ttl time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	e, ok := l.leases[key]
+	if ok && now.Before(e.expires) && e.holder != holder {
+		return false, e.holder, e.expires.Sub(now)
+	}
+	l.leases[key] = leaseEntry{holder: holder, expires: now.Add(l.ttl)}
+	return true, holder, l.ttl
+}
+
+// Release drops key's lease if holder still owns it; releasing someone
+// else's lease (a stale holder coming back after expiry and takeover)
+// is a no-op.
+func (l *LeaseTable) Release(key, holder string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.leases[key]; ok && e.holder == holder {
+		delete(l.leases, key)
+	}
+}
+
+// Len reports the number of live (unexpired) leases; expired entries
+// are swept here so the table cannot grow without bound under churn.
+func (l *LeaseTable) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	for k, e := range l.leases {
+		if !now.Before(e.expires) {
+			delete(l.leases, k)
+		}
+	}
+	return len(l.leases)
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for lease and breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestLeaseContention is the cluster-wide singleflight property at the
+// table level: N holders race for one key, exactly one wins.
+func TestLeaseContention(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLeaseTable(10*time.Second, clk.Now)
+	const racers = 32
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, _, _ := lt.Acquire("fp-1", fmt.Sprintf("replica-%d", i))
+			if g {
+				granted.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if granted.Load() != 1 {
+		t.Fatalf("%d of %d racers were granted the lease, want exactly 1", granted.Load(), racers)
+	}
+}
+
+// TestLeaseDenialNamesHolder: losers learn who won and a bounded wait.
+func TestLeaseDenialNamesHolder(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLeaseTable(10*time.Second, clk.Now)
+	if g, _, _ := lt.Acquire("fp", "a"); !g {
+		t.Fatal("first acquire denied")
+	}
+	clk.Advance(3 * time.Second)
+	g, holder, ttl := lt.Acquire("fp", "b")
+	if g || holder != "a" {
+		t.Fatalf("granted=%v holder=%q, want denied by a", g, holder)
+	}
+	if ttl != 7*time.Second {
+		t.Fatalf("remaining ttl = %v, want 7s", ttl)
+	}
+}
+
+// TestLeaseExpiryTakeover: a dead holder's lease expires, and the next
+// asker takes over — the owner-death path.
+func TestLeaseExpiryTakeover(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLeaseTable(10*time.Second, clk.Now)
+	if g, _, _ := lt.Acquire("fp", "dead"); !g {
+		t.Fatal("first acquire denied")
+	}
+	clk.Advance(10 * time.Second) // exactly at expiry: expired
+	g, holder, _ := lt.Acquire("fp", "survivor")
+	if !g || holder != "survivor" {
+		t.Fatalf("takeover after expiry: granted=%v holder=%q", g, holder)
+	}
+}
+
+// TestLeaseRenewal: the live holder re-acquiring extends its lease
+// rather than being denied by itself.
+func TestLeaseRenewal(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLeaseTable(10*time.Second, clk.Now)
+	lt.Acquire("fp", "a")
+	clk.Advance(8 * time.Second)
+	if g, _, _ := lt.Acquire("fp", "a"); !g {
+		t.Fatal("holder could not renew its own lease")
+	}
+	clk.Advance(8 * time.Second) // 16s after start, 8s after renewal
+	if g, holder, _ := lt.Acquire("fp", "b"); g || holder != "a" {
+		t.Fatalf("renewal did not extend the lease: granted=%v holder=%q", g, holder)
+	}
+}
+
+// TestLeaseRelease: release by the holder frees the key immediately;
+// release by anyone else is a no-op.
+func TestLeaseRelease(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLeaseTable(10*time.Second, clk.Now)
+	lt.Acquire("fp", "a")
+	lt.Release("fp", "b") // not the holder
+	if g, _, _ := lt.Acquire("fp", "c"); g {
+		t.Fatal("non-holder release freed the lease")
+	}
+	lt.Release("fp", "a")
+	if g, _, _ := lt.Acquire("fp", "c"); !g {
+		t.Fatal("holder release did not free the lease")
+	}
+}
+
+// TestLeaseSweep: Len sweeps expired entries so churn cannot grow the
+// table without bound.
+func TestLeaseSweep(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLeaseTable(time.Second, clk.Now)
+	for i := 0; i < 100; i++ {
+		lt.Acquire(fmt.Sprintf("fp-%d", i), "a")
+	}
+	if n := lt.Len(); n != 100 {
+		t.Fatalf("live leases = %d, want 100", n)
+	}
+	clk.Advance(2 * time.Second)
+	if n := lt.Len(); n != 0 {
+		t.Fatalf("after expiry, live leases = %d, want 0", n)
+	}
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringPeers(n int) []string {
+	ps := make([]string, n)
+	for i := range ps {
+		ps[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return ps
+}
+
+func keyset(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		// Fingerprint-shaped keys: what the ring routes in production.
+		ks[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return ks
+}
+
+// TestRingDistribution pins the vnode count's job: across 5 peers,
+// every peer owns within ±20% of its fair share of a large key set.
+func TestRingDistribution(t *testing.T) {
+	peers := ringPeers(5)
+	r := NewRing(peers, 0)
+	keys := keyset(20000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(len(keys)) / float64(len(peers))
+	for _, p := range peers {
+		share := float64(counts[p])
+		if share < 0.8*fair || share > 1.2*fair {
+			t.Errorf("peer %s owns %d keys, outside ±20%% of fair share %.0f", p, counts[p], fair)
+		}
+	}
+}
+
+// TestRingAgreementAcrossReplicas: two rings built from the same
+// membership in different orders route every key identically — the
+// property the whole protocol rests on, since replicas never exchange
+// routing tables.
+func TestRingAgreementAcrossReplicas(t *testing.T) {
+	peers := ringPeers(5)
+	shuffled := []string{peers[3], peers[0], peers[4], peers[2], peers[1]}
+	a, b := NewRing(peers, 64), NewRing(shuffled, 64)
+	for _, k := range keyset(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owners disagree (%s vs %s)", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingMinimalMovementOnAdd: growing 5→6 peers moves only keys that
+// land on the new peer — consistent hashing's defining bound — and
+// roughly 1/6 of them.
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	peers := ringPeers(6)
+	before := NewRing(peers[:5], 0)
+	after := NewRing(peers, 0)
+	keys := keyset(20000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was != is {
+			moved++
+			if is != peers[5] {
+				t.Fatalf("key %s moved %s→%s, not to the new peer", k, was, is)
+			}
+		}
+	}
+	expect := float64(len(keys)) / 6
+	if f := float64(moved); f < 0.5*expect || f > 1.5*expect {
+		t.Errorf("add moved %d keys, expected about %.0f", moved, expect)
+	}
+}
+
+// TestRingMinimalMovementOnRemove: dropping a peer reassigns only its
+// own keys; every other key keeps its owner.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	peers := ringPeers(5)
+	before := NewRing(peers, 0)
+	after := NewRing(peers[:4], 0)
+	for _, k := range keyset(20000) {
+		was := before.Owner(k)
+		if was == peers[4] {
+			continue // orphaned keys must move somewhere
+		}
+		if is := after.Owner(k); is != was {
+			t.Fatalf("key %s owned by surviving peer %s moved to %s", k, was, is)
+		}
+	}
+}
+
+// TestRingSequence: the takeover order starts at the owner, visits
+// every peer exactly once, and its tail is what the next-healthy
+// authority walk relies on.
+func TestRingSequence(t *testing.T) {
+	peers := ringPeers(5)
+	r := NewRing(peers, 0)
+	for _, k := range keyset(200) {
+		seq := r.Sequence(k)
+		if len(seq) != len(peers) {
+			t.Fatalf("key %s: sequence has %d entries, want %d", k, len(seq), len(peers))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("key %s: sequence starts at %s, owner is %s", k, seq[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range seq {
+			if seen[p] {
+				t.Fatalf("key %s: peer %s appears twice in sequence", k, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRingEmpty: a ring with no members routes nowhere rather than
+// panicking (defensive; New rejects this configuration).
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if o := r.Owner("x"); o != "" {
+		t.Fatalf("empty ring returned owner %q", o)
+	}
+	if s := r.Sequence("x"); s != nil {
+		t.Fatalf("empty ring returned sequence %v", s)
+	}
+}

@@ -273,6 +273,19 @@ type RunOptions struct {
 	// therefore artifacts — are deterministic for any worker count.
 	Retry parallel.RetryPolicy
 
+	// TraceStage, when set, computes the (year, rep) trace stages instead
+	// of the in-process generator. It is the distribution seam: the
+	// cluster layer installs a dispatcher here that steals stage work to
+	// peer replicas and falls back to local compute on any fault. The
+	// contract is strict — the returned table must hold exactly the rows
+	// TraceReplicaTable(cfg, year, rep) would produce (the checksummed
+	// stream envelope enforces transfer integrity; the determinism
+	// contract guarantees any compliant peer produces the same bytes), so
+	// installing a hook can change where work runs but never what the
+	// artifacts contain. A hook error fails the stage like any local
+	// error: it surfaces as a *parallel.StageError for that stage.
+	TraceStage func(ctx context.Context, cfg Config, year, rep int) (trace.JobTable, error)
+
 	sequential bool
 }
 
@@ -290,7 +303,7 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Artifact
 		Model2024:  population.Model2024(),
 		JobsByYr:   map[int]trace.JobTable{},
 	}
-	g, err := buildGraph(cfg, a)
+	g, err := buildGraph(ctx, cfg, a, opts.TraceStage)
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +349,11 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Artifact
 // the bytes are identical to deriving up front, while a retried stage
 // re-derives a fresh stream instead of resuming a half-consumed one:
 // that is what makes every stage idempotent and therefore retryable.
-func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
+//
+// ctx reaches only the traceStage hook (remote dispatch needs a
+// cancellation signal); every in-process stage ignores it — the graph
+// runner already stops launching stages once ctx is done.
+func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(context.Context, Config, int, int) (trace.JobTable, error)) (*parallel.Graph, error) {
 	root := rng.New(cfg.Seed)
 	g := parallel.NewGraph()
 
@@ -473,7 +490,13 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 			// the build and any later spill rebuild replay identical draws.
 			newStream := func() *rng.RNG { return root.SplitNamed(stage) }
 			g.AddRetryable(stage, func() error {
-				tab, err := buildTraceReplica(cfg, newStream, year, rep)
+				var tab trace.JobTable
+				var err error
+				if traceStage != nil {
+					tab, err = traceStage(ctx, cfg, year, rep)
+				} else {
+					tab, err = buildTraceReplica(cfg, newStream, year, rep)
+				}
 				if err != nil {
 					return fmt.Errorf("core: generating %s: %w", stage, err)
 				}
@@ -554,6 +577,11 @@ func buildGraph(cfg Config, a *Artifacts) (*parallel.Graph, error) {
 // and the concatenated table is in arrival order by construction.
 const repStride = 366 * 86400
 
+// TraceStageName returns the stage-graph name of the (year, rep) trace
+// stage — the distribution layer uses it to attribute remote failures
+// to the stage the scheduler knows.
+func TraceStageName(year, rep int) string { return traceStreamName(year, rep) }
+
 // traceStreamName names a (year, replica) trace stage and its rng
 // stream. Replica 0 keeps the historical "trace-<year>" name so an
 // unscaled run derives bit-identical streams to every release before
@@ -623,6 +651,37 @@ func buildTraceReplica(cfg Config, newStream func() *rng.RNG, year, rep int) (*t
 // errRebuildDone short-circuits a rebuild scan once the requested row
 // window has been recomputed.
 var errRebuildDone = errors.New("core: rebuild window complete")
+
+// TraceReplicaTable computes one (year, rep) trace stage of cfg from
+// scratch, standalone: the rng stream is re-derived by name from
+// cfg.Seed exactly as the full pipeline derives it, so the result is
+// bit-identical to the table the stage graph would build in place. This
+// is the unit of distributed work-stealing — a peer that receives only
+// (cfg, year, rep) can execute the stage and return bytes no different
+// from local compute, which is what lets the cluster layer treat remote
+// faults as a latency problem, never a correctness one.
+func TraceReplicaTable(cfg Config, year, rep int) (trace.JobTable, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	found := false
+	for _, y := range cfg.TraceYears {
+		if y == year {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: year %d not among trace years %v", year, cfg.TraceYears)
+	}
+	if rep < 0 || rep >= cfg.traceScale() {
+		return nil, fmt.Errorf("core: replica %d out of range [0, %d)", rep, cfg.traceScale())
+	}
+	root := rng.New(cfg.Seed)
+	stage := traceStreamName(year, rep)
+	newStream := func() *rng.RNG { return root.SplitNamed(stage) }
+	return buildTraceReplica(cfg, newStream, year, rep)
+}
 
 // concatJobTables joins a year's replica tables in replica order (a
 // no-op for the common single-replica case).

@@ -3,45 +3,24 @@ package serve
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/breaker"
 )
 
-// breakerState is the classic three-state circuit-breaker lifecycle.
-type breakerState int
-
-const (
-	breakerClosed breakerState = iota
-	breakerOpen
-	breakerHalfOpen
-)
-
-func (s breakerState) String() string {
-	switch s {
-	case breakerOpen:
-		return "open"
-	case breakerHalfOpen:
-		return "half_open"
-	default:
-		return "closed"
-	}
-}
-
-// breaker tracks one fingerprint's failure streak. A configuration
-// whose pipeline keeps failing (e.g. a pathological parameter set that
-// panics a stage every time) trips its breaker after threshold
-// consecutive failures; while open, requests for that fingerprint
-// fast-fail with 503 + Retry-After instead of burning a run slot. After
-// the cooldown one trial run is let through (half-open): success closes
-// the circuit, failure re-opens it for another cooldown.
+// The per-fingerprint circuit breaker: a configuration whose pipeline
+// keeps failing (e.g. a pathological parameter set that panics a stage
+// every time) trips its breaker after threshold consecutive failures;
+// while open, requests for that fingerprint fast-fail with 503 +
+// Retry-After instead of burning a run slot. After the cooldown one
+// trial run is let through (half-open): success closes the circuit,
+// failure re-opens it for another cooldown.
 //
-// Breakers are per-fingerprint so one bad configuration cannot poison
-// service for every other config. All state is guarded by the runner's
-// mutex; cancellations never count as failures (a client hanging up
+// The state machine itself lives in internal/breaker (shared with the
+// cluster layer's per-peer breakers); this file is the runner glue —
+// breakers are per-fingerprint so one bad configuration cannot poison
+// service for every other config, all state is guarded by the runner's
+// mutex, and cancellations never count as failures (a client hanging up
 // says nothing about the config's health).
-type breaker struct {
-	state     breakerState
-	fails     int       // consecutive failures while closed
-	openUntil time.Time // when an open circuit allows its trial run
-}
 
 // circuitOpenError is returned (not thrown) for fingerprints whose
 // breaker is open; the handlers map it to 503 with a Retry-After hint.
@@ -57,16 +36,16 @@ func (e circuitOpenError) Error() string {
 // holds r.mu.
 func (r *runner) breakerAllow(fp string) error {
 	b, ok := r.breakers[fp]
-	if !ok || b.state == breakerClosed || b.state == breakerHalfOpen {
+	if !ok {
 		return nil
 	}
-	now := r.now()
-	if now.Before(b.openUntil) {
-		return circuitOpenError{retryAfter: b.openUntil.Sub(now)}
+	wait, halfOpened, allowed := b.Allow(r.now())
+	if halfOpened {
+		r.breakerTransitions.With("half_open").Inc()
 	}
-	// Cooldown over: admit one trial run.
-	b.state = breakerHalfOpen
-	r.breakerTransitions.With("half_open").Inc()
+	if !allowed {
+		return circuitOpenError{retryAfter: wait}
+	}
 	return nil
 }
 
@@ -76,7 +55,7 @@ func (r *runner) breakerSuccess(fp string) {
 	if !ok {
 		return
 	}
-	if b.state != breakerClosed {
+	if wasOpen := b.State() != breaker.Closed; wasOpen {
 		r.breakerTransitions.With("closed").Inc()
 		r.breakerOpenG.Dec()
 	}
@@ -87,22 +66,15 @@ func (r *runner) breakerSuccess(fp string) {
 func (r *runner) breakerFailure(fp string) {
 	b, ok := r.breakers[fp]
 	if !ok {
-		b = &breaker{}
+		b = breaker.New(r.breakerThreshold, r.breakerCooldown)
 		r.breakers[fp] = b
 	}
-	switch b.state {
-	case breakerHalfOpen:
-		// The trial failed: straight back to open for another cooldown.
-		b.state = breakerOpen
-		b.openUntil = r.now().Add(r.breakerCooldown)
+	wasHalfOpen := b.State() == breaker.HalfOpen
+	if b.Failure(r.now()) {
 		r.breakerTransitions.With("open").Inc()
-	case breakerClosed:
-		b.fails++
-		if b.fails >= r.breakerThreshold {
-			b.state = breakerOpen
-			b.openUntil = r.now().Add(r.breakerCooldown)
-			b.fails = 0
-			r.breakerTransitions.With("open").Inc()
+		if !wasHalfOpen {
+			// A failed half-open trial keeps the circuit in the open
+			// gauge; only a fresh closed→open trip adds to it.
 			r.breakerOpenG.Inc()
 		}
 	}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/table"
+	"repro/internal/trace"
+)
+
+// The serve side of the peer protocol (see internal/cluster for the
+// client half and the package doc). Three data-plane endpoints plus a
+// status probe, all secret-authenticated, all bypassing the client
+// admission gates: replicas coordinating a run must not be rejected by
+// the capacity limits that protect the cluster from clients. Each has
+// its own bound instead — the artifact endpoint joins the runner's
+// singleflight, the stage endpoint is capped by peerStageGate, and the
+// lease endpoint is a map operation.
+
+// peerAuth rejects peer requests that do not carry the shared cluster
+// secret. Comparison is constant-time; an empty configured secret
+// disables the check (trusted localhost rings, tests).
+func (s *Server) peerAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if secret := s.cluster.Secret(); secret != "" {
+			got := r.Header.Get(cluster.SecretHeader)
+			if subtle.ConstantTimeCompare([]byte(got), []byte(secret)) != 1 {
+				s.writeError(w, http.StatusUnauthorized, "missing or invalid peer secret")
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// handlePeerArtifact serves GET /v1/peer/artifact/{fp}/{artifact}: a
+// peer cache fill. The request carries the full config (base64url JSON)
+// because a fingerprint names artifact bytes but cannot reconstruct the
+// configuration that produces them — so this replica can compute a run
+// it has never seen. The declared fingerprint must match the config's
+// own: a mismatch means the requester and this replica would disagree
+// about what the bytes are called, which is never recoverable.
+func (s *Server) handlePeerArtifact(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	id := r.PathValue("artifact")
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	encoded := r.URL.Query().Get(cluster.ConfigParam)
+	if encoded == "" {
+		s.writeError(w, http.StatusBadRequest, "missing config parameter")
+		return
+	}
+	cfg, err := cluster.DecodeConfigParam(encoded)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		s.writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
+		return
+	}
+	if got := cfg.Fingerprint(); got != fp {
+		s.writeJSON(w, http.StatusUnprocessableEntity, apiError{
+			Error: fmt.Sprintf("config fingerprints to %s, path says %s", got, fp)})
+		return
+	}
+	key := cacheKey{fingerprint: fp, artifact: id, format: format}
+	if e, hit := s.cacheGet(key); hit {
+		s.writeCached(w, r, e)
+		return
+	}
+	ctx, cancel := s.runContext(r)
+	defer cancel()
+	arts, err := s.runner.artifacts(ctx, fp, cfg)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	e, err := renderArtifact(arts, id, format)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.cachePut(key, e)
+	s.writeCached(w, r, e)
+}
+
+// handlePeerLease serves POST /v1/peer/lease: this replica acting as
+// the lease authority for keys it owns (or has taken over). Grant,
+// denial-naming-the-holder, renewal, and release are all one lease
+// table operation; correctness never depends on the answer — a
+// duplicate compute produces identical bytes — so no persistence or
+// consensus is needed behind it.
+func (s *Server) handlePeerLease(w http.ResponseWriter, r *http.Request) {
+	var lr cluster.LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&lr); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad lease request: "+err.Error())
+		return
+	}
+	if lr.Key == "" || lr.Holder == "" {
+		s.writeError(w, http.StatusBadRequest, "lease request needs key and holder")
+		return
+	}
+	lt := s.cluster.Leases()
+	if lr.Release {
+		lt.Release(lr.Key, lr.Holder)
+		s.writeJSON(w, http.StatusOK, cluster.LeaseResponse{Holder: lr.Holder})
+		return
+	}
+	granted, holder, ttl := lt.Acquire(lr.Key, lr.Holder)
+	s.writeJSON(w, http.StatusOK, cluster.LeaseResponse{
+		Granted: granted, Holder: holder, TTLMs: ttl.Milliseconds()})
+}
+
+// handlePeerStage serves POST /v1/peer/stage: execute one stolen
+// (year, replica) trace stage and stream the table back in the
+// checksummed columnar envelope, with the content hash declared in a
+// header so the thief can verify the decode end to end. Admission is
+// non-blocking: at PeerStageLimit concurrent stages the answer is an
+// immediate 503 — the thief computes locally, which is always cheaper
+// than both sides waiting on a queue.
+func (s *Server) handlePeerStage(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.peerStageGate <- struct{}{}:
+		defer func() { <-s.peerStageGate }()
+	default:
+		s.retryLater(w, http.StatusServiceUnavailable, "stage capacity exhausted")
+		return
+	}
+	var req cluster.StageRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad stage request: "+err.Error())
+		return
+	}
+	// The wire config arrives with execution knobs stripped (they are
+	// local concerns, invariant to the artifact bytes); apply this
+	// replica's own.
+	cfg := req.Config
+	cfg.Workers = s.baseCfg.Workers
+	cfg.Table = s.baseCfg.Table
+	tab, err := core.TraceReplicaTable(cfg, req.Year, req.Rep)
+	if err != nil {
+		s.writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
+		return
+	}
+	hash, err := tab.Hash()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := table.EncodeStream(&buf, trace.JobCodec{}, tab); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set(cluster.TableHashHeader, strconv.FormatUint(hash, 16))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.writeErrors.Inc()
+	}
+}
+
+// peerStatusBody is the GET /v1/peer/status response: this replica's
+// view of the ring, for operators and for peers' dashboards.
+type peerStatusBody struct {
+	Self          string               `json:"self"`
+	Members       []string             `json:"members"`
+	QuorumHealthy int                  `json:"quorumHealthy"`
+	QuorumTotal   int                  `json:"quorumTotal"`
+	Leases        int                  `json:"leases"`
+	Peers         []cluster.PeerHealth `json:"peers"`
+}
+
+func (s *Server) handlePeerStatus(w http.ResponseWriter, r *http.Request) {
+	healthy, total := s.cluster.Quorum()
+	s.writeJSON(w, http.StatusOK, peerStatusBody{
+		Self:          s.cluster.Self(),
+		Members:       s.cluster.Members(),
+		QuorumHealthy: healthy,
+		QuorumTotal:   total,
+		Leases:        s.cluster.Leases().Len(),
+		Peers:         s.cluster.PeerHealth(),
+	})
+}
+
+// clusterRender produces one base-config rendered artifact under the
+// cluster-wide singleflight protocol. The ring concentrates each
+// fingerprint's compute on one replica — the owner while it lives, the
+// takeover authority (next healthy peer in ring order) after it dies:
+//
+//  1. authority is a peer: fill from it. It computes on demand, so the
+//     fill blocks until the bytes exist — concurrent fills from every
+//     replica collapse onto its one execution, and a replica asking
+//     after the fact gets the cached bytes without anyone recomputing.
+//  2. authority is self, or the fill failed: race for the compute
+//     lease. The winner computes; a loser fills from whoever holds it.
+//  3. every peer path failed: compute locally. The determinism contract
+//     makes this safe — a duplicate compute costs CPU, never bytes —
+//     so faults degrade latency and cache efficiency only.
+func (s *Server) clusterRender(ctx context.Context, key cacheKey) (cacheEntry, error) {
+	fp := key.fingerprint
+	if auth := s.cluster.Authority(fp); auth != s.cluster.Self() {
+		if e, err := s.peerFill(ctx, auth, key); err == nil {
+			return e, nil
+		}
+	}
+	granted, holder, _ := s.cluster.AcquireLease(ctx, fp)
+	if granted {
+		// Release promptly so a holder crash is the only case that costs
+		// a TTL of blocked takeover; the release must not be lost to the
+		// request's own cancellation.
+		defer s.cluster.ReleaseLease(context.Background(), fp)
+		return s.localRender(ctx, key)
+	}
+	if holder != "" && holder != s.cluster.Self() {
+		if e, err := s.peerFill(ctx, holder, key); err == nil {
+			return e, nil
+		}
+	}
+	return s.localRender(ctx, key)
+}
+
+// peerFill fetches one rendered artifact from peer (integrity-checked
+// against its ETag by the cluster client) and installs it in the local
+// cache — same bytes, same ETag, as if rendered here.
+func (s *Server) peerFill(ctx context.Context, peer string, key cacheKey) (cacheEntry, error) {
+	fill, err := s.cluster.FetchArtifact(ctx, peer, key.fingerprint, key.artifact, key.format, s.baseCfgParam)
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	e := cacheEntry{body: fill.Body, etag: fill.ETag, contentType: fill.ContentType}
+	s.cachePut(key, e)
+	return e, nil
+}
+
+// localRender runs (or joins) the pipeline here and renders the
+// requested artifact.
+func (s *Server) localRender(ctx context.Context, key cacheKey) (cacheEntry, error) {
+	arts, err := s.runner.artifacts(ctx, key.fingerprint, s.baseCfg)
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	e, err := renderArtifact(arts, key.artifact, key.format)
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	s.cachePut(key, e)
+	return e, nil
+}

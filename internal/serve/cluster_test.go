@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// replica is one in-process rcpt-serve instance on a real listener.
+type replica struct {
+	srv *Server
+	url string
+	l   net.Listener
+}
+
+// startReplicas boots n replicas sharing one membership set on
+// loopback listeners. Ports are reserved by net.Listen before any
+// Server is built, so every replica's Options can name the full ring.
+func startReplicas(t *testing.T, n int, secret string) []*replica {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	members := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = l
+		members[i] = "http://" + l.Addr().String()
+	}
+	reps := make([]*replica, n)
+	for i := range reps {
+		s := newTestServer(t, Options{
+			Cluster: &cluster.Options{
+				Self:          members[i],
+				Peers:         members,
+				Secret:        secret,
+				ProbeInterval: 50 * time.Millisecond,
+				ProbeTimeout:  500 * time.Millisecond,
+				LeaseTTL:      2 * time.Second,
+			},
+		})
+		reps[i] = &replica{srv: s, url: members[i], l: listeners[i]}
+		go func(r *replica) { _ = r.srv.Serve(r.l) }(reps[i])
+	}
+	t.Cleanup(func() {
+		for _, r := range reps {
+			r.srv.httpSrv.Close()
+			_ = r.srv.cluster.Close(context.Background())
+		}
+	})
+	// Wait for every replica to see the full ring healthy, so the first
+	// request's routing decisions are deterministic.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, r := range reps {
+		for {
+			if h, total := r.srv.cluster.Quorum(); h == total {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("replicas never converged on a healthy ring")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return reps
+}
+
+// httpGet fetches path from a replica over real HTTP.
+func httpGet(t *testing.T, base, path string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s%s: %v", base, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s%s: %v", base, path, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// kill simulates a replica dying without any drain: connections are
+// torn down mid-flight and its prober stops.
+func (r *replica) kill() {
+	r.srv.httpSrv.Close()
+	_ = r.srv.cluster.Close(context.Background())
+}
+
+// runsOn returns how many pipeline executions a replica performed.
+func runsOn(r *replica) uint64 { return r.srv.runner.runsTotal.Value() }
+
+// TestClusterThreeReplicasOneCompute is the protocol's headline
+// property on a live 3-replica ring: a render hitting every replica
+// produces byte-identical responses (same ETag everywhere), and
+// exactly one replica — the fingerprint's ring owner — executed the
+// pipeline. The other two were peer cache fills.
+func TestClusterThreeReplicasOneCompute(t *testing.T) {
+	reps := startReplicas(t, 3, "s3cret")
+	type res struct {
+		code int
+		etag string
+		body string
+	}
+	results := make([]res, len(reps))
+	var wg sync.WaitGroup
+	for i, r := range reps {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			code, hdr, body := httpGet(t, r.url, "/v1/tables/T1")
+			results[i] = res{code: code, etag: hdr.Get("ETag"), body: string(body)}
+		}(i, r)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if got.code != http.StatusOK {
+			t.Fatalf("replica %d: status %d: %s", i, got.code, got.body)
+		}
+		if got.etag == "" || got.etag != results[0].etag {
+			t.Fatalf("replica %d: etag %q != replica 0 etag %q", i, got.etag, results[0].etag)
+		}
+		if got.body != results[0].body {
+			t.Fatalf("replica %d: body differs from replica 0", i)
+		}
+	}
+	var total uint64
+	var ownerRuns uint64
+	owner := reps[0].srv.cluster.Owner(reps[0].srv.baseFP)
+	for _, r := range reps {
+		n := runsOn(r)
+		total += n
+		if r.url == owner {
+			ownerRuns = n
+		}
+	}
+	if total != 1 {
+		t.Fatalf("pipeline ran %d times across the ring, want exactly 1", total)
+	}
+	if ownerRuns != 1 {
+		t.Fatalf("the one run did not land on the ring owner %s", owner)
+	}
+}
+
+// TestClusterOwnerDeathByteIdentical kills the fingerprint's owner
+// before any request, then hits both survivors: the owner fill fails,
+// the survivors race for the compute lease, exactly one executes, and
+// both responses are byte-identical — faults cost latency, never
+// bytes.
+func TestClusterOwnerDeathByteIdentical(t *testing.T) {
+	reps := startReplicas(t, 3, "")
+	owner := reps[0].srv.cluster.Owner(reps[0].srv.baseFP)
+	var dead *replica
+	var survivors []*replica
+	for _, r := range reps {
+		if r.url == owner {
+			dead = r
+		} else {
+			survivors = append(survivors, r)
+		}
+	}
+	dead.kill()
+	// Wait until both survivors' probers have marked the owner down, so
+	// the lease walk skips it instead of timing out against it.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, r := range survivors {
+		for r.srv.cluster.Authority(r.srv.baseFP) == owner {
+			if time.Now().After(deadline) {
+				t.Fatal("survivors never demoted the dead owner")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	type res struct {
+		code int
+		etag string
+		body string
+	}
+	results := make([]res, len(survivors))
+	var wg sync.WaitGroup
+	for i, r := range survivors {
+		wg.Add(1)
+		go func(i int, r *replica) {
+			defer wg.Done()
+			code, hdr, body := httpGet(t, r.url, "/v1/tables/T1?format=csv")
+			results[i] = res{code: code, etag: hdr.Get("ETag"), body: string(body)}
+		}(i, r)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if got.code != http.StatusOK {
+			t.Fatalf("survivor %d: status %d: %s", i, got.code, got.body)
+		}
+	}
+	if results[0].etag != results[1].etag || results[0].body != results[1].body {
+		t.Fatalf("survivors disagree: etags %q vs %q", results[0].etag, results[1].etag)
+	}
+	if total := runsOn(survivors[0]) + runsOn(survivors[1]); total != 1 {
+		t.Fatalf("survivors ran the pipeline %d times, want exactly 1", total)
+	}
+	// Later, sequential requests for fresh artifacts must not recompute
+	// anywhere either: the takeover authority holds the run, and the
+	// other survivor fills from it instead of re-racing for the lease.
+	bodies := make([]string, len(survivors))
+	for i, r := range survivors {
+		code, _, body := httpGet(t, r.url, "/v1/figures/F1")
+		if code != http.StatusOK {
+			t.Fatalf("survivor %d figure: status %d: %s", i, code, body)
+		}
+		bodies[i] = string(body)
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatal("sequential survivor renders diverged")
+	}
+	if total := runsOn(survivors[0]) + runsOn(survivors[1]); total != 1 {
+		t.Fatalf("sequential renders grew total runs to %d, want still 1", total)
+	}
+}
+
+// TestPeerAuth: with a secret configured, peer endpoints reject
+// requests without it and accept requests carrying it.
+func TestPeerAuth(t *testing.T) {
+	reps := startReplicas(t, 2, "hunter2")
+	code, _, _ := httpGet(t, reps[0].url, "/v1/peer/status")
+	if code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated peer status = %d, want 401", code)
+	}
+	req, err := http.NewRequest(http.MethodGet, reps[0].url+"/v1/peer/status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.SecretHeader, "hunter2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated peer status = %d, want 200", resp.StatusCode)
+	}
+	var st peerStatusBody
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	if st.Self != reps[0].url || st.QuorumTotal != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestReadyzClusterModes: peer loss degrades /readyz to a detailed 200
+// by default (each replica can serve alone), and to a 503 in strict
+// quorum mode (drop minority-partition replicas at the balancer).
+func TestReadyzClusterModes(t *testing.T) {
+	for _, strict := range []bool{false, true} {
+		t.Run(fmt.Sprintf("strict=%v", strict), func(t *testing.T) {
+			// Self plus one dead peer: quorum 1/2 once probed.
+			s := newTestServer(t, Options{
+				ReadyzQuorumStrict: strict,
+				Cluster: &cluster.Options{
+					Self:          "http://127.0.0.1:9",
+					Peers:         []string{"http://127.0.0.1:9", "http://127.0.0.1:10"},
+					ProbeInterval: 20 * time.Millisecond,
+					ProbeTimeout:  200 * time.Millisecond,
+				},
+			})
+			defer func() { _ = s.cluster.Close(context.Background()) }()
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if h, _ := s.cluster.Quorum(); h == 1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("dead peer never probed down")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			w := get(t, s.Handler(), "/readyz")
+			want := http.StatusOK
+			if strict {
+				want = http.StatusServiceUnavailable
+			}
+			if w.Code != want {
+				t.Fatalf("readyz = %d, want %d: %s", w.Code, want, w.Body)
+			}
+			var body readyzBody
+			if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+				t.Fatalf("readyz body: %v", err)
+			}
+			if !body.Degraded || body.QuorumHealthy != 1 || body.QuorumTotal != 2 {
+				t.Fatalf("readyz detail = %+v", body)
+			}
+			if body.Ready == strict {
+				t.Fatalf("ready = %v with strict=%v", body.Ready, strict)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/report"
@@ -20,11 +21,13 @@ import (
 
 // apiError is the JSON error envelope every non-2xx body uses. Stage is
 // set when the failure is attributable to one pipeline stage (a typed
-// parallel.StageError), so clients and dashboards see *where* a run
-// died without parsing the message.
+// parallel.StageError), and Peer when that stage failed on a remote
+// replica (a cluster.RemoteStageError in the chain), so clients and
+// dashboards see *where* a run died without parsing the message.
 type apiError struct {
 	Error string `json:"error"`
 	Stage string `json:"stage,omitempty"`
+	Peer  string `json:"peer,omitempty"`
 }
 
 // writeJSON encodes v with a fixed field order (struct-driven), sending
@@ -63,7 +66,12 @@ func (s *Server) writeRunError(w http.ResponseWriter, err error) {
 	default:
 		var se *parallel.StageError
 		if errors.As(err, &se) {
-			s.writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error(), Stage: se.Stage})
+			ae := apiError{Error: err.Error(), Stage: se.Stage}
+			var rse *cluster.RemoteStageError
+			if errors.As(err, &rse) {
+				ae.Peer = rse.Peer
+			}
+			s.writeJSON(w, http.StatusInternalServerError, ae)
 			return
 		}
 		s.writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
@@ -125,15 +133,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// readyzBody is the cluster-mode /readyz detail: whether this replica
+// considers itself ready, plus the peer view a load balancer or
+// operator needs to see *why*.
+type readyzBody struct {
+	Ready         bool                 `json:"ready"`
+	Degraded      bool                 `json:"degraded"`
+	QuorumHealthy int                  `json:"quorumHealthy"`
+	QuorumTotal   int                  `json:"quorumTotal"`
+	Peers         []cluster.PeerHealth `json:"peers"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.retryLater(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if _, err := io.WriteString(w, "ready\n"); err != nil {
-		s.writeErrors.Inc()
+	if s.cluster == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := io.WriteString(w, "ready\n"); err != nil {
+			s.writeErrors.Inc()
+		}
+		return
 	}
+	// Cluster mode: a replica with dead peers can still serve everything
+	// by itself (local compute is always a correct fallback), so peer
+	// loss is degraded capacity, reported in the body — not unreadiness.
+	// Strict mode inverts that for deployments where a load balancer
+	// should drop minority-partition replicas: losing quorum turns the
+	// same body into a 503.
+	healthy, total := s.cluster.Quorum()
+	body := readyzBody{
+		Ready:         true,
+		Degraded:      healthy < total,
+		QuorumHealthy: healthy,
+		QuorumTotal:   total,
+		Peers:         s.cluster.PeerHealth(),
+	}
+	if s.opts.ReadyzQuorumStrict && 2*healthy <= total {
+		body.Ready = false
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -197,6 +239,44 @@ var tableFormats = map[string]struct {
 	"md":   {"text/markdown; charset=utf-8", (*report.Table).WriteMarkdown},
 }
 
+// renderArtifact renders one experiment (table or figure) from a
+// completed run into a cache entry — the one rendering path shared by
+// client requests, cluster fills of never-seen runs, and lease-winner
+// computes, so every replica producing a given (fingerprint, artifact,
+// format) produces the same bytes and therefore the same ETag.
+func renderArtifact(arts *core.Artifacts, id, format string) (cacheEntry, error) {
+	exp, err := core.Lookup(id)
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	var buf bytes.Buffer
+	var contentType string
+	switch exp.Kind {
+	case core.KindFigure:
+		if format != "svg" {
+			return cacheEntry{}, fmt.Errorf("figure %s renders only as svg, not %q", id, format)
+		}
+		if err := exp.Figure(arts, &buf); err != nil {
+			return cacheEntry{}, err
+		}
+		contentType = "image/svg+xml"
+	default:
+		ff, ok := tableFormats[format]
+		if !ok {
+			return cacheEntry{}, fmt.Errorf("unknown format %q (json, txt, csv, md)", format)
+		}
+		tab, err := exp.Table(arts)
+		if err != nil {
+			return cacheEntry{}, err
+		}
+		if err := ff.render(tab, &buf); err != nil {
+			return cacheEntry{}, err
+		}
+		contentType = ff.contentType
+	}
+	return cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: contentType}, nil
+}
+
 // resolveRun picks the artifacts a render request refers to: the base
 // run by default, or a previously executed run via ?run=<fingerprint>.
 // The returned closure executes (or joins) the run under ctx — the
@@ -221,8 +301,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	if format == "" {
 		format = "json"
 	}
-	ff, ok := tableFormats[format]
-	if !ok {
+	if _, ok := tableFormats[format]; !ok {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json, txt, csv, md)", format))
 		return
 	}
@@ -246,22 +325,25 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.runContext(r)
 	defer cancel()
+	if s.cluster != nil && fp == s.baseFP {
+		e, err := s.clusterRender(ctx, key)
+		if err != nil {
+			s.failRender(w, r, id, format, err)
+			return
+		}
+		s.writeCached(w, r, e)
+		return
+	}
 	arts, err := artsFn(ctx)
 	if err != nil {
 		s.failRender(w, r, id, format, err)
 		return
 	}
-	tab, err := exp.Table(arts)
+	e, err := renderArtifact(arts, id, format)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	var buf bytes.Buffer
-	if err := ff.render(tab, &buf); err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	e := cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: ff.contentType}
 	s.cachePut(key, e)
 	s.writeCached(w, r, e)
 }
@@ -288,17 +370,25 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.runContext(r)
 	defer cancel()
+	if s.cluster != nil && fp == s.baseFP {
+		e, err := s.clusterRender(ctx, key)
+		if err != nil {
+			s.failRender(w, r, id, "svg", err)
+			return
+		}
+		s.writeCached(w, r, e)
+		return
+	}
 	arts, err := artsFn(ctx)
 	if err != nil {
 		s.failRender(w, r, id, "svg", err)
 		return
 	}
-	var buf bytes.Buffer
-	if err := exp.Figure(arts, &buf); err != nil {
+	e, err := renderArtifact(arts, id, "svg")
+	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	e := cacheEntry{body: buf.Bytes(), etag: etagFor(buf.Bytes()), contentType: "image/svg+xml"}
 	s.cachePut(key, e)
 	s.writeCached(w, r, e)
 }

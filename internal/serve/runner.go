@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -40,7 +41,7 @@ type runner struct {
 	flights  map[string]*flight
 	ll       *list.List // front = most recently used; values are *runItem
 	items    map[string]*list.Element
-	breakers map[string]*breaker
+	breakers map[string]*breaker.Breaker
 
 	runsTotal    *obs.Counter
 	runSeconds   *obs.Histogram
@@ -88,7 +89,7 @@ func newRunner(runFn func(ctx context.Context, cfg core.Config) (*core.Artifacts
 		flights:          map[string]*flight{},
 		ll:               list.New(),
 		items:            map[string]*list.Element{},
-		breakers:         map[string]*breaker{},
+		breakers:         map[string]*breaker.Breaker{},
 		runsTotal:        reg.Counter("rcpt_pipeline_runs_total", "pipeline executions started"),
 		runSeconds:       reg.Histogram("rcpt_pipeline_run_seconds", "end-to-end pipeline run latency", obs.DefBuckets()),
 		collapsed:        reg.Counter("rcpt_pipeline_collapsed_total", "requests collapsed onto an in-flight identical run"),

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -82,6 +83,23 @@ type Options struct {
 	// core.RunWithOptions feeding the stage-timing histogram and
 	// resilience counters.
 	RunFunc func(ctx context.Context, cfg core.Config) (*core.Artifacts, error)
+
+	// Cluster enables multi-replica serving (see internal/cluster): peer
+	// cache fills, cluster-wide singleflight via compute leases, and
+	// work-stealing stage dispatch. Nil serves standalone — zero cluster
+	// code on any request path and no cluster metric families.
+	Cluster *cluster.Options
+	// ReadyzQuorumStrict makes /readyz return 503 when a majority of the
+	// cluster (counting self) is unreachable. Default false: readyz
+	// degrades to 200 with a JSON detail body — each replica can still
+	// serve everything by itself, so losing peers is degraded capacity,
+	// not unreadiness. Set it when a load balancer should drop
+	// minority-partition replicas instead.
+	ReadyzQuorumStrict bool
+	// PeerStageLimit caps concurrent stolen-stage executions on behalf
+	// of peers (default 4). At the limit, /v1/peer/stage answers 503
+	// immediately — the thief computes locally rather than queueing.
+	PeerStageLimit int
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +142,9 @@ func (o Options) withDefaults() Options {
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = 30 * time.Second
 	}
+	if o.PeerStageLimit <= 0 {
+		o.PeerStageLimit = 4
+	}
 	return o
 }
 
@@ -139,6 +160,14 @@ type Server struct {
 	cache  *artifactCache
 	runner *runner
 	disk   *diskStore // nil when CacheDir is unset
+
+	// cluster is non-nil when Options.Cluster enabled multi-replica
+	// serving; peerStageGate bounds concurrent stolen-stage work, and
+	// baseCfgParam is the base config pre-encoded for peer artifact
+	// requests (computed once — it never changes).
+	cluster       *cluster.Cluster
+	peerStageGate chan struct{}
+	baseCfgParam  string
 
 	// stale holds the last good rendered body per (artifact, format),
 	// regardless of fingerprint, for stale-while-error degradation: when
@@ -216,6 +245,19 @@ func New(opts Options) (*Server, error) {
 	s.runGate = newGate("run", opts.RunLimit, opts.RunQueue, opts.QueueTimeout,
 		queueDepth.With("run"), func(reason string) { s.rejected.With("run", reason).Inc() })
 
+	if opts.Cluster != nil {
+		cl, err := cluster.New(*opts.Cluster, reg)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+		s.peerStageGate = make(chan struct{}, opts.PeerStageLimit)
+		s.baseCfgParam, err = cluster.EncodeConfigParam(opts.BaseConfig)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	runFn := opts.RunFunc
 	stageSeconds := reg.HistogramVec("rcpt_pipeline_stage_seconds",
 		"pipeline stage wall-clock timings", obs.DefBuckets(), "stage")
@@ -246,6 +288,11 @@ func New(opts Options) (*Server, error) {
 				return nil, err
 			}
 			runOpts.Middleware = injector.Middleware()
+		}
+		if s.cluster != nil {
+			// Every pipeline run this replica executes dispatches its
+			// trace stages through the cluster's work-stealing seam.
+			runOpts.TraceStage = s.cluster.TraceStage
 		}
 		runFn = func(ctx context.Context, cfg core.Config) (*core.Artifacts, error) {
 			return core.RunWithOptions(ctx, cfg, runOpts)
@@ -279,6 +326,11 @@ func New(opts Options) (*Server, error) {
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	if s.cluster != nil {
+		// Probing may begin before peers are listening; the first failed
+		// round just marks them down until they come up.
+		s.cluster.Start()
+	}
 	return s, nil
 }
 
@@ -305,6 +357,17 @@ func (s *Server) routes() {
 	handle("GET /v1/stats/oddsratio", s.renderGate, s.handleOddsRatio)
 
 	handle("POST /v1/run", s.runGate, s.handleRun)
+
+	// Peer protocol (cluster mode only): secret-authenticated, and
+	// deliberately outside the client admission gates — replica
+	// coordination must not be starved by client load. Each endpoint
+	// carries its own bound (see cluster.go).
+	if s.cluster != nil {
+		handle("GET /v1/peer/artifact/{fp}/{artifact}", nil, s.peerAuth(s.handlePeerArtifact))
+		handle("POST /v1/peer/lease", nil, s.peerAuth(s.handlePeerLease))
+		handle("POST /v1/peer/stage", nil, s.peerAuth(s.handlePeerStage))
+		handle("GET /v1/peer/status", nil, s.peerAuth(s.handlePeerStatus))
+	}
 }
 
 // Handler returns the root handler (for tests and embedding).
@@ -395,7 +458,11 @@ func (s *Server) Serve(l net.Listener) error {
 // close — is propagated, never dropped.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.httpSrv.Shutdown(ctx)
+	var clusterErr error
+	if s.cluster != nil {
+		clusterErr = s.cluster.Close(ctx)
+	}
+	return errors.Join(clusterErr, s.httpSrv.Shutdown(ctx))
 }
 
 // statusWriter captures the response code and write failures.

@@ -1,0 +1,152 @@
+package table
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// Stream transfer: the spill envelope ("rcpt-col/1" magic, row count,
+// payload length, SHA-256, columnar payload) generalized from files to
+// io.Writer/io.Reader, so a table can cross a process boundary with the
+// same integrity guarantees a spill file has on disk. This is the wire
+// format of the cluster layer's work-stealing stage responses: a peer
+// encodes the (year, replica) table it computed, the requester decodes
+// and checksum-verifies it, and a corrupted or truncated body surfaces
+// as *IntegrityError — never as silently wrong rows.
+
+// IntegrityError marks a stream whose envelope failed verification
+// (bad magic, truncation, checksum or row-count mismatch). Callers use
+// it to distinguish "peer sent damaged bytes — recompute locally" from
+// plain transport errors.
+type IntegrityError struct {
+	Reason string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("table: stream integrity: %s", e.Reason)
+}
+
+// EncodeStream writes every row of t to w as one checksummed column
+// envelope. The payload is a single Columns batch regardless of how t
+// stores its rows — encoding is a pure function of the row sequence, so
+// two tables with identical rows encode identically whatever their
+// batch size, shard count, or residency.
+func EncodeStream[T any](w io.Writer, codec Codec[T], t Table[T]) error {
+	cols := codec.NewColumns()
+	sc := t.Scanner(0, 1, 1)
+	for sc.Scan() {
+		cols.Append(sc.Row())
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("table: encode stream scan: %w", err)
+	}
+	var payload bytes.Buffer
+	ew := NewWriter(&payload)
+	if err := cols.EncodeTo(ew); err != nil {
+		return fmt.Errorf("table: encode stream: %w", err)
+	}
+	if err := ew.Err(); err != nil {
+		return fmt.Errorf("table: encode stream: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+
+	hw := NewWriter(w)
+	hw.Bytes([]byte(spillMagic))
+	hw.Uvarint(uint64(cols.Len()))
+	hw.Uvarint(uint64(payload.Len()))
+	hw.Bytes(sum[:])
+	hw.Bytes(payload.Bytes())
+	return hw.Err()
+}
+
+// DecodeStream reads one EncodeStream envelope from r, verifies it, and
+// returns the decoded rows as a resident table. Integrity failures
+// return *IntegrityError.
+func DecodeStream[T any](r io.Reader, codec Codec[T]) (Table[T], error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	magic := make([]byte, len(spillMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, &IntegrityError{Reason: "short magic"}
+	}
+	if string(magic) != spillMagic {
+		return nil, &IntegrityError{Reason: "bad magic"}
+	}
+	hr := NewReader(br)
+	rows := hr.Uvarint()
+	paylen := hr.Uvarint()
+	if err := hr.Err(); err != nil {
+		return nil, &IntegrityError{Reason: "truncated header"}
+	}
+	if paylen > 1<<31 {
+		return nil, &IntegrityError{Reason: "payload length out of range"}
+	}
+	var sum [sha256.Size]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, &IntegrityError{Reason: "short checksum"}
+	}
+	payload := make([]byte, paylen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, &IntegrityError{Reason: "short payload"}
+	}
+	if got := sha256.Sum256(payload); got != sum {
+		return nil, &IntegrityError{Reason: "checksum mismatch"}
+	}
+	cols := codec.NewColumns()
+	pr := NewReader(bytes.NewReader(payload))
+	if err := cols.DecodeFrom(pr); err != nil {
+		return nil, &IntegrityError{Reason: fmt.Sprintf("decode: %v", err)}
+	}
+	if err := pr.Err(); err != nil {
+		return nil, &IntegrityError{Reason: fmt.Sprintf("decode: %v", err)}
+	}
+	if cols.Len() != int(rows) {
+		return nil, &IntegrityError{Reason: fmt.Sprintf("row count %d, header says %d", cols.Len(), rows)}
+	}
+	return FromColumns(codec, cols), nil
+}
+
+// FromColumns wraps an already-materialized Columns as a read-only
+// Table view — no copying. The caller must not mutate cols afterwards.
+func FromColumns[T any](codec Codec[T], cols Columns[T]) Table[T] {
+	return &columnsTable[T]{codec: codec, cols: cols}
+}
+
+type columnsTable[T any] struct {
+	codec Codec[T]
+	cols  Columns[T]
+}
+
+func (t *columnsTable[T]) Len(CountMode) int { return t.cols.Len() }
+
+func (t *columnsTable[T]) Hash() (uint64, error) {
+	return HashRows[T](t, t.codec.HashRow)
+}
+
+func (t *columnsTable[T]) Scanner(start, limit, total int) Scanner[T] {
+	lo, hi := ShardRange(start, limit, total, t.cols.Len())
+	return t.rowScanner(lo, hi)
+}
+
+func (t *columnsTable[T]) rowScanner(lo, hi int) Scanner[T] {
+	return &columnsScanner[T]{cols: t.cols, i: lo - 1, hi: hi}
+}
+
+type columnsScanner[T any] struct {
+	cols Columns[T]
+	i    int
+	hi   int
+}
+
+func (s *columnsScanner[T]) Scan() bool {
+	if s.i+1 >= s.hi {
+		return false
+	}
+	s.i++
+	return true
+}
+
+func (s *columnsScanner[T]) Row() T     { return s.cols.Row(s.i) }
+func (s *columnsScanner[T]) Err() error { return nil }
