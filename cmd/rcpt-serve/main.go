@@ -13,20 +13,33 @@
 //	           [-pprof localhost:6060]
 //	           [-trace-scale N] [-spill-dir DIR] [-table-shards N]
 //	           [-batch-rows N]
-//	           [-peers URL,URL,...] [-self URL] [-peer-secret S]
-//	           [-lease-ttl 15s] [-peer-stage-limit 4] [-readyz-quorum]
+//	           [-peers URL,URL,...] [-join URL,URL,...] [-self URL]
+//	           [-peer-secret S] [-lease-ttl 15s] [-peer-stage-limit 4]
+//	           [-peer-suspect-timeout 10s] [-readyz-quorum]
 //
-// -peers turns on distributed serving (see internal/cluster): the
-// comma-separated list is the full static membership, -self is this
-// replica's own advertised base URL (it must appear in -peers), and
-// every replica must be started with the same -peers set. A consistent
-// hash ring routes each config fingerprint to an owner replica,
-// non-owners fill their caches from it, compute leases keep duplicate
-// pipeline runs off the ring even when the owner dies, and trace
-// stages are work-stolen by idle peers. Replicas share no state —
-// determinism is the replication protocol — so any replica can always
-// fall back to serving alone. -readyz-quorum makes /readyz fail (503)
-// on quorum loss instead of reporting degraded detail with a 200.
+// -peers or -join turns on distributed serving (see internal/cluster).
+// -peers seeds the membership statically: the comma-separated list is
+// the initial ring, -self is this replica's own advertised base URL
+// (it must appear in -peers). -join instead bootstraps dynamically:
+// the replica starts as a ring of one and announces itself to any of
+// the listed seed replicas, learning the rest of the membership over
+// gossip — so a 3-replica ring is one replica with -peers $SELF and
+// two more with -join $FIRST. Either way membership is dynamic after
+// boot: SWIM-style probing (direct, then indirect through peers)
+// moves unresponsive members alive→suspect→dead and gossips the
+// change, and the consistent hash ring is rebuilt under a
+// content-derived epoch that every replica converges to without
+// coordination. A config fingerprint routes to an authority replica,
+// non-authorities fill their caches from it (fills carry the epoch, so
+// a fill that straddles a handover is redirected, not recomputed),
+// compute leases keep duplicate pipeline runs off the ring even when
+// the authority dies, and trace stages are work-stolen by idle peers.
+// Replicas share no state — determinism is the replication protocol —
+// so any replica can always fall back to serving alone.
+// -peer-suspect-timeout is how long a suspect member has to refute
+// before it is declared dead and leaves the ring. -readyz-quorum makes
+// /readyz fail (503) on quorum loss instead of reporting degraded
+// detail with a 200.
 //
 // -trace-scale replicates every trace year N× (a 100× or 1000×
 // synthetic trace for scaling studies); -spill-dir bounds trace memory
@@ -99,12 +112,14 @@ func run() error {
 	spillDir := flag.String("spill-dir", "", "spill column batches here to bound trace memory (empty = fully resident)")
 	tableShards := flag.Int("table-shards", 0, "scan shards per columnar aggregation (0 = worker count)")
 	batchRows := flag.Int("batch-rows", 0, "rows per column batch (0 = default)")
-	peers := flag.String("peers", "", "comma-separated base URLs of every replica, including this one (empty = standalone)")
-	self := flag.String("self", "", "this replica's advertised base URL (required with -peers; must be listed in -peers)")
+	peers := flag.String("peers", "", "comma-separated base URLs seeding the initial membership, including this one (empty = standalone unless -join)")
+	join := flag.String("join", "", "comma-separated seed replica URLs to join an existing cluster through (empty = bootstrap from -peers)")
+	self := flag.String("self", "", "this replica's advertised base URL (required with -peers or -join)")
 	peerSecret := flag.String("peer-secret", "", "shared secret authenticating peer endpoints (empty = unauthenticated; localhost only)")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "compute-lease TTL; bounds how long a dead replica blocks takeover")
 	peerStageLimit := flag.Int("peer-stage-limit", 4, "concurrent stolen trace stages executed for peers")
 	probeInterval := flag.Duration("peer-probe-interval", 2*time.Second, "peer health probe period")
+	suspectTimeout := flag.Duration("peer-suspect-timeout", 0, "how long a suspect member may refute before being declared dead (0 = 5x probe interval, min 3s)")
 	readyzQuorum := flag.Bool("readyz-quorum", false, "make /readyz return 503 on cluster quorum loss (default: 200 with degraded detail)")
 	flag.Parse()
 
@@ -112,7 +127,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if chaosSpec.Enabled() {
+	if chaosSpec.Enabled() || chaosSpec.NetEnabled() {
 		fmt.Fprintln(os.Stderr, "rcpt-serve: CHAOS MODE — deterministic fault injection is active; do not use in production")
 	}
 
@@ -151,16 +166,22 @@ func run() error {
 		ReadyzQuorumStrict: *readyzQuorum,
 		PeerStageLimit:     *peerStageLimit,
 	}
-	if *peers != "" {
+	if *peers != "" || *join != "" {
 		if *self == "" {
-			return fmt.Errorf("-peers requires -self (this replica's own base URL)")
+			return fmt.Errorf("cluster mode (-peers or -join) requires -self (this replica's own base URL)")
 		}
 		opts.Cluster = &cluster.Options{
-			Self:          *self,
-			Peers:         strings.Split(*peers, ","),
-			Secret:        *peerSecret,
-			LeaseTTL:      *leaseTTL,
-			ProbeInterval: *probeInterval,
+			Self:           *self,
+			Secret:         *peerSecret,
+			LeaseTTL:       *leaseTTL,
+			ProbeInterval:  *probeInterval,
+			SuspectTimeout: *suspectTimeout,
+		}
+		if *peers != "" {
+			opts.Cluster.Peers = strings.Split(*peers, ",")
+		}
+		if *join != "" {
+			opts.Cluster.Join = strings.Split(*join, ",")
 		}
 	}
 	srv, err := serve.New(opts)
@@ -202,8 +223,14 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "rcpt-serve: listening on %s (base config %s)\n",
 		ln.Addr(), srv.BaseFingerprint()[:12])
 	if opts.Cluster != nil {
-		fmt.Fprintf(os.Stderr, "rcpt-serve: cluster mode — %d replicas, self %s\n",
-			len(opts.Cluster.Peers), *self)
+		switch {
+		case len(opts.Cluster.Join) > 0:
+			fmt.Fprintf(os.Stderr, "rcpt-serve: cluster mode — joining via %s, self %s\n",
+				strings.Join(opts.Cluster.Join, ","), *self)
+		default:
+			fmt.Fprintf(os.Stderr, "rcpt-serve: cluster mode — %d seed replicas, self %s\n",
+				len(opts.Cluster.Peers), *self)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

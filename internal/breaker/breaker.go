@@ -44,9 +44,10 @@ type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 
-	state     State
-	fails     int       // consecutive failures while closed
-	openUntil time.Time // when an open circuit admits its trial
+	state      State
+	fails      int       // consecutive failures while closed
+	openUntil  time.Time // when an open circuit admits its trial
+	trialUntil time.Time // half-open: no second trial before this
 }
 
 // New returns a closed breaker. threshold < 1 is clamped to 1.
@@ -64,16 +65,30 @@ func (b *Breaker) State() State { return b.state }
 // circuit is open it returns (remaining cooldown, false); when the
 // cooldown has elapsed it transitions to half-open — admitting exactly
 // one trial — and reports halfOpened so the caller can count the
-// transition.
+// transition. While half-open, further callers are refused until the
+// trial reports an outcome or one cooldown elapses; the time bound
+// means a trial whose outcome is never reported (caller cancelled
+// before Success/Failure) delays the next trial instead of wedging the
+// circuit forever.
 func (b *Breaker) Allow(now time.Time) (wait time.Duration, halfOpened, ok bool) {
-	if b.state != Open {
+	switch b.state {
+	case Open:
+		if now.Before(b.openUntil) {
+			return b.openUntil.Sub(now), false, false
+		}
+		b.state = HalfOpen
+		b.trialUntil = now.Add(b.cooldown)
+		return 0, true, true
+	case HalfOpen:
+		if now.Before(b.trialUntil) {
+			return b.trialUntil.Sub(now), false, false
+		}
+		// The admitted trial went silent: let another through.
+		b.trialUntil = now.Add(b.cooldown)
+		return 0, false, true
+	default:
 		return 0, false, true
 	}
-	if now.Before(b.openUntil) {
-		return b.openUntil.Sub(now), false, false
-	}
-	b.state = HalfOpen
-	return 0, true, true
 }
 
 // Success records a successful request. It returns true when the call

@@ -33,8 +33,64 @@ func TestOpensAtThresholdAndCoolsDown(t *testing.T) {
 	if !ok || !halfOpened {
 		t.Fatalf("Allow after cooldown: ok=%v halfOpened=%v", ok, halfOpened)
 	}
-	if _, halfOpened, ok = b.Allow(now.Add(10 * time.Second)); !ok || halfOpened {
+	// A second caller while the trial is outstanding is refused — the
+	// whole point of half-open is a single probe, not a thundering herd.
+	wait, halfOpened, ok = b.Allow(now.Add(10 * time.Second))
+	if ok || halfOpened {
 		t.Fatalf("second Allow while half-open: ok=%v halfOpened=%v", ok, halfOpened)
+	}
+	if wait != 10*time.Second {
+		t.Fatalf("half-open refusal wait = %v, want one cooldown (10s)", wait)
+	}
+}
+
+// TestHalfOpenAdmitsExactlyOneTrial drives many would-be concurrent
+// callers (serialized under the owner's lock, as the contract requires)
+// through Allow at the same instant: exactly one is admitted, and a
+// failed trial re-opens the circuit against the rest.
+func TestHalfOpenAdmitsExactlyOneTrial(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := New(1, 10*time.Second)
+	b.Failure(now)
+
+	at := now.Add(10 * time.Second)
+	admitted := 0
+	for i := 0; i < 50; i++ {
+		if _, _, ok := b.Allow(at); ok {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d callers, want exactly 1", admitted)
+	}
+	// The trial fails: back to open, everyone refused for a cooldown.
+	if !b.Failure(at) {
+		t.Fatal("failed trial did not re-open")
+	}
+	if _, _, ok := b.Allow(at.Add(5 * time.Second)); ok {
+		t.Fatal("caller admitted during re-opened cooldown")
+	}
+}
+
+// TestHalfOpenTrialTimeout: a trial whose outcome is never reported
+// (e.g. the caller was cancelled before Success/Failure) must not wedge
+// the breaker — after one cooldown another trial is admitted.
+func TestHalfOpenTrialTimeout(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := New(1, 10*time.Second)
+	b.Failure(now)
+
+	if _, _, ok := b.Allow(now.Add(10 * time.Second)); !ok {
+		t.Fatal("trial not admitted after cooldown")
+	}
+	if _, _, ok := b.Allow(now.Add(15 * time.Second)); ok {
+		t.Fatal("second trial admitted before the first timed out")
+	}
+	if _, halfOpened, ok := b.Allow(now.Add(20 * time.Second)); !ok || halfOpened {
+		t.Fatalf("replacement trial after silent timeout: ok=%v halfOpened=%v (want ok, no new transition)", ok, halfOpened)
+	}
+	if closed := b.Success(); !closed {
+		t.Fatal("successful replacement trial did not close the circuit")
 	}
 }
 

@@ -1,0 +1,163 @@
+//go:build chaos
+
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// gossipExchange simulates one successful probe between two live
+// replicas, exactly as absorbContact does on the wire: each side notes
+// firsthand contact with the other (which outranks any rumor, including
+// a tombstone) and then merges the other's full membership piggyback.
+func gossipExchange(a, b *Memberlist, aName, bName string) {
+	b.NoteFirsthand(aName, a.SelfIncarnation())
+	b.Merge(a.Snapshot())
+	a.NoteFirsthand(bName, b.SelfIncarnation())
+	a.Merge(b.Snapshot())
+}
+
+// TestChaosMembershipConvergence is the protocol-level convergence
+// fuzz: N memberlists are driven through seeded random suspicion,
+// death sweeps, rumor injection, and partial gossip — producing wildly
+// divergent views with conflicting tombstones — and then live all-pairs
+// probe rounds (gossip plus the firsthand contact a real probe implies,
+// the same signal the prober's reconnection path supplies for dead
+// members) must drive every replica to the identical membership view
+// and ring epoch. Gossip alone cannot un-bury a tombstone by design,
+// so this pins that firsthand contact is a sufficient repair signal no
+// matter what divergence the fuzz manufactured.
+func TestChaosMembershipConvergence(t *testing.T) {
+	const n = 5
+	const fuzzSteps = 400
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://m%d", i)
+	}
+	lists := make([]*Memberlist, n)
+	for i := range lists {
+		clk := newFakeClock()
+		lists[i] = newMemberlist(names[i], names, clk.Now, nil)
+	}
+
+	r := rng.New(0x5EED_2026_08_08)
+	for step := 0; step < fuzzSteps; step++ {
+		i := r.Intn(n)
+		j := r.Intn(n - 1)
+		if j >= i {
+			j++ // distinct partner
+		}
+		switch {
+		case r.Bool(0.40):
+			// A probe round that happened to succeed between i and j.
+			gossipExchange(lists[i], lists[j], names[i], names[j])
+		case r.Bool(0.45):
+			// i's probe of j failed (timeout, partition): suspicion.
+			lists[i].MarkSuspect(names[j])
+		case r.Bool(0.55):
+			// i's suspect timers all fired: suspects become tombstones.
+			lists[i].SweepSuspects(0)
+		default:
+			// A stale rumor about j lands on i — old gossip redelivered.
+			state := []string{"alive", "suspect", "dead"}[r.Intn(3)]
+			lists[i].Merge([]MemberUpdate{{
+				Name:        names[j],
+				State:       state,
+				Incarnation: uint64(r.Intn(4)),
+			}})
+		}
+	}
+
+	// Convergence phase: every replica is live and reachable, so every
+	// ordered pair completes a probe per round (the prober guarantees
+	// this — ring members directly, tombstoned members via the rotating
+	// reconnection probe). Views must stop changing and agree.
+	converged := func() bool {
+		want := fmt.Sprint(lists[0].Snapshot())
+		for _, m := range lists[1:] {
+			if fmt.Sprint(m.Snapshot()) != want {
+				return false
+			}
+		}
+		return true
+	}
+	rounds := 0
+	for ; rounds < 10 && !converged(); rounds++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				gossipExchange(lists[i], lists[j], names[i], names[j])
+			}
+		}
+	}
+	if !converged() {
+		for i, m := range lists {
+			t.Logf("replica %d view: %v", i, m.Snapshot())
+		}
+		t.Fatalf("views still divergent after %d all-pairs probe rounds", rounds)
+	}
+
+	// Identical views imply identical rings imply identical epochs —
+	// and with everyone reachable, everyone is back on the ring.
+	epoch := EpochOf(lists[0].RingMembers())
+	for i, m := range lists {
+		if got := EpochOf(m.RingMembers()); got != epoch {
+			t.Fatalf("replica %d epoch %x != replica 0 epoch %x", i, got, epoch)
+		}
+		if ring := m.RingMembers(); len(ring) != n {
+			t.Fatalf("replica %d ring = %v, want all %d members revived", i, ring, n)
+		}
+	}
+}
+
+// TestChaosSplitBrainTombstoneRepair pins the exact heal sequence the
+// serve-level partition suite depends on: two sides that have swept
+// each other dead cannot be reunited by gossip (tombstones are sticky
+// against rumored liveness), and one firsthand contact per (observer,
+// tombstoned member) pair — the reconnection probe — repairs it.
+func TestChaosSplitBrainTombstoneRepair(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	mk := func(self string) *Memberlist {
+		return newMemberlist(self, names, newFakeClock().Now, nil)
+	}
+	a, b, c := mk(names[0]), mk(names[1]), mk(names[2])
+
+	// Partition {a} | {b, c}: each side sweeps the other dead.
+	a.MarkSuspect(names[1])
+	a.MarkSuspect(names[2])
+	a.SweepSuspects(0)
+	for _, m := range []*Memberlist{b, c} {
+		m.MarkSuspect(names[0])
+		m.SweepSuspects(0)
+	}
+	gossipExchange(b, c, names[1], names[2]) // the majority side stays in sync
+	if got := EpochOf(a.RingMembers()); got == EpochOf(b.RingMembers()) {
+		t.Fatalf("split sides share epoch %x", got)
+	}
+
+	// Pure gossip across the healed link changes nothing: both sides
+	// hold tombstones, and a tombstone outranks any gossiped liveness.
+	a.Merge(b.Snapshot())
+	mustState(t, a, names[1], StateDead)
+	if len(a.RingMembers()) != 1 {
+		t.Fatalf("gossip alone resurrected a tombstone: ring %v", a.RingMembers())
+	}
+
+	// Firsthand contact — a's reconnection probe reaching b, then c —
+	// revives each tombstone past its incarnation and the ack piggyback
+	// carries a's refutation of its own death back to the majority side.
+	gossipExchange(a, b, names[0], names[1])
+	gossipExchange(a, c, names[0], names[2])
+	gossipExchange(b, c, names[1], names[2])
+	for who, m := range map[string]*Memberlist{"a": a, "b": b, "c": c} {
+		if ring := m.RingMembers(); len(ring) != 3 {
+			t.Fatalf("%s ring = %v after firsthand repair, want all three", who, ring)
+		}
+	}
+	ea, eb, ec := EpochOf(a.RingMembers()), EpochOf(b.RingMembers()), EpochOf(c.RingMembers())
+	if ea != eb || eb != ec {
+		t.Fatalf("healed epochs diverge: a=%x b=%x c=%x", ea, eb, ec)
+	}
+}

@@ -17,10 +17,10 @@ func TestNewValidation(t *testing.T) {
 	cases := []Options{
 		{}, // no self
 		{Self: "http://a", Peers: []string{"http://b", "http://c"}}, // self not a member
-		{Self: "http://a", Peers: []string{"http://a"}},             // one replica is not a cluster
 		{Self: "http://a", Peers: []string{"http://a", "http://a"}}, // duplicate
 		{Self: "http://a", Peers: []string{"http://a", "ftp://b"}},  // not http
 		{Self: "http://a", Peers: []string{"http://a", ""}},         // empty
+		{Self: "http://a", Join: []string{"ftp://b"}},               // bad join seed
 	}
 	for i, o := range cases {
 		if _, err := New(o, reg); err == nil {
@@ -33,6 +33,22 @@ func TestNewValidation(t *testing.T) {
 	}
 	if c.Self() != "http://a" {
 		t.Fatalf("self not normalized: %q", c.Self())
+	}
+	// A single-element peer list is a valid bootstrap seed awaiting joins.
+	seed, err := New(Options{Self: "http://a", Peers: []string{"http://a"}}, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("single-member seed rejected: %v", err)
+	}
+	if got := seed.Members(); len(got) != 1 || got[0] != "http://a" {
+		t.Fatalf("seed members = %v, want [http://a]", got)
+	}
+	// Join mode: membership starts as a ring of one, seeds pending.
+	j, err := New(Options{Self: "http://c", Join: []string{"http://a", "http://c"}}, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("join mode rejected: %v", err)
+	}
+	if got := j.Members(); len(got) != 1 || got[0] != "http://c" {
+		t.Fatalf("joiner members = %v, want [http://c]", got)
 	}
 }
 
@@ -142,22 +158,26 @@ func TestAcquireLeaseOwnerDeadTakeover(t *testing.T) {
 	}
 }
 
-// TestProberFlipsHealth: the background prober marks a peer down when
-// its health endpoint fails and up when it recovers, feeding the
-// authority walk and the steal target filter.
+// TestProberFlipsHealth: the gossip prober marks a peer suspect when
+// its probe endpoint fails and alive again when it recovers, feeding
+// the authority walk and the steal target filter. With only two
+// members there are no relays, so a failed direct probe suspects
+// immediately.
 func TestProberFlipsHealth(t *testing.T) {
 	var healthy atomic.Bool
 	healthy.Store(true)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if healthy.Load() {
-			w.WriteHeader(http.StatusOK)
+	var peerURL string
+	mux.HandleFunc("POST /v1/peer/probe", func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
 			return
 		}
-		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(ProbeAck{From: peerURL, Incarnation: 1})
 	})
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
+	peerURL = srv.URL
 
 	self := "http://127.0.0.1:1"
 	c, err := New(Options{
@@ -189,15 +209,22 @@ func TestProberFlipsHealth(t *testing.T) {
 		t.Fatalf("quorum = %d/%d, want 2/2", h, total)
 	}
 	healthy.Store(false)
-	waitFor(false, "unhealthy")
-	if h, _ := c.Quorum(); h != 1 {
-		t.Fatalf("quorum after peer down = %d, want 1", h)
+	waitFor(false, "suspect")
+	if st, _ := c.members.StateOf(normalizePeer(srv.URL)); st != StateSuspect {
+		t.Fatalf("peer state = %v, want suspect", st)
 	}
-	// An unhealthy peer must not be the lease authority for its keys.
+	if h, total := c.Quorum(); h != 1 || total != 2 {
+		t.Fatalf("quorum after peer suspect = %d/%d, want 1/2", h, total)
+	}
+	// A suspect keeps its ring position (no key remapping on a blip)
+	// but must not be the authority for its keys.
 	key := keyOwnedBy(t, c, normalizePeer(srv.URL))
 	if auth := c.Authority(key); auth != c.Self() {
-		t.Fatalf("authority for dead owner's key = %q, want self", auth)
+		t.Fatalf("authority for suspect owner's key = %q, want self", auth)
 	}
 	healthy.Store(true)
 	waitFor(true, "healthy again")
+	if st, _ := c.members.StateOf(normalizePeer(srv.URL)); st != StateAlive {
+		t.Fatalf("peer state after recovery = %v, want alive", st)
+	}
 }

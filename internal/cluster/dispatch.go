@@ -63,26 +63,34 @@ func (c *Cluster) localStage(cfg core.Config, year, rep int) (trace.JobTable, er
 // from the wire config: worker counts, batch sizes, and spill paths
 // are local concerns (artifact bytes are invariant to them, pinned by
 // the shard/batch equivalence tests), and a requester's spill
-// directory is meaningless on another machine.
+// directory is meaningless on another machine. The thief's ring epoch
+// rides along so a steal that straddles a membership change is visible
+// on the serving side's mismatch counter.
 func (c *Cluster) remoteStage(ctx context.Context, peer string, cfg core.Config, year, rep int) (trace.JobTable, error) {
 	wire := cfg
 	wire.Workers = 0
 	wire.Table = core.TableConfig{}
 	sctx, cancel := context.WithTimeout(ctx, c.opts.FillTimeout)
 	defer cancel()
-	return c.client.postStage(sctx, peer, wire, year, rep)
+	return c.client.postStage(sctx, peer, StageRequest{Config: wire, Year: year, Rep: rep, Epoch: c.EpochHex()})
 }
 
 // stealTarget picks where the next stage should run: the candidate
-// with the fewest outstanding stages among self and every healthy,
-// breaker-admitted peer. Nil means "run it locally" — either self is
+// with the fewest outstanding stages among self and every alive,
+// breaker-admitted member. Nil means "run it locally" — either self is
 // least loaded or no peer is usable. Ties prefer self (no network is
-// always cheaper than some network).
+// always cheaper than some network). The member walk is the live ring
+// view, so a replica that joined five seconds ago is already a steal
+// candidate and a suspect is already excluded.
 func (c *Cluster) stealTarget() *peerState {
 	var best *peerState
 	bestLoad := c.selfInflight.Load()
-	for _, p := range c.remotes {
-		if !p.healthyNow() || !p.allow(c.now()) {
+	for _, name := range c.Members() {
+		if name == c.self || !c.healthyPeer(name) {
+			continue
+		}
+		p := c.peerStateFor(name)
+		if !p.allow(c.now()) {
 			continue
 		}
 		if load := p.inflight.Load(); load < bestLoad {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/table"
 	"repro/internal/trace"
@@ -277,6 +278,43 @@ func TestRemoteStageErrorSurfaces(t *testing.T) {
 	}
 	if rse.Peer != normalizePeer(srv.URL) || rse.Stage != "trace-1999" || rse.Attempt != 1 {
 		t.Fatalf("attribution = %+v", rse)
+	}
+}
+
+// TestRemoteStageErrorThroughGraph: a dispatched stage failure keeps
+// its cluster attribution when the parallel graph wraps it — callers
+// unwrap *parallel.StageError (which stage, which attempt in the
+// graph) and then *cluster.RemoteStageError (which peer) from the same
+// chain. This is the attribution path serve's error mapper relies on.
+func TestRemoteStageErrorThroughGraph(t *testing.T) {
+	srv := stagePeer(t, nil)
+	defer srv.Close()
+	c := testCluster(t, srv.URL)
+	c.selfInflight.Add(1)
+	defer c.selfInflight.Add(-1)
+
+	g := parallel.NewGraph()
+	g.Add("trace-1999", func() error {
+		_, err := c.TraceStage(context.Background(), tinyCfg(), 1999, 0)
+		return err
+	})
+	err := g.Run(2)
+	if err == nil {
+		t.Fatal("graph run with a doomed stage succeeded")
+	}
+	var se *parallel.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a *parallel.StageError in the chain", err)
+	}
+	if se.Stage != "trace-1999" || se.Panicked {
+		t.Fatalf("graph attribution = %+v", se)
+	}
+	var rse *RemoteStageError
+	if !errors.As(err, &rse) {
+		t.Fatalf("err = %v, want a *RemoteStageError through the StageError", err)
+	}
+	if rse.Peer != normalizePeer(srv.URL) {
+		t.Fatalf("peer attribution lost through the graph frame: %+v", rse)
 	}
 }
 

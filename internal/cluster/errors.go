@@ -28,6 +28,22 @@ func (e *RemoteStageError) Error() string {
 
 func (e *RemoteStageError) Unwrap() error { return e.Err }
 
+// NotAuthorityError is a peer's 409 answer to an authority fill: "I
+// don't hold these bytes and, by my ring, I shouldn't compute them."
+// It carries the responder's view — who it believes the authority is
+// and its ring epoch — so a requester whose fill straddled a membership
+// change can retry against the new authority instead of treating the
+// refusal as a peer failure.
+type NotAuthorityError struct {
+	Peer      string // who refused
+	Authority string // who the responder believes owns the key ("" if unknown)
+	Epoch     string // responder's ring epoch, hex
+}
+
+func (e *NotAuthorityError) Error() string {
+	return fmt.Sprintf("cluster: peer %s is not the authority (it names %q, epoch %s)", e.Peer, e.Authority, e.Epoch)
+}
+
 // PeerError is a non-2xx response from a peer endpoint, preserving the
 // status code so callers can distinguish "peer is up but refused"
 // (auth, validation) from transport failures.
@@ -47,4 +63,9 @@ func (e *PeerError) Error() string {
 func isIntegrity(err error) bool {
 	var ie *table.IntegrityError
 	return errors.As(err, &ie)
+}
+
+// asNotAuthority extracts a *NotAuthorityError from err's chain.
+func asNotAuthority(err error, out **NotAuthorityError) bool {
+	return errors.As(err, out)
 }

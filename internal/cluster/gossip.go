@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+)
+
+// The gossip wire protocol: three verbs layered on the existing
+// authenticated peer endpoints, each carrying the sender's full
+// membership snapshot as piggyback. At the ring sizes this system
+// targets (a handful of replicas serving one paper's artifacts) full
+// state on every message is cheaper than the classic SWIM update queue
+// and converges in one round trip, so there is nothing to tune.
+//
+//	POST /v1/peer/probe           direct liveness probe + gossip exchange
+//	POST /v1/peer/probe-indirect  "probe the target for me" relay
+//	POST /v1/peer/join            seed-node bootstrap: announce + pull
+
+// ProbeRequest is a direct probe: "I am alive at this incarnation, and
+// here is everything I believe." The receiver merges, notes firsthand
+// contact from the sender, and acks with its own view.
+type ProbeRequest struct {
+	From        string         `json:"from"`
+	Incarnation uint64         `json:"incarnation"`
+	Members     []MemberUpdate `json:"members,omitempty"`
+}
+
+// ProbeAck is the probe response: the receiver's identity, epoch, and
+// full membership view.
+type ProbeAck struct {
+	From        string         `json:"from"`
+	Incarnation uint64         `json:"incarnation"`
+	Epoch       string         `json:"epoch"` // ring epoch, hex
+	Members     []MemberUpdate `json:"members,omitempty"`
+}
+
+// IndirectProbeRequest asks a relay to probe Target on the sender's
+// behalf — the SWIM trick that distinguishes "the target is down" from
+// "my link to the target is down".
+type IndirectProbeRequest struct {
+	From        string         `json:"from"`
+	Incarnation uint64         `json:"incarnation"`
+	Target      string         `json:"target"`
+	Members     []MemberUpdate `json:"members,omitempty"`
+}
+
+// IndirectProbeAck reports the relay's attempt: TargetOK is whether the
+// relay reached the target directly just now.
+type IndirectProbeAck struct {
+	From     string         `json:"from"`
+	TargetOK bool           `json:"target_ok"`
+	Epoch    string         `json:"epoch"`
+	Members  []MemberUpdate `json:"members,omitempty"`
+}
+
+// JoinRequest announces a new replica to a seed node.
+type JoinRequest struct {
+	From        string `json:"from"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// JoinResponse hands the joiner the seed's full membership view; the
+// joiner merges it and starts probing, which disseminates its arrival
+// to everyone else.
+type JoinResponse struct {
+	From    string         `json:"from"`
+	Epoch   string         `json:"epoch"`
+	Members []MemberUpdate `json:"members,omitempty"`
+}
+
+// probeBody builds this replica's outbound probe.
+func (c *Cluster) probeBody() ProbeRequest {
+	return ProbeRequest{
+		From:        c.self,
+		Incarnation: c.members.SelfIncarnation(),
+		Members:     c.members.Snapshot(),
+	}
+}
+
+// ackBody builds this replica's probe/gossip response.
+func (c *Cluster) ackBody() ProbeAck {
+	return ProbeAck{
+		From:        c.self,
+		Incarnation: c.members.SelfIncarnation(),
+		Epoch:       c.EpochHex(),
+		Members:     c.members.Snapshot(),
+	}
+}
+
+// HandleProbe is the serve-side logic for POST /v1/peer/probe: record
+// firsthand contact from the sender, merge its gossip, answer with our
+// own. Pure state exchange — it can never fail.
+func (c *Cluster) HandleProbe(req ProbeRequest) ProbeAck {
+	c.gossipRecv.With("probe").Inc()
+	first := c.members.NoteFirsthand(req.From, req.Incarnation)
+	merged := c.members.Merge(req.Members)
+	if first || merged {
+		c.membershipChanged()
+	}
+	return c.ackBody()
+}
+
+// HandleIndirectProbe is the serve-side logic for POST
+// /v1/peer/probe-indirect: merge the requester's gossip, then probe the
+// target directly on its behalf within one probe timeout.
+func (c *Cluster) HandleIndirectProbe(ctx context.Context, req IndirectProbeRequest) IndirectProbeAck {
+	c.gossipRecv.With("probe_indirect").Inc()
+	first := c.members.NoteFirsthand(req.From, req.Incarnation)
+	merged := c.members.Merge(req.Members)
+	ok := false
+	if req.Target != "" && req.Target != c.self {
+		pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
+		ack, err := c.client.probe(pctx, req.Target, c.probeBody())
+		cancel()
+		c.gossipSent.With("probe").Inc()
+		if err == nil {
+			ok = true
+			if c.members.NoteFirsthand(req.Target, ack.Incarnation) {
+				merged = true
+			}
+			if c.members.Merge(ack.Members) {
+				merged = true
+			}
+		}
+	}
+	if first || merged {
+		c.membershipChanged()
+	}
+	return IndirectProbeAck{
+		From:     c.self,
+		TargetOK: ok,
+		Epoch:    c.EpochHex(),
+		Members:  c.members.Snapshot(),
+	}
+}
+
+// HandleJoin is the serve-side logic for POST /v1/peer/join: admit the
+// joiner as a firsthand-alive member and hand it the full view. The
+// joiner's first probe round spreads its arrival to the rest of the
+// ring; nothing else is needed.
+func (c *Cluster) HandleJoin(req JoinRequest) JoinResponse {
+	c.gossipRecv.With("join").Inc()
+	if c.members.NoteFirsthand(req.From, req.Incarnation) {
+		c.membershipChanged()
+	}
+	return JoinResponse{
+		From:    c.self,
+		Epoch:   c.EpochHex(),
+		Members: c.members.Snapshot(),
+	}
+}

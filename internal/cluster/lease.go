@@ -23,6 +23,12 @@ import (
 // enough that takeover is prompt.
 const defaultLeaseTTL = 15 * time.Second
 
+// leaseSweepEvery is the amortized expiry sweep period: every Nth
+// Acquire walks the table and drops expired entries, so an authority
+// that never reports stats (Len is only called on the status path)
+// still cannot accumulate abandoned keys without bound.
+const leaseSweepEvery = 64
+
 // LeaseTable grants per-key compute leases with TTL expiry. The clock
 // is injected: pipeline-adjacent packages never read ambient time, and
 // the expiry tests need to move the clock by hand.
@@ -31,6 +37,7 @@ type LeaseTable struct {
 	now func() time.Time
 
 	mu     sync.Mutex
+	ops    uint64 // Acquire calls since construction (sweep cadence)
 	leases map[string]leaseEntry
 }
 
@@ -56,6 +63,10 @@ func (l *LeaseTable) Acquire(key, holder string) (granted bool, current string, 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.now()
+	l.ops++
+	if l.ops%leaseSweepEvery == 0 {
+		l.sweepLocked(now)
+	}
 	e, ok := l.leases[key]
 	if ok && now.Before(e.expires) && e.holder != holder {
 		return false, e.holder, e.expires.Sub(now)
@@ -76,15 +87,19 @@ func (l *LeaseTable) Release(key, holder string) {
 }
 
 // Len reports the number of live (unexpired) leases; expired entries
-// are swept here so the table cannot grow without bound under churn.
+// are swept here too, so the stats path always reports live state.
 func (l *LeaseTable) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	now := l.now()
+	l.sweepLocked(l.now())
+	return len(l.leases)
+}
+
+// sweepLocked drops every expired entry. Caller holds l.mu.
+func (l *LeaseTable) sweepLocked(now time.Time) {
 	for k, e := range l.leases {
 		if !now.Before(e.expires) {
 			delete(l.leases, k)
 		}
 	}
-	return len(l.leases)
 }

@@ -116,6 +116,29 @@ func TestLeaseRelease(t *testing.T) {
 	}
 }
 
+// TestLeaseAcquireSweep: the amortized sweep on every Nth Acquire drops
+// expired keys even when nothing ever calls Len — an authority serving
+// a churning key population cannot grow the table without bound.
+func TestLeaseAcquireSweep(t *testing.T) {
+	clk := newFakeClock()
+	lt := NewLeaseTable(time.Second, clk.Now)
+	for i := 0; i < 50; i++ {
+		lt.Acquire(fmt.Sprintf("old-%d", i), "a")
+	}
+	clk.Advance(2 * time.Second) // every old-* lease is now expired
+	// Reach the sweep cadence with fresh keys; the Nth Acquire sweeps
+	// before inserting, so exactly the live keys remain.
+	for i := 0; i < leaseSweepEvery-50; i++ {
+		lt.Acquire(fmt.Sprintf("new-%d", i), "a")
+	}
+	lt.mu.Lock()
+	n := len(lt.leases)
+	lt.mu.Unlock()
+	if want := leaseSweepEvery - 50; n != want {
+		t.Fatalf("table holds %d entries after amortized sweep, want %d", n, want)
+	}
+}
+
 // TestLeaseSweep: Len sweeps expired entries so churn cannot grow the
 // table without bound.
 func TestLeaseSweep(t *testing.T) {

@@ -45,6 +45,19 @@ type Spec struct {
 	LatencyProb float64
 	// Latency is the injected delay for latency faults.
 	Latency time.Duration
+
+	// Transport faults (netchaos.go), evaluated per peer request from a
+	// single uniform draw in order drop → duplicate → delay:
+	// NetDropProb+NetDupProb+NetDelayProb should not exceed 1.
+	NetDropProb  float64
+	NetDupProb   float64
+	NetDelayProb float64
+	// NetDelay is the injected delay for delayed requests.
+	NetDelay time.Duration
+	// NetPartitionProb is the probability a directed (src,dst) link is
+	// severed for the life of the process — drawn once per link, not per
+	// request, so a partitioned pair stays partitioned.
+	NetPartitionProb float64
 }
 
 // Validate checks the spec's probabilities.
@@ -52,7 +65,11 @@ func (s Spec) Validate() error {
 	for _, p := range []struct {
 		name string
 		v    float64
-	}{{"panic", s.PanicProb}, {"error", s.ErrorProb}, {"latency", s.LatencyProb}} {
+	}{
+		{"panic", s.PanicProb}, {"error", s.ErrorProb}, {"latency", s.LatencyProb},
+		{"netdrop", s.NetDropProb}, {"netdup", s.NetDupProb}, {"netdelay", s.NetDelayProb},
+		{"netpart", s.NetPartitionProb},
+	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("fault: %s probability %g out of [0,1]", p.name, p.v)
 		}
@@ -60,15 +77,26 @@ func (s Spec) Validate() error {
 	if sum := s.PanicProb + s.ErrorProb + s.LatencyProb; sum > 1 {
 		return fmt.Errorf("fault: probabilities sum to %g > 1", sum)
 	}
+	if sum := s.NetDropProb + s.NetDupProb + s.NetDelayProb; sum > 1 {
+		return fmt.Errorf("fault: net probabilities sum to %g > 1", sum)
+	}
 	if s.Latency < 0 {
 		return fmt.Errorf("fault: negative latency %v", s.Latency)
+	}
+	if s.NetDelay < 0 {
+		return fmt.Errorf("fault: negative net delay %v", s.NetDelay)
 	}
 	return nil
 }
 
-// Enabled reports whether the spec injects anything at all.
+// Enabled reports whether the spec injects stage faults.
 func (s Spec) Enabled() bool {
 	return s.PanicProb > 0 || s.ErrorProb > 0 || s.LatencyProb > 0
+}
+
+// NetEnabled reports whether the spec injects transport faults.
+func (s Spec) NetEnabled() bool {
+	return s.NetDropProb > 0 || s.NetDupProb > 0 || s.NetDelayProb > 0 || s.NetPartitionProb > 0
 }
 
 // Decision is what an Injector decided for one stage attempt.
@@ -180,6 +208,11 @@ func (in *Injector) Attempts() int64 { return in.decided.Load() }
 //
 //	seed=7,panic=0.1,error=0.2,latency=0.1,delay=20ms,stages=trace-2011|rake-2024
 //
+// Transport faults use the net* keys (applied to peer traffic when the
+// replica is clustered):
+//
+//	seed=7,netdrop=0.1,netdup=0.05,netdelay=0.2,netlag=20ms,netpart=0.02
+//
 // Unknown keys are rejected. An empty string parses to a disabled spec.
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
@@ -204,6 +237,16 @@ func ParseSpec(s string) (Spec, error) {
 			spec.LatencyProb, err = strconv.ParseFloat(v, 64)
 		case "delay":
 			spec.Latency, err = time.ParseDuration(v)
+		case "netdrop":
+			spec.NetDropProb, err = strconv.ParseFloat(v, 64)
+		case "netdup":
+			spec.NetDupProb, err = strconv.ParseFloat(v, 64)
+		case "netdelay":
+			spec.NetDelayProb, err = strconv.ParseFloat(v, 64)
+		case "netlag":
+			spec.NetDelay, err = time.ParseDuration(v)
+		case "netpart":
+			spec.NetPartitionProb, err = strconv.ParseFloat(v, 64)
 		case "stages":
 			spec.Stages = strings.Split(v, "|")
 			sort.Strings(spec.Stages)

@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Transport chaos: the stage-fault idea applied to the cluster's peer
+// traffic. A NetInjector wraps the peer http.RoundTripper and decides —
+// as a pure function of seed×(src,dst)×attempt — whether a request is
+// dropped, delayed, duplicated, or blocked by a partition. Determinism
+// is the whole point: the partition suite replays the same weather
+// every run, so "faults cost latency, never bytes" is a reproducible
+// assertion, not a flake lottery. Partitions come in two forms: seeded
+// (NetPartitionProb severs a directed link for the process lifetime,
+// drawn once per link) and scripted (SetPartition/Heal, which the chaos
+// tests use to stage split-brain and recovery on cue).
+
+// ErrNetInjected is the cause of every injected transport fault, so
+// tests and fallback paths can tell synthetic network weather from real
+// failures with errors.Is.
+var ErrNetInjected = errors.New("fault: injected network fault")
+
+// NetDecision is what the injector decided for one request.
+type NetDecision int
+
+const (
+	NetNone NetDecision = iota
+	NetDrop
+	NetDup
+	NetDelay
+)
+
+func (d NetDecision) String() string {
+	switch d {
+	case NetDrop:
+		return "drop"
+	case NetDup:
+		return "dup"
+	case NetDelay:
+		return "delay"
+	default:
+		return "none"
+	}
+}
+
+// NetInjector injects transport faults into requests leaving one
+// replica. src is the replica's own normalized base URL: it salts the
+// decision stream so each replica in a ring sees different — but
+// individually reproducible — weather from the same spec.
+type NetInjector struct {
+	spec Spec
+	src  string
+	root *rng.RNG
+
+	mu       sync.Mutex
+	attempts map[string]uint64 // per-destination request counter
+	groups   map[string]int    // scripted partition: base URL -> group
+
+	drops   atomic.Int64
+	dups    atomic.Int64
+	delays  atomic.Int64
+	blocked atomic.Int64
+}
+
+// NewNet builds a transport injector for spec. The spec must validate;
+// src must be non-empty (it anchors the decision stream).
+func NewNet(spec Spec, src string) (*NetInjector, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if src == "" {
+		return nil, fmt.Errorf("fault: net injector needs a src identity")
+	}
+	return &NetInjector{
+		spec:     spec,
+		src:      src,
+		root:     rng.New(spec.Seed),
+		attempts: map[string]uint64{},
+	}, nil
+}
+
+// SetPartition scripts a partition: members of different groups cannot
+// reach each other; members of the same group (and hosts in no group)
+// are unaffected. Replaces any previous script.
+func (n *NetInjector) SetPartition(groups ...[]string) {
+	m := map[string]int{}
+	for i, g := range groups {
+		for _, host := range g {
+			m[host] = i
+		}
+	}
+	n.mu.Lock()
+	n.groups = m
+	n.mu.Unlock()
+}
+
+// Heal lifts a scripted partition. Seeded link cuts (NetPartitionProb)
+// are permanent by design and unaffected.
+func (n *NetInjector) Heal() {
+	n.mu.Lock()
+	n.groups = nil
+	n.mu.Unlock()
+}
+
+// Blocked reports whether the src→dst link is currently severed, by
+// script or by seeded partition. The seeded draw uses no attempt term:
+// a cut link is cut for every request, which is what a partition is.
+func (n *NetInjector) Blocked(dst string) bool {
+	n.mu.Lock()
+	groups := n.groups
+	n.mu.Unlock()
+	if groups != nil {
+		sg, sok := groups[n.src]
+		dg, dok := groups[dst]
+		if sok && dok && sg != dg {
+			return true
+		}
+	}
+	if n.spec.NetPartitionProb > 0 {
+		u := n.root.SplitNamed("partition/" + n.src + "|" + dst).Float64()
+		if u < n.spec.NetPartitionProb {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide returns the fault for the next request to dst, advancing the
+// per-link attempt counter. Pure per (seed, src, dst, attempt): replay
+// the same request sequence and the same faults fire at the same
+// attempts regardless of timing or interleaving with other links.
+func (n *NetInjector) Decide(dst string) NetDecision {
+	n.mu.Lock()
+	attempt := n.attempts[dst]
+	n.attempts[dst] = attempt + 1
+	n.mu.Unlock()
+	return n.decideAt(dst, attempt)
+}
+
+// decideAt is the pure decision function (exposed to tests via Decide's
+// counter; the chaos suite asserts two injectors with the same seed and
+// src produce identical streams).
+func (n *NetInjector) decideAt(dst string, attempt uint64) NetDecision {
+	u := n.root.SplitNamed(fmt.Sprintf("net/%s|%s/attempt-%d", n.src, dst, attempt)).Float64()
+	switch {
+	case u < n.spec.NetDropProb:
+		return NetDrop
+	case u < n.spec.NetDropProb+n.spec.NetDupProb:
+		return NetDup
+	case u < n.spec.NetDropProb+n.spec.NetDupProb+n.spec.NetDelayProb:
+		return NetDelay
+	default:
+		return NetNone
+	}
+}
+
+// NetCounts reports how many faults of each kind have fired.
+func (n *NetInjector) NetCounts() (drops, dups, delays, blocked int64) {
+	return n.drops.Load(), n.dups.Load(), n.delays.Load(), n.blocked.Load()
+}
+
+// RoundTripper wraps base with the injector. The destination identity
+// is the request's scheme://host — the same normalized form the cluster
+// uses for peer names — so link decisions line up with ring members.
+func (n *NetInjector) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &chaosTransport{in: n, base: base}
+}
+
+type chaosTransport struct {
+	in   *NetInjector
+	base http.RoundTripper
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	dst := req.URL.Scheme + "://" + req.URL.Host
+	if t.in.Blocked(dst) {
+		t.in.blocked.Add(1)
+		return nil, fmt.Errorf("%w: partition %s -> %s", ErrNetInjected, t.in.src, dst)
+	}
+	switch t.in.Decide(dst) {
+	case NetDrop:
+		t.in.drops.Add(1)
+		return nil, fmt.Errorf("%w: dropped %s -> %s", ErrNetInjected, t.in.src, dst)
+	case NetDup:
+		// Send a duplicate first and discard its response — the receiver
+		// sees the request twice, which is what the network can do to
+		// anyone. Requests whose body cannot be replayed (no GetBody)
+		// skip the duplicate; the primary send below is untouched.
+		if clone := cloneRequest(req); clone != nil {
+			t.in.dups.Add(1)
+			if resp, err := t.base.RoundTrip(clone); err == nil {
+				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				_ = resp.Body.Close()
+			}
+		}
+	case NetDelay:
+		t.in.delays.Add(1)
+		if d := t.in.spec.NetDelay; d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, req.Context().Err()
+			case <-timer.C:
+			}
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// cloneRequest copies req with a replayable body, or returns nil when
+// the body cannot be replayed.
+func cloneRequest(req *http.Request) *http.Request {
+	clone := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return clone
+	}
+	if req.GetBody == nil {
+		return nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	clone.Body = body
+	return clone
+}

@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNetDecideDeterminism: the decision stream is a pure function of
+// seed×(src,dst)×attempt — two injectors built alike replay identical
+// weather, and the stream is independent of interleaving across links.
+func TestNetDecideDeterminism(t *testing.T) {
+	spec := Spec{Seed: 7, NetDropProb: 0.2, NetDupProb: 0.2, NetDelayProb: 0.2}
+	a, err := NewNet(spec, "http://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNet(spec, "http://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := []string{"http://b", "http://c"}
+	// a draws 50 per link, link by link; b interleaves the links. The
+	// per-link streams must match regardless.
+	got := map[string][]NetDecision{}
+	for _, dst := range dsts {
+		for i := 0; i < 50; i++ {
+			got[dst] = append(got[dst], a.Decide(dst))
+		}
+	}
+	want := map[string][]NetDecision{}
+	for i := 0; i < 50; i++ {
+		for _, dst := range dsts {
+			want[dst] = append(want[dst], b.Decide(dst))
+		}
+	}
+	for _, dst := range dsts {
+		for i := range got[dst] {
+			if got[dst][i] != want[dst][i] {
+				t.Fatalf("link %s attempt %d: %v vs %v — stream is not pure per (seed, src, dst, attempt)",
+					dst, i, got[dst][i], want[dst][i])
+			}
+		}
+	}
+	// Different src: a genuinely different stream (each replica in a ring
+	// sees its own weather). Equality of all 100 draws would mean src is
+	// not salting the stream.
+	c, _ := NewNet(spec, "http://z")
+	same := true
+	for _, dst := range dsts {
+		for i := range got[dst] {
+			if c.Decide(dst) != got[dst][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("src does not salt the decision stream")
+	}
+}
+
+// TestScriptedPartition: SetPartition severs cross-group links only,
+// unknown hosts are unaffected, and Heal restores everything.
+func TestScriptedPartition(t *testing.T) {
+	n, err := NewNet(Spec{Seed: 1}, "http://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Blocked("http://b") {
+		t.Fatal("blocked before any partition")
+	}
+	n.SetPartition([]string{"http://a"}, []string{"http://b", "http://c"})
+	if !n.Blocked("http://b") || !n.Blocked("http://c") {
+		t.Fatal("cross-group link not severed")
+	}
+	if n.Blocked("http://unlisted") {
+		t.Fatal("host outside the script was severed")
+	}
+	n.SetPartition([]string{"http://a", "http://b"}, []string{"http://c"})
+	if n.Blocked("http://b") {
+		t.Fatal("same-group link severed")
+	}
+	if !n.Blocked("http://c") {
+		t.Fatal("re-scripted partition not applied")
+	}
+	n.Heal()
+	if n.Blocked("http://b") || n.Blocked("http://c") {
+		t.Fatal("Heal did not lift the partition")
+	}
+}
+
+// TestSeededPartitionLinkStable: a seeded cut has no attempt term — a
+// partitioned link is partitioned for every request.
+func TestSeededPartitionLinkStable(t *testing.T) {
+	n, err := NewNet(Spec{Seed: 3, NetPartitionProb: 0.5}, "http://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dst := range []string{"http://b", "http://c", "http://d", "http://e"} {
+		first := n.Blocked(dst)
+		for i := 0; i < 20; i++ {
+			if n.Blocked(dst) != first {
+				t.Fatalf("link %s flapped — seeded partitions must be stable", dst)
+			}
+		}
+	}
+	all, _ := NewNet(Spec{Seed: 3, NetPartitionProb: 1}, "http://a")
+	if !all.Blocked("http://anything") {
+		t.Fatal("probability 1 did not sever the link")
+	}
+}
+
+// TestRoundTripperFaults drives a real client through the chaos
+// transport: duplicates reach the server twice, drops never arrive and
+// surface ErrNetInjected, delays arrive late, and a scripted partition
+// blocks with its own counter.
+func TestRoundTripperFaults(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	client := func(spec Spec) (*NetInjector, *http.Client) {
+		t.Helper()
+		n, err := NewNet(spec, "http://self")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, &http.Client{Transport: n.RoundTripper(nil)}
+	}
+
+	// Duplicate: the server sees the request twice; the caller sees one
+	// normal response.
+	n, hc := client(Spec{Seed: 1, NetDupProb: 1})
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests for one duplicated send, want 2", got)
+	}
+	if _, dups, _, _ := n.NetCounts(); dups != 1 {
+		t.Fatalf("dup counter = %d, want 1", dups)
+	}
+
+	// Drop: the request never arrives and the error is identifiable.
+	hits.Store(0)
+	n, hc = client(Spec{Seed: 1, NetDropProb: 1})
+	if _, err := hc.Get(srv.URL); !errors.Is(err, ErrNetInjected) {
+		t.Fatalf("dropped request error = %v, want ErrNetInjected", err)
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests despite drop", got)
+	}
+	if drops, _, _, _ := n.NetCounts(); drops != 1 {
+		t.Fatalf("drop counter = %d, want 1", drops)
+	}
+
+	// Delay: the request arrives, late, and is counted.
+	n, hc = client(Spec{Seed: 1, NetDelayProb: 1, NetDelay: 10 * time.Millisecond})
+	start := time.Now()
+	resp, err = hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e := time.Since(start); e < 10*time.Millisecond {
+		t.Fatalf("delayed request returned in %v, want >= 10ms", e)
+	}
+	if _, _, delays, _ := n.NetCounts(); delays != 1 {
+		t.Fatalf("delay counter = %d, want 1", delays)
+	}
+
+	// Scripted partition: blocked with its own counter, server untouched.
+	hits.Store(0)
+	n, hc = client(Spec{Seed: 1})
+	n.SetPartition([]string{"http://self"}, []string{srv.URL})
+	if _, err := hc.Get(srv.URL); !errors.Is(err, ErrNetInjected) {
+		t.Fatalf("partitioned request error = %v, want ErrNetInjected", err)
+	}
+	if got := hits.Load(); got != 0 {
+		t.Fatalf("server saw %d requests across a partition", got)
+	}
+	if _, _, _, blocked := n.NetCounts(); blocked != 1 {
+		t.Fatalf("blocked counter = %d, want 1", blocked)
+	}
+}
+
+// TestParseSpecNetKeys: the -chaos grammar covers transport faults.
+func TestParseSpecNetKeys(t *testing.T) {
+	spec, err := ParseSpec("seed=7,netdrop=0.1,netdup=0.05,netdelay=0.2,netlag=20ms,netpart=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 || spec.NetDropProb != 0.1 || spec.NetDupProb != 0.05 ||
+		spec.NetDelayProb != 0.2 || spec.NetDelay != 20*time.Millisecond || spec.NetPartitionProb != 0.02 {
+		t.Fatalf("parsed spec = %+v", spec)
+	}
+	if !spec.NetEnabled() || spec.Enabled() {
+		t.Fatalf("net-only spec: NetEnabled=%v Enabled=%v, want true/false", spec.NetEnabled(), spec.Enabled())
+	}
+	if _, err := ParseSpec("netdrop=0.6,netdup=0.6"); err == nil {
+		t.Fatal("net probabilities summing past 1 accepted")
+	}
+	if _, err := ParseSpec("netlag=-5ms"); err == nil {
+		t.Fatal("negative net delay accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -73,13 +74,52 @@ func (s *Server) handlePeerArtifact(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("config fingerprints to %s, path says %s", got, fp)})
 		return
 	}
+	s.cluster.CheckFillEpoch(r.Header.Get(cluster.EpochHeader))
 	key := cacheKey{fingerprint: fp, artifact: id, format: format}
 	if e, hit := s.cacheGet(key); hit {
 		s.writeCached(w, r, e)
 		return
 	}
+	// A cache miss means serving this fill would compute the run. Bytes
+	// this replica already holds (a retained or in-flight run) are served
+	// to anyone — content addressing makes them interchangeable — but a
+	// *fresh* compute is the authority's job.
+	//
+	// A hint probe (see cluster.HintHeader) never computes: the
+	// requester is an authority that cold-started after a handover and
+	// is only asking who already has the run. Answering 404 here is the
+	// signal to try the next peer — computing would defeat the probe's
+	// purpose and re-hinting would recurse.
+	hinted := r.Header.Get(cluster.HintHeader) != ""
+	if hinted && !s.runner.knows(fp) {
+		s.writeError(w, http.StatusNotFound, "no retained run for this fingerprint")
+		return
+	}
+	// If this replica's ring says someone else is the authority, the
+	// requester resolved against a stale ring (a membership change
+	// straddled the fill): answer 409 naming who this replica believes
+	// the authority is, so the requester re-resolves instead of fanning
+	// duplicate computes across a handover.
+	if auth := s.cluster.Authority(fp); !hinted && auth != s.cluster.Self() && !s.runner.knows(fp) {
+		s.writeJSON(w, http.StatusConflict, peerRedirect{
+			Error:     "not the authority for this fingerprint",
+			Authority: auth,
+			Epoch:     s.cluster.EpochHex(),
+		})
+		return
+	}
 	ctx, cancel := s.runContext(r)
 	defer cancel()
+	// The symmetric cold-start: this replica agrees it is the authority
+	// but has never computed the run — a non-hinted fill arriving here
+	// would recompute bytes some peer may still hold. Probe the ring
+	// first; only when nobody has them is the compute genuinely fresh.
+	if !hinted && !s.runner.knows(fp) {
+		if e, ok := s.hintFill(ctx, key); ok {
+			s.writeCached(w, r, e)
+			return
+		}
+	}
 	arts, err := s.runner.artifacts(ctx, fp, cfg)
 	if err != nil {
 		s.writeRunError(w, err)
@@ -110,15 +150,16 @@ func (s *Server) handlePeerLease(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "lease request needs key and holder")
 		return
 	}
+	s.cluster.CheckLeaseEpoch(lr.Epoch)
 	lt := s.cluster.Leases()
 	if lr.Release {
 		lt.Release(lr.Key, lr.Holder)
-		s.writeJSON(w, http.StatusOK, cluster.LeaseResponse{Holder: lr.Holder})
+		s.writeJSON(w, http.StatusOK, cluster.LeaseResponse{Holder: lr.Holder, Epoch: s.cluster.EpochHex()})
 		return
 	}
 	granted, holder, ttl := lt.Acquire(lr.Key, lr.Holder)
 	s.writeJSON(w, http.StatusOK, cluster.LeaseResponse{
-		Granted: granted, Holder: holder, TTLMs: ttl.Milliseconds()})
+		Granted: granted, Holder: holder, TTLMs: ttl.Milliseconds(), Epoch: s.cluster.EpochHex()})
 }
 
 // handlePeerStage serves POST /v1/peer/stage: execute one stolen
@@ -141,6 +182,10 @@ func (s *Server) handlePeerStage(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad stage request: "+err.Error())
 		return
 	}
+	// Stage steals are epoch-advisory: a steal that straddled a
+	// membership change still produces the right bytes (the table hash
+	// proves it), so a mismatch is metered, never refused.
+	s.cluster.CheckStageEpoch(req.Epoch)
 	// The wire config arrives with execution knobs stripped (they are
 	// local concerns, invariant to the artifact bytes); apply this
 	// replica's own.
@@ -169,22 +214,78 @@ func (s *Server) handlePeerStage(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// peerRedirect is the 409 body a non-authority replica answers a fill
+// with: who it believes the authority is, under which ring epoch.
+type peerRedirect struct {
+	Error     string `json:"error"`
+	Authority string `json:"authority"`
+	Epoch     string `json:"epoch"`
+}
+
+// handlePeerProbe serves POST /v1/peer/probe: the direct SWIM probe.
+// The ack carries this replica's full membership view, which is how
+// gossip disseminates — every probe in either direction merges states.
+func (s *Server) handlePeerProbe(w http.ResponseWriter, r *http.Request) {
+	var req cluster.ProbeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<18)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad probe request: "+err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.cluster.HandleProbe(req))
+}
+
+// handlePeerProbeIndirect serves POST /v1/peer/probe-indirect: probe a
+// third member on the requester's behalf, so one severed link does not
+// read as a dead peer.
+func (s *Server) handlePeerProbeIndirect(w http.ResponseWriter, r *http.Request) {
+	var req cluster.IndirectProbeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<18)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad indirect probe request: "+err.Error())
+		return
+	}
+	if req.Target == "" {
+		s.writeError(w, http.StatusBadRequest, "indirect probe needs a target")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.cluster.HandleIndirectProbe(r.Context(), req))
+}
+
+// handlePeerJoin serves POST /v1/peer/join: a joining replica announces
+// itself to any seed and receives the full membership snapshot. From
+// there gossip keeps it current; the seed is only a bootstrap.
+func (s *Server) handlePeerJoin(w http.ResponseWriter, r *http.Request) {
+	var req cluster.JoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad join request: "+err.Error())
+		return
+	}
+	if req.From == "" {
+		s.writeError(w, http.StatusBadRequest, "join needs a from identity")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.cluster.HandleJoin(req))
+}
+
 // peerStatusBody is the GET /v1/peer/status response: this replica's
 // view of the ring, for operators and for peers' dashboards.
 type peerStatusBody struct {
-	Self          string               `json:"self"`
-	Members       []string             `json:"members"`
-	QuorumHealthy int                  `json:"quorumHealthy"`
-	QuorumTotal   int                  `json:"quorumTotal"`
-	Leases        int                  `json:"leases"`
-	Peers         []cluster.PeerHealth `json:"peers"`
+	Self          string                 `json:"self"`
+	Epoch         string                 `json:"epoch"`
+	Members       []string               `json:"members"`
+	MembersDetail []cluster.MemberUpdate `json:"membersDetail"`
+	QuorumHealthy int                    `json:"quorumHealthy"`
+	QuorumTotal   int                    `json:"quorumTotal"`
+	Leases        int                    `json:"leases"`
+	Peers         []cluster.PeerHealth   `json:"peers"`
 }
 
 func (s *Server) handlePeerStatus(w http.ResponseWriter, r *http.Request) {
 	healthy, total := s.cluster.Quorum()
 	s.writeJSON(w, http.StatusOK, peerStatusBody{
 		Self:          s.cluster.Self(),
+		Epoch:         s.cluster.EpochHex(),
 		Members:       s.cluster.Members(),
+		MembersDetail: s.cluster.MemberUpdates(),
 		QuorumHealthy: healthy,
 		QuorumTotal:   total,
 		Leases:        s.cluster.Leases().Len(),
@@ -201,6 +302,9 @@ func (s *Server) handlePeerStatus(w http.ResponseWriter, r *http.Request) {
 //     fill blocks until the bytes exist — concurrent fills from every
 //     replica collapse onto its one execution, and a replica asking
 //     after the fact gets the cached bytes without anyone recomputing.
+//     A 409 redirect means the rings disagree (a membership change
+//     straddled the fill): re-resolve against the responder's named
+//     authority and retry, bounded, instead of computing a duplicate.
 //  2. authority is self, or the fill failed: race for the compute
 //     lease. The winner computes; a loser fills from whoever holds it.
 //  3. every peer path failed: compute locally. The determinism contract
@@ -208,8 +312,25 @@ func (s *Server) handlePeerStatus(w http.ResponseWriter, r *http.Request) {
 //     so faults degrade latency and cache efficiency only.
 func (s *Server) clusterRender(ctx context.Context, key cacheKey) (cacheEntry, error) {
 	fp := key.fingerprint
-	if auth := s.cluster.Authority(fp); auth != s.cluster.Self() {
-		if e, err := s.peerFill(ctx, auth, key); err == nil {
+	// Up to two authority handovers are followed; past that the rings
+	// are churning faster than fills resolve, and the lease race below
+	// (then local compute) is the bounded-latency way out.
+	auth := s.cluster.Authority(fp)
+	for hop := 0; hop < 3 && auth != s.cluster.Self(); hop++ {
+		e, err := s.peerFill(ctx, auth, key)
+		if err == nil {
+			return e, nil
+		}
+		var na *cluster.NotAuthorityError
+		if !errors.As(err, &na) || na.Authority == "" || na.Authority == auth {
+			break
+		}
+		auth = na.Authority
+	}
+	if auth == s.cluster.Self() && !s.runner.knows(fp) {
+		// Authority cold-start: probe the ring for a peer that already
+		// holds the bytes before racing for the compute lease.
+		if e, ok := s.hintFill(ctx, key); ok {
 			return e, nil
 		}
 	}
@@ -233,13 +354,38 @@ func (s *Server) clusterRender(ctx context.Context, key cacheKey) (cacheEntry, e
 // against its ETag by the cluster client) and installs it in the local
 // cache — same bytes, same ETag, as if rendered here.
 func (s *Server) peerFill(ctx context.Context, peer string, key cacheKey) (cacheEntry, error) {
-	fill, err := s.cluster.FetchArtifact(ctx, peer, key.fingerprint, key.artifact, key.format, s.baseCfgParam)
+	fill, err := s.cluster.FetchArtifact(ctx, peer, key.fingerprint, key.artifact, key.format, s.baseCfgParam, false)
 	if err != nil {
 		return cacheEntry{}, err
 	}
 	e := cacheEntry{body: fill.Body, etag: fill.ETag, contentType: fill.ContentType}
 	s.cachePut(key, e)
 	return e, nil
+}
+
+// hintFill handles the authority's cold-start after a handover: this
+// replica owns key's fingerprint but has never computed its run — it
+// joined the ring, or a heal or death moved the keyspace. Before
+// paying for a compute, walk the ring sequence (the takeover order,
+// which leads with whoever held the authority before the handover)
+// asking each peer whether it already holds the bytes or the run. The
+// asks are hint-marked, so a peer answers only from what it has —
+// never computes, never re-hints — which keeps the walk loop-free and
+// means its total cost is bounded by ring size, not by pipeline runs.
+func (s *Server) hintFill(ctx context.Context, key cacheKey) (cacheEntry, bool) {
+	for _, peer := range s.cluster.Sequence(key.fingerprint) {
+		if peer == s.cluster.Self() {
+			continue
+		}
+		fill, err := s.cluster.FetchArtifact(ctx, peer, key.fingerprint, key.artifact, key.format, s.baseCfgParam, true)
+		if err != nil {
+			continue
+		}
+		e := cacheEntry{body: fill.Body, etag: fill.ETag, contentType: fill.ContentType}
+		s.cachePut(key, e)
+		return e, true
+	}
+	return cacheEntry{}, false
 }
 
 // localRender runs (or joins) the pipeline here and renders the

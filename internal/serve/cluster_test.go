@@ -25,6 +25,12 @@ type replica struct {
 // loopback listeners. Ports are reserved by net.Listen before any
 // Server is built, so every replica's Options can name the full ring.
 func startReplicas(t *testing.T, n int, secret string) []*replica {
+	return startReplicasWith(t, n, secret, nil)
+}
+
+// startReplicasWith is startReplicas with a per-replica Options hook
+// (chaos specs, suspect timeouts) applied before each Server is built.
+func startReplicasWith(t *testing.T, n int, secret string, mutate func(i int, o *Options)) []*replica {
 	t.Helper()
 	listeners := make([]net.Listener, n)
 	members := make([]string, n)
@@ -38,7 +44,7 @@ func startReplicas(t *testing.T, n int, secret string) []*replica {
 	}
 	reps := make([]*replica, n)
 	for i := range reps {
-		s := newTestServer(t, Options{
+		opts := Options{
 			Cluster: &cluster.Options{
 				Self:          members[i],
 				Peers:         members,
@@ -47,7 +53,11 @@ func startReplicas(t *testing.T, n int, secret string) []*replica {
 				ProbeTimeout:  500 * time.Millisecond,
 				LeaseTTL:      2 * time.Second,
 			},
-		})
+		}
+		if mutate != nil {
+			mutate(i, &opts)
+		}
+		s := newTestServer(t, opts)
 		reps[i] = &replica{srv: s, url: members[i], l: listeners[i]}
 		go func(r *replica) { _ = r.srv.Serve(r.l) }(reps[i])
 	}

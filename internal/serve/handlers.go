@@ -139,6 +139,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type readyzBody struct {
 	Ready         bool                 `json:"ready"`
 	Degraded      bool                 `json:"degraded"`
+	Epoch         string               `json:"epoch"`
 	QuorumHealthy int                  `json:"quorumHealthy"`
 	QuorumTotal   int                  `json:"quorumTotal"`
 	Peers         []cluster.PeerHealth `json:"peers"`
@@ -166,6 +167,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	body := readyzBody{
 		Ready:         true,
 		Degraded:      healthy < total,
+		Epoch:         s.cluster.EpochHex(),
 		QuorumHealthy: healthy,
 		QuorumTotal:   total,
 		Peers:         s.cluster.PeerHealth(),

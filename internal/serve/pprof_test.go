@@ -31,7 +31,7 @@ func TestPprofMuxServesProfiles(t *testing.T) {
 	mux := PprofMux()
 	for _, path := range []string{
 		"/debug/pprof/",
-		"/debug/pprof/heap",      // routed through Index's profile lookup
+		"/debug/pprof/heap", // routed through Index's profile lookup
 		"/debug/pprof/symbol",
 		"/debug/pprof/cmdline",
 	} {

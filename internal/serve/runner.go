@@ -226,6 +226,21 @@ func (f *flight) cfgOf(arts *core.Artifacts) core.Config {
 	return core.Config{}
 }
 
+// knows reports whether this replica already holds fp's run — retained
+// in the Artifacts cache or currently in flight — without starting
+// anything. The peer-fill handler uses it to decide whether serving a
+// fill would cost a fresh compute (authority's job) or just bytes it
+// already has (anyone's job).
+func (r *runner) knows(fingerprint string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.items[fingerprint]; ok {
+		return true
+	}
+	_, ok := r.flights[fingerprint]
+	return ok
+}
+
 // lookup returns a retained run by fingerprint without executing
 // anything — the `?run=` parameter path. It reports false when the run
 // was never executed here or has been evicted.

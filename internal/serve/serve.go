@@ -168,6 +168,10 @@ type Server struct {
 	cluster       *cluster.Cluster
 	peerStageGate chan struct{}
 	baseCfgParam  string
+	// netChaos is the transport fault injector when Chaos has net faults
+	// and cluster mode is on (nil otherwise). The chaos suite scripts
+	// partitions through it.
+	netChaos *fault.NetInjector
 
 	// stale holds the last good rendered body per (artifact, format),
 	// regardless of fingerprint, for stale-while-error degradation: when
@@ -246,7 +250,19 @@ func New(opts Options) (*Server, error) {
 		queueDepth.With("run"), func(reason string) { s.rejected.With("run", reason).Inc() })
 
 	if opts.Cluster != nil {
-		cl, err := cluster.New(*opts.Cluster, reg)
+		clOpts := *opts.Cluster
+		if opts.Chaos.NetEnabled() {
+			// Transport chaos rides the peer client via WrapTransport, so
+			// injected weather hits exactly the traffic the cluster sends —
+			// fills, leases, steals, gossip — and nothing else.
+			inj, err := fault.NewNet(opts.Chaos, cluster.NormalizePeer(clOpts.Self))
+			if err != nil {
+				return nil, err
+			}
+			s.netChaos = inj
+			clOpts.WrapTransport = inj.RoundTripper
+		}
+		cl, err := cluster.New(clOpts, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -366,6 +382,9 @@ func (s *Server) routes() {
 		handle("GET /v1/peer/artifact/{fp}/{artifact}", nil, s.peerAuth(s.handlePeerArtifact))
 		handle("POST /v1/peer/lease", nil, s.peerAuth(s.handlePeerLease))
 		handle("POST /v1/peer/stage", nil, s.peerAuth(s.handlePeerStage))
+		handle("POST /v1/peer/probe", nil, s.peerAuth(s.handlePeerProbe))
+		handle("POST /v1/peer/probe-indirect", nil, s.peerAuth(s.handlePeerProbeIndirect))
+		handle("POST /v1/peer/join", nil, s.peerAuth(s.handlePeerJoin))
 		handle("GET /v1/peer/status", nil, s.peerAuth(s.handlePeerStatus))
 	}
 }
