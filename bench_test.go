@@ -6,6 +6,7 @@ package rcpt
 // the ablations measure the underlying computation choices.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/stagecache"
 	"repro/internal/survey"
 	"repro/internal/trace"
 	"repro/internal/weighting"
@@ -224,6 +226,77 @@ func BenchmarkFullPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRunColdVsWarmStageCache measures incremental recomputation
+// through the Merkle stage cache on the same small study as
+// BenchmarkFullPipeline. "cold" fills a fresh cache every iteration
+// (the overhead side: every stage computes and stores); "warm" restores
+// every stage from a pre-filled cache; "policy-change" re-runs against
+// a filled cache with one late-DAG parameter changed, so only the
+// sim-policy stage recomputes. The warm/cold ns_per_op ratio in
+// BENCH_incr.json is the headline speedup; artifact identity across
+// the cache is pinned by core's equivalence tests and spot-checked
+// here via the accounting-table hash.
+func BenchmarkRunColdVsWarmStageCache(b *testing.B) {
+	base := core.Config{
+		Seed: 1, N2011: 60, N2024: 120,
+		TraceYears: []int{2011, 2024}, SimYear: 2024,
+		Policy: EASYBackfill, Rake: true,
+	}
+	newCache := func(b *testing.B) *stagecache.Cache {
+		c, err := stagecache.New(stagecache.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	run := func(b *testing.B, cfg core.Config, cache core.StageCache) *core.Artifacts {
+		a, err := core.RunWithOptions(context.Background(), cfg, core.RunOptions{StageCache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	jobsHash := func(b *testing.B, a *Artifacts) uint64 {
+		h, err := a.Jobs.Hash()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache := newCache(b)
+			b.StartTimer()
+			run(b, base, cache)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := newCache(b)
+		want := jobsHash(b, run(b, base, cache))
+		b.ResetTimer()
+		var got *Artifacts
+		for i := 0; i < b.N; i++ {
+			got = run(b, base, cache)
+		}
+		b.StopTimer()
+		if jobsHash(b, got) != want {
+			b.Fatal("warm run diverged from the cold run that filled its cache")
+		}
+	})
+	b.Run("policy-change", func(b *testing.B) {
+		cache := newCache(b)
+		run(b, base, cache)
+		changed := base
+		changed.Policy = FCFS
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, changed, cache)
+		}
+	})
 }
 
 // BenchmarkRunStaged and BenchmarkRunSequential compare the stage-graph

@@ -8,6 +8,7 @@
 //	rcpt-serve [-addr :8080] [-seed 42] [-n2011 200] [-n2024 600]
 //	           [-years 2011,2013,...] [-cache-mb 64] [-warm]
 //	           [-run-timeout 0] [-cache-dir DIR] [-stage-retries N]
+//	           [-stage-cache] [-stage-cache-dir DIR] [-stage-cache-mb 256]
 //	           [-breaker-threshold 3] [-breaker-cooldown 30s]
 //	           [-chaos "seed=1,panic=0.05,error=0.05"]
 //	           [-pprof localhost:6060]
@@ -53,6 +54,17 @@
 // on boot, so a restarted (or kill -9'd) daemon serves its pre-crash
 // tables with identical ETags. -chaos turns on deterministic fault
 // injection (dev/test only; see internal/fault).
+//
+// -stage-cache enables the Merkle stage cache: each pipeline stage's
+// output is stored under a content key derived from the stage's own
+// inputs and its upstream stages' keys, so a POST /v1/run that differs
+// from a previous run in one late parameter (say, the scheduling
+// policy) recomputes only the stages that parameter reaches and
+// restores the rest byte-identically — same artifacts, same ETags,
+// a fraction of the compute. -stage-cache-dir persists stage entries
+// crash-safely (and implies -stage-cache); -stage-cache-mb bounds the
+// in-memory tier. Corrupt entries are detected by checksum and
+// recomputed: stage-cache faults cost latency, never bytes.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: readiness flips to
 // 503, in-flight requests finish (bounded by -drain-timeout), and the
@@ -104,6 +116,9 @@ func run() error {
 	runTimeout := flag.Duration("run-timeout", 0, "wall-clock cap per pipeline run (0 = uncapped)")
 	cacheDir := flag.String("cache-dir", "", "directory for crash-safe cache persistence (empty = in-memory only)")
 	stageRetries := flag.Int("stage-retries", 0, "retries per failed retryable pipeline stage")
+	stageCache := flag.Bool("stage-cache", false, "reuse per-stage pipeline outputs across runs (content-addressed; in-memory unless -stage-cache-dir)")
+	stageCacheDir := flag.String("stage-cache-dir", "", "directory for crash-safe stage-cache persistence (implies -stage-cache)")
+	stageCacheMB := flag.Int64("stage-cache-mb", 0, "stage-cache in-memory bound in MiB (0 = default 256)")
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive failures that trip a config's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker fast-fails before a trial run")
 	chaos := flag.String("chaos", "", `deterministic fault injection, e.g. "seed=1,panic=0.05,error=0.05,latency=0.1,delay=5ms[,stages=a|b]" (dev/test only)`)
@@ -159,6 +174,9 @@ func run() error {
 		QueueTimeout:       *queueTimeout,
 		RunTimeout:         *runTimeout,
 		CacheDir:           *cacheDir,
+		StageCache:         *stageCache,
+		StageCacheDir:      *stageCacheDir,
+		StageCacheBytes:    *stageCacheMB << 20,
 		StageRetries:       *stageRetries,
 		BreakerThreshold:   *breakerThreshold,
 		BreakerCooldown:    *breakerCooldown,

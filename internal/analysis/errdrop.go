@@ -43,6 +43,10 @@ var errdropScopePackages = map[string]bool{
 	"serve":   true,
 	"cluster": true,
 	"main":    true,
+	// stagecache persists stage payloads crash-safely: a dropped write,
+	// sync, or close error there would let a torn entry masquerade as a
+	// durable one until checksum verification catches it much later.
+	"stagecache": true,
 }
 
 // ErrDrop flags statements (including defers) that silently discard the

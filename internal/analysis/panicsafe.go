@@ -17,6 +17,10 @@ var panicsafeScopePackages = map[string]bool{
 	"serve":    true,
 	"cluster":  true,
 	"main":     true,
+	// stagecache is shared infrastructure under the daemon: any future
+	// background goroutine (async spill, janitor) must not be able to
+	// kill the process.
+	"stagecache": true,
 }
 
 // PanicSafe flags `go` statements that launch a goroutine without a

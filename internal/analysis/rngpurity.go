@@ -32,6 +32,11 @@ var pipelinePackages = map[string]bool{
 	// from local ones. Leases and breakers take their clock via
 	// Options.Now instead.
 	"cluster": true,
+	// stagecache stores stage outputs that flow straight back into
+	// artifacts: its storage decisions (eviction, spill, verification)
+	// must never consult ambient time, env, or randomness, or a restored
+	// run stops being a pure function of its seed.
+	"stagecache": true,
 }
 
 // pipelinePaths extends the scope to packages matched by import path

@@ -56,7 +56,7 @@ func (c *Cluster) localStage(cfg core.Config, year, rep int) (trace.JobTable, er
 	c.selfInflight.Add(1)
 	defer c.selfInflight.Add(-1)
 	c.steals.With("local").Inc()
-	return core.TraceReplicaTable(cfg, year, rep)
+	return c.opts.LocalStage(cfg, year, rep)
 }
 
 // remoteStage ships one stage to peer. Execution knobs are stripped

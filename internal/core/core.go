@@ -286,6 +286,16 @@ type RunOptions struct {
 	// error: it surfaces as a *parallel.StageError for that stage.
 	TraceStage func(ctx context.Context, cfg Config, year, rep int) (trace.JobTable, error)
 
+	// StageCache, when set, lets stages reuse outputs across runs by
+	// Merkle-derived content key (see stagecache.go): a stage whose key
+	// hits decodes the stored payload instead of executing its body (for
+	// trace stages that skips the TraceStage hook too), a miss computes
+	// then stores. Like every other option it cannot influence artifact
+	// bytes — a hit restores exactly the values the body would have
+	// produced, and any cache fault (corruption, codec skew, store
+	// failure) degrades to recomputation.
+	StageCache StageCache
+
 	sequential bool
 }
 
@@ -303,7 +313,7 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Artifact
 		Model2024:  population.Model2024(),
 		JobsByYr:   map[int]trace.JobTable{},
 	}
-	g, err := buildGraph(ctx, cfg, a, opts.TraceStage)
+	g, err := buildGraph(ctx, cfg, a, opts.TraceStage, newStageCacher(opts.StageCache))
 	if err != nil {
 		return nil, err
 	}
@@ -353,7 +363,13 @@ func RunWithOptions(ctx context.Context, cfg Config, opts RunOptions) (*Artifact
 // ctx reaches only the traceStage hook (remote dispatch needs a
 // cancellation signal); every in-process stage ignores it — the graph
 // runner already stops launching stages once ctx is done.
-func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(context.Context, Config, int, int) (trace.JobTable, error)) (*parallel.Graph, error) {
+//
+// sc threads the Merkle stage cache through (nil disables it): each
+// cacheable stage derives its content key at registration — topological
+// order guarantees upstream keys exist — and has its body wrapped into
+// load-or-(compute-and-store). jobs-merge is deliberately uncached: it
+// is pure wiring over tables the trace stages already provide.
+func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(context.Context, Config, int, int) (trace.JobTable, error), sc *stageCacher) (*parallel.Graph, error) {
 	root := rng.New(cfg.Seed)
 	g := parallel.NewGraph()
 
@@ -391,12 +407,33 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 			return nil
 		}
 	}
-	g.AddRetryable("cohort-2011", cohortStage(g11, "2011", cfg.N2011, &a.Cohort2011, &a.Quality2011))
-	g.AddRetryable("cohort-2024", cohortStage(g24, "2024", cfg.N2024, &a.Cohort2024, &a.Quality2024))
+	// Cohort payloads snapshot the at-completion state: weights here are
+	// pre-raking (the rake stage mutates them in place later, but enc
+	// runs before any dependent can start), and the rake stage's own
+	// payload restores the post-raking weights.
+	cacheCohort := func(name string, dst *[]*survey.Response, report *survey.QualityReport, body func() error) func() error {
+		return sc.wrap(name, body,
+			func() ([]byte, error) { return encodeCohortPayload(*dst, *report) },
+			func(payload []byte) error {
+				rs, qr, err := decodeCohortPayload(payload)
+				if err != nil {
+					return err
+				}
+				*dst, *report = rs, qr
+				return nil
+			})
+	}
+	sc.derive("cohort-2011", verCohort, cohortInputs(cfg, cfg.N2011))
+	sc.derive("cohort-2024", verCohort, cohortInputs(cfg, cfg.N2024))
+	g.AddRetryable("cohort-2011", cacheCohort("cohort-2011", &a.Cohort2011, &a.Quality2011,
+		cohortStage(g11, "2011", cfg.N2011, &a.Cohort2011, &a.Quality2011)))
+	g.AddRetryable("cohort-2024", cacheCohort("cohort-2024", &a.Cohort2024, &a.Quality2024,
+		cohortStage(g24, "2024", cfg.N2024, &a.Cohort2024, &a.Quality2024)))
 
 	// 1b. Longitudinal panel (optional), independent of the cohorts.
 	if cfg.PanelN > 0 {
-		g.AddRetryable("panel", func() error {
+		sc.derive("panel", verPanel, panelInputs(cfg))
+		g.AddRetryable("panel", sc.wrap("panel", func() error {
 			panelRng := root.SplitNamed("panel")
 			pg, err := population.NewPanelGenerator(a.Model2011, a.Model2024, population.PanelOptions{})
 			if err != nil {
@@ -406,7 +443,16 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 				return fmt.Errorf("core: generating panel: %w", err)
 			}
 			return nil
-		})
+		},
+			func() ([]byte, error) { return encodePanelPayload(a.Panel) },
+			func(payload []byte) error {
+				members, err := decodePanelPayload(payload)
+				if err != nil {
+					return err
+				}
+				a.Panel = members
+				return nil
+			}))
 	}
 
 	// 2. Post-stratification, each cohort independently once it lands.
@@ -432,8 +478,34 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 				return nil
 			}
 		}
-		g.AddRetryable("rake-2011", rakeStage("2011", &a.Cohort2011, a.Model2011, &a.Rake2011), "cohort-2011")
-		g.AddRetryable("rake-2024", rakeStage("2024", &a.Cohort2024, a.Model2024, &a.Rake2024), "cohort-2024")
+		// The rake payload carries the diagnostics plus the post-raking
+		// weight per response, applied positionally on restore — sound
+		// because the upstream cohort key pins the responses and their
+		// order. A length mismatch means skew: recompute.
+		cacheRake := func(name string, cohort *[]*survey.Response, dst *weighting.Result, body func() error) func() error {
+			return sc.wrap(name, body,
+				func() ([]byte, error) { return encodeRakePayload(*dst, *cohort) },
+				func(payload []byte) error {
+					res, weights, err := decodeRakePayload(payload)
+					if err != nil {
+						return err
+					}
+					if len(weights) != len(*cohort) {
+						return fmt.Errorf("core: rake payload has %d weights for %d responses", len(weights), len(*cohort))
+					}
+					for i, wt := range weights {
+						(*cohort)[i].Weight = wt
+					}
+					*dst = res
+					return nil
+				})
+		}
+		sc.derive("rake-2011", verRake, "", "cohort-2011")
+		sc.derive("rake-2024", verRake, "", "cohort-2024")
+		g.AddRetryable("rake-2011", cacheRake("rake-2011", &a.Cohort2011, &a.Rake2011,
+			rakeStage("2011", &a.Cohort2011, a.Model2011, &a.Rake2011)), "cohort-2011")
+		g.AddRetryable("rake-2024", cacheRake("rake-2024", &a.Cohort2024, &a.Rake2024,
+			rakeStage("2024", &a.Cohort2024, a.Model2024, &a.Rake2024)), "cohort-2024")
 	}
 
 	// 2b. Columnar cohort storage, built from the final weighted
@@ -459,8 +531,24 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 	if cfg.Rake {
 		dep2011, dep2024 = "rake-2011", "rake-2024"
 	}
-	g.AddRetryable("cohort-table-2011", cohortTable("2011", &a.Cohort2011, &a.CohortTab2011), dep2011)
-	g.AddRetryable("cohort-table-2024", cohortTable("2024", &a.Cohort2024, &a.CohortTab2024), dep2024)
+	cacheCohortTable := func(name string, dst *survey.ResponseTable, body func() error) func() error {
+		return sc.wrap(name, body,
+			func() ([]byte, error) { return encodeTablePayload(payloadResponses, survey.ResponseCodec{}, *dst) },
+			func(payload []byte) error {
+				tab, err := decodeTablePayload(payloadResponses, survey.ResponseCodec{}, payload)
+				if err != nil {
+					return err
+				}
+				*dst = tab
+				return nil
+			})
+	}
+	sc.derive("cohort-table-2011", verCohortTable, "", dep2011)
+	sc.derive("cohort-table-2024", verCohortTable, "", dep2024)
+	g.AddRetryable("cohort-table-2011", cacheCohortTable("cohort-table-2011", &a.CohortTab2011,
+		cohortTable("2011", &a.Cohort2011, &a.CohortTab2011)), dep2011)
+	g.AddRetryable("cohort-table-2024", cacheCohortTable("cohort-table-2024", &a.CohortTab2024,
+		cohortTable("2024", &a.Cohort2024, &a.CohortTab2024)), dep2024)
 
 	// 3+4. Cluster accounting traces and module-load telemetry. Traces
 	// run one stage per (year, replica): TraceScale replicas of a year
@@ -489,7 +577,13 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 			// every call (SplitNamed is pure and never advances root), so
 			// the build and any later spill rebuild replay identical draws.
 			newStream := func() *rng.RNG { return root.SplitNamed(stage) }
-			g.AddRetryable(stage, func() error {
+			// A trace stage's cache key excludes TraceScale by design:
+			// scaling up adds stages without renaming existing ones, so
+			// every replica a smaller scale cached keeps hitting. A cache
+			// hit also skips the traceStage steal hook — the bytes already
+			// exist locally, so no peer should compute them.
+			sc.derive(stage, verTrace, traceInputs(cfg))
+			g.AddRetryable(stage, sc.wrap(stage, func() error {
 				var tab trace.JobTable
 				var err error
 				if traceStage != nil {
@@ -502,10 +596,20 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 				}
 				repTables[i][rep] = tab
 				return nil
-			})
+			},
+				func() ([]byte, error) { return EncodeTraceStagePayload(repTables[i][rep]) },
+				func(payload []byte) error {
+					tab, err := DecodeTraceStagePayload(payload)
+					if err != nil {
+						return err
+					}
+					repTables[i][rep] = tab
+					return nil
+				}))
 		}
 		modStages[i] = fmt.Sprintf("modlog-%d", year)
-		g.AddRetryable(modStages[i], func() error {
+		sc.derive(modStages[i], verModlog, modlogInputs(cfg))
+		g.AddRetryable(modStages[i], sc.wrap(modStages[i], func() error {
 			stream := fmt.Sprintf("modlog-%d", year)
 			events, err := modlog.CampusModulesModel(year).Generate(root.SplitNamed(stream))
 			if err != nil {
@@ -527,7 +631,16 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 			})
 			modTables[i] = tab
 			return nil
-		})
+		},
+			func() ([]byte, error) { return encodeTablePayload(payloadEvents, modlog.EventCodec{}, modTables[i]) },
+			func(payload []byte) error {
+				tab, err := decodeTablePayload(payloadEvents, modlog.EventCodec{}, payload)
+				if err != nil {
+					return err
+				}
+				modTables[i] = tab
+				return nil
+			}))
 	}
 	g.AddRetryable("jobs-merge", func() error {
 		all := make([]trace.JobTable, len(cfg.TraceYears))
@@ -538,7 +651,13 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 		a.Jobs = table.Concat[trace.Job](all...)
 		return nil
 	}, traceStages...)
-	g.AddRetryable("modlog-merge", func() error {
+	// modlog-merge's key covers only the telemetry inputs (the upstream
+	// modlog keys): the aggregate is SimYear-independent, so a SimYear
+	// change keeps hitting. ModEventsSim is re-pointed from the live
+	// per-year tables on both paths, which is why it is not in the
+	// payload.
+	sc.derive("modlog-merge", verModAgg, "", modStages...)
+	g.AddRetryable("modlog-merge", sc.wrap("modlog-merge", func() error {
 		agg, err := modlog.AggregateByYearTable(table.Concat[modlog.Event](modTables...), cfg.tableShards())
 		if err != nil {
 			return fmt.Errorf("core: aggregating module log: %w", err)
@@ -546,7 +665,17 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 		a.ModAgg = agg
 		a.ModEventsSim = modTables[simIndex(cfg)]
 		return nil
-	}, modStages...)
+	},
+		func() ([]byte, error) { return encodeModAggPayload(a.ModAgg) },
+		func(payload []byte) error {
+			agg, err := decodeModAggPayload(payload)
+			if err != nil {
+				return err
+			}
+			a.ModAgg = agg
+			a.ModEventsSim = modTables[simIndex(cfg)]
+			return nil
+		}), modStages...)
 
 	// 5. Scheduler simulations on the sim year: the requested policy
 	// plus the FCFS and conservative baselines, concurrently as soon as
@@ -565,9 +694,32 @@ func buildGraph(ctx context.Context, cfg Config, a *Artifacts, traceStage func(c
 			return nil
 		}
 	}
-	g.AddRetryable("sim-policy", simRun(&a.Sim, sched.Options{Policy: cfg.Policy, Fairshare: true}, "scheduler simulation"), simStages...)
-	g.AddRetryable("sim-fcfs", simRun(&a.SimFCFS, sched.Options{Policy: sched.FCFS}, "FCFS baseline"), simStages...)
-	g.AddRetryable("sim-conservative", simRun(&a.SimConservative, sched.Options{Policy: sched.ConservativeBackfill}, "conservative baseline"), simStages...)
+	// Sim keys: the policy run reads cfg.Policy (the canonical late-DAG
+	// knob — changing it invalidates exactly this one stage); the two
+	// baselines hardcode theirs, distinguished by version tag. All three
+	// inherit the sim-year trace keys upstream, so a seed or TraceScale
+	// change invalidates them and a cohort-side change does not.
+	cacheSim := func(name string, dst **sched.Result, body func() error) func() error {
+		return sc.wrap(name, body,
+			func() ([]byte, error) { return encodeSimPayload(*dst) },
+			func(payload []byte) error {
+				res, err := decodeSimPayload(payload)
+				if err != nil {
+					return err
+				}
+				*dst = res
+				return nil
+			})
+	}
+	sc.derive("sim-policy", verSimPolicy, simPolicyInputs(cfg), simStages...)
+	sc.derive("sim-fcfs", verSimFCFS, "", simStages...)
+	sc.derive("sim-conservative", verSimCons, "", simStages...)
+	g.AddRetryable("sim-policy", cacheSim("sim-policy", &a.Sim,
+		simRun(&a.Sim, sched.Options{Policy: cfg.Policy, Fairshare: true}, "scheduler simulation")), simStages...)
+	g.AddRetryable("sim-fcfs", cacheSim("sim-fcfs", &a.SimFCFS,
+		simRun(&a.SimFCFS, sched.Options{Policy: sched.FCFS}, "FCFS baseline")), simStages...)
+	g.AddRetryable("sim-conservative", cacheSim("sim-conservative", &a.SimConservative,
+		simRun(&a.SimConservative, sched.Options{Policy: sched.ConservativeBackfill}, "conservative baseline")), simStages...)
 	return g, nil
 }
 

@@ -11,7 +11,6 @@ import (
 	"strconv"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/table"
 	"repro/internal/trace"
 )
@@ -192,7 +191,11 @@ func (s *Server) handlePeerStage(w http.ResponseWriter, r *http.Request) {
 	cfg := req.Config
 	cfg.Workers = s.baseCfg.Workers
 	cfg.Table = s.baseCfg.Table
-	tab, err := core.TraceReplicaTable(cfg, req.Year, req.Rep)
+	// Cache-aware compute: a stage this replica (or a run it executed)
+	// already produced is served from the stage cache — the key covers
+	// only fingerprint-relevant fields, so the stripped execution knobs
+	// cannot fork it.
+	tab, err := s.localTraceStage(cfg, req.Year, req.Rep)
 	if err != nil {
 		s.writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: err.Error()})
 		return

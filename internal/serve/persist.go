@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/obs"
@@ -164,13 +165,17 @@ func (d *diskStore) loadAll(fn func(key cacheKey, e cacheEntry)) (restored, corr
 	if err != nil {
 		return 0, 0
 	}
-	// ReadDir sorts by filename, so warm-start order (and therefore any
-	// LRU ordering it induces) is deterministic.
+	// Sort explicitly rather than relying on ReadDir's ordering, so
+	// warm-start order (and therefore any LRU ordering it induces) is
+	// deterministic by construction, not by library contract.
+	names := make([]string, 0, len(entries))
 	for _, de := range entries {
-		name := de.Name()
-		if de.IsDir() {
-			continue
+		if !de.IsDir() {
+			names = append(names, de.Name())
 		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if strings.HasPrefix(name, ".spill-") {
 			os.Remove(filepath.Join(d.dir, name))
 			continue

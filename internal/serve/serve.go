@@ -28,6 +28,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/stagecache"
+	"repro/internal/trace"
 )
 
 // Options configures a Server. The zero value is usable: every field
@@ -66,6 +68,19 @@ type Options struct {
 	// artifacts are atomically spilled here and checksum-validated back
 	// into the cache on boot. Empty disables persistence.
 	CacheDir string
+	// StageCache enables the Merkle stage cache (internal/stagecache):
+	// pipeline stage outputs are stored content-addressed, so a run that
+	// differs from a previous one in a late-DAG parameter recomputes
+	// only the stages the change actually reaches and restores the rest
+	// byte-identically. StageCacheDir adds crash-safe disk persistence
+	// for stage entries (setting it implies StageCache); empty keeps the
+	// cache memory-only.
+	StageCache    bool
+	StageCacheDir string
+	// StageCacheEntries / StageCacheBytes bound the stage cache's
+	// in-memory tier (defaults: 256 entries, 256 MiB).
+	StageCacheEntries int
+	StageCacheBytes   int64
 	// BreakerThreshold is how many consecutive failed runs of one
 	// fingerprint trip its circuit breaker (default 3).
 	BreakerThreshold int
@@ -160,6 +175,10 @@ type Server struct {
 	cache  *artifactCache
 	runner *runner
 	disk   *diskStore // nil when CacheDir is unset
+	// stageCache is the Merkle stage store when Options.StageCache (or
+	// StageCacheDir) enabled it; nil otherwise — runs then execute every
+	// stage.
+	stageCache *stagecache.Cache
 
 	// cluster is non-nil when Options.Cluster enabled multi-replica
 	// serving; peerStageGate bounds concurrent stolen-stage work, and
@@ -249,8 +268,53 @@ func New(opts Options) (*Server, error) {
 	s.runGate = newGate("run", opts.RunLimit, opts.RunQueue, opts.QueueTimeout,
 		queueDepth.With("run"), func(reason string) { s.rejected.With("run", reason).Inc() })
 
+	// The stage cache registers its metric families only when enabled, so
+	// a standalone daemon's /metrics exposition is unchanged.
+	if opts.StageCache || opts.StageCacheDir != "" {
+		sm := &stagecache.Metrics{
+			Hits: reg.Counter("rcpt_stagecache_hits_total",
+				"pipeline stages restored from the stage cache"),
+			Misses: reg.Counter("rcpt_stagecache_misses_total",
+				"stage-cache lookups that fell through to compute"),
+			Stores: reg.Counter("rcpt_stagecache_stores_total",
+				"freshly computed stage outputs stored in the stage cache"),
+			Evictions: reg.Counter("rcpt_stagecache_evictions_total",
+				"stage entries evicted from the in-memory tier"),
+			DiskHits: reg.Counter("rcpt_stagecache_disk_hits_total",
+				"stage-cache hits served by disk read-through"),
+			Corrupt: reg.Counter("rcpt_stagecache_corrupt_total",
+				"persisted stage entries rejected by checksum verification"),
+			DiskErrors: reg.Counter("rcpt_stagecache_disk_errors_total",
+				"stage-cache disk writes that failed (entry stays memory-only)"),
+			Entries: reg.Gauge("rcpt_stagecache_entries", "stage entries resident in memory"),
+			Bytes:   reg.Gauge("rcpt_stagecache_bytes", "payload bytes resident in memory"),
+		}
+		scache, err := stagecache.New(stagecache.Options{
+			MaxEntries: opts.StageCacheEntries,
+			MaxBytes:   opts.StageCacheBytes,
+			Dir:        opts.StageCacheDir,
+			Metrics:    sm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.stageCache = scache
+		if opts.StageCacheDir != "" {
+			// Warm start: verify every persisted stage entry so a restarted
+			// daemon's first run reuses its pre-crash stage work.
+			stageWarm := reg.CounterVec("rcpt_stagecache_warmstart_total",
+				"persisted stage entries examined at boot, by outcome", "outcome")
+			restored, corrupt := scache.Warm()
+			stageWarm.With("restored").Add(uint64(restored))
+			stageWarm.With("corrupt").Add(uint64(corrupt))
+		}
+	}
+
 	if opts.Cluster != nil {
 		clOpts := *opts.Cluster
+		// Peer-served steals and dispatch fallbacks go through the same
+		// cache-aware local compute the stage graph uses.
+		clOpts.LocalStage = s.localTraceStage
 		if opts.Chaos.NetEnabled() {
 			// Transport chaos rides the peer client via WrapTransport, so
 			// injected weather hits exactly the traffic the cluster sends —
@@ -309,6 +373,9 @@ func New(opts Options) (*Server, error) {
 			// Every pipeline run this replica executes dispatches its
 			// trace stages through the cluster's work-stealing seam.
 			runOpts.TraceStage = s.cluster.TraceStage
+		}
+		if s.stageCache != nil {
+			runOpts.StageCache = s.stageCache
 		}
 		runFn = func(ctx context.Context, cfg core.Config) (*core.Artifacts, error) {
 			return core.RunWithOptions(ctx, cfg, runOpts)
@@ -404,6 +471,34 @@ func (s *Server) BaseFingerprint() string { return s.baseFP }
 func (s *Server) Warm() error {
 	_, err := s.runner.artifacts(context.Background(), s.baseFP, s.baseCfg)
 	return err
+}
+
+// localTraceStage computes one (year, rep) trace stage in-process,
+// consulting the stage cache first when it is enabled. It backs the
+// cluster's LocalStage seam, so both a steal served to a peer and a
+// dispatch fallback reuse cached stage bytes instead of regenerating —
+// identical bytes either way, per the cache's failure contract.
+func (s *Server) localTraceStage(cfg core.Config, year, rep int) (trace.JobTable, error) {
+	if s.stageCache == nil {
+		return core.TraceReplicaTable(cfg, year, rep)
+	}
+	key := core.TraceStageKey(cfg, year, rep)
+	if payload, ok := s.stageCache.Load(key); ok {
+		if tab, err := core.DecodeTraceStagePayload(payload); err == nil {
+			return tab, nil
+		}
+		// Valid checksum, undecodable structure: codec skew. Drop the
+		// entry and recompute.
+		s.stageCache.Delete(key)
+	}
+	tab, err := core.TraceReplicaTable(cfg, year, rep)
+	if err != nil {
+		return nil, err
+	}
+	if payload, err := core.EncodeTraceStagePayload(tab); err == nil {
+		s.stageCache.Store(key, payload)
+	}
+	return tab, nil
 }
 
 // cacheGet reads a rendered artifact: memory first, then the disk spill

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// metricValue extracts one un-labeled counter/gauge sample from the
+// /metrics exposition (0 if the family is absent).
+func metricValue(t *testing.T, h http.Handler, name string) float64 {
+	t.Helper()
+	body := get(t, h, "/metrics").Body.String()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parsing %s sample %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestStageCacheIncrementalRun is the serving-layer acceptance test for
+// the Merkle stage cache: a second POST /v1/run differing only in the
+// scheduling policy — a late-DAG parameter — reuses every stage the
+// change does not reach (exactly one miss) and still produces bodies
+// and ETags byte-identical to a server that caches nothing.
+func TestStageCacheIncrementalRun(t *testing.T) {
+	plain := newTestServer(t, Options{})
+	cached := newTestServer(t, Options{StageCache: true})
+
+	h := cached.Handler()
+	runBoth := func(body string) {
+		t.Helper()
+		wp := post(t, plain.Handler(), "/v1/run", body)
+		wc := post(t, h, "/v1/run", body)
+		if wp.Code != 200 || wc.Code != 200 {
+			t.Fatalf("run %s = %d / %d: %s %s", body, wp.Code, wc.Code, wp.Body, wc.Body)
+		}
+		if !bytes.Equal(wp.Body.Bytes(), wc.Body.Bytes()) {
+			t.Fatalf("run %s: stage-cached body differs from uncached", body)
+		}
+		if ep, ec := wp.Header().Get("ETag"), wc.Header().Get("ETag"); ep == "" || ep != ec {
+			t.Fatalf("run %s: ETags differ: %q vs %q", body, ep, ec)
+		}
+	}
+
+	runBoth(`{"seed": 11}`)
+	stagesCold := metricValue(t, h, "rcpt_stagecache_stores_total")
+	if hits := metricValue(t, h, "rcpt_stagecache_hits_total"); hits != 0 || stagesCold == 0 {
+		t.Fatalf("cold run: hits %v (want 0), stores %v (want > 0)", hits, stagesCold)
+	}
+
+	runBoth(`{"seed": 11, "policy": "fcfs"}`)
+	hits := metricValue(t, h, "rcpt_stagecache_hits_total")
+	misses := metricValue(t, h, "rcpt_stagecache_misses_total") - stagesCold
+	if hits != stagesCold-1 || misses != 1 {
+		t.Fatalf("policy change: hit %v of %v cached stages, recomputed %v, want %v hits and exactly 1 recompute",
+			hits, stagesCold, misses, stagesCold-1)
+	}
+}
+
+// TestStageCacheMetricsGated pins the metrics contract: the
+// rcpt_stagecache_* families exist exactly when the feature is enabled,
+// so a standalone daemon's exposition is unchanged.
+func TestStageCacheMetricsGated(t *testing.T) {
+	off := get(t, newTestServer(t, Options{}).Handler(), "/metrics").Body.String()
+	if strings.Contains(off, "rcpt_stagecache_") {
+		t.Fatal("stage-cache metric families registered while the feature is disabled")
+	}
+	on := get(t, newTestServer(t, Options{StageCache: true}).Handler(), "/metrics").Body.String()
+	for _, name := range []string{
+		"rcpt_stagecache_hits_total", "rcpt_stagecache_misses_total",
+		"rcpt_stagecache_stores_total", "rcpt_stagecache_corrupt_total",
+		"rcpt_stagecache_entries", "rcpt_stagecache_bytes",
+	} {
+		if !strings.Contains(on, name) {
+			t.Fatalf("metric %s missing with the stage cache enabled", name)
+		}
+	}
+}
+
+// TestLocalTraceStageServedFromCache pins the peer-serving seam: after
+// a pipeline run has populated the stage cache, localTraceStage — the
+// compute behind both /v1/peer/stage and the dispatch fallback — must
+// answer from the cache with the exact bytes the run stored, and a
+// stage-cache-less server must compute the identical table.
+func TestLocalTraceStageServedFromCache(t *testing.T) {
+	s := newTestServer(t, Options{StageCache: true})
+	h := s.Handler()
+	if w := post(t, h, "/v1/run", `{"seed": 31}`); w.Code != 200 {
+		t.Fatalf("run = %d: %s", w.Code, w.Body)
+	}
+
+	cfg := s.baseCfg
+	cfg.Seed = 31
+	hitsBefore := metricValue(t, h, "rcpt_stagecache_hits_total")
+	tab, err := s.localTraceStage(cfg, cfg.TraceYears[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := metricValue(t, h, "rcpt_stagecache_hits_total"); hits != hitsBefore+1 {
+		t.Fatalf("stage steal did not hit the cache (hits %v -> %v)", hitsBefore, hits)
+	}
+	hash, err := tab.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := newTestServer(t, Options{})
+	want, err := plain.localTraceStage(cfg, cfg.TraceYears[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash, err := want.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != wantHash {
+		t.Fatalf("cache-served stage hash %x != computed %x", hash, wantHash)
+	}
+}
+
+// TestStageCacheDirWarmStart: a restarted daemon pointing at the same
+// -stage-cache-dir verifies the persisted stage entries at boot and
+// serves its first run almost entirely from them.
+func TestStageCacheDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{StageCacheDir: dir})
+	if w := post(t, s1.Handler(), "/v1/run", `{"seed": 23}`); w.Code != 200 {
+		t.Fatalf("run = %d: %s", w.Code, w.Body)
+	}
+	etag1 := post(t, s1.Handler(), "/v1/run", `{"seed": 23}`).Header().Get("ETag")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, Options{StageCacheDir: dir})
+	h := s2.Handler()
+	if restored := metricValue(t, h, `rcpt_stagecache_warmstart_total{outcome="restored"}`); restored == 0 {
+		t.Fatal("restart restored no persisted stage entries")
+	}
+	if corrupt := metricValue(t, h, `rcpt_stagecache_warmstart_total{outcome="corrupt"}`); corrupt != 0 {
+		t.Fatalf("restart found %v corrupt stage entries", corrupt)
+	}
+	w := post(t, h, "/v1/run", `{"seed": 23}`)
+	if w.Code != 200 {
+		t.Fatalf("post-restart run = %d: %s", w.Code, w.Body)
+	}
+	if etag2 := w.Header().Get("ETag"); etag2 != etag1 {
+		t.Fatalf("post-restart ETag %q differs from pre-restart %q", etag2, etag1)
+	}
+	if hits := metricValue(t, h, "rcpt_stagecache_hits_total"); hits == 0 {
+		t.Fatal("post-restart run hit no persisted stages")
+	}
+	if misses := metricValue(t, h, "rcpt_stagecache_misses_total"); misses != 0 {
+		t.Fatalf("post-restart run missed %v stages, want 0", misses)
+	}
+}

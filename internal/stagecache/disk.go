@@ -1,0 +1,228 @@
+package stagecache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Disk tier: one file per key, named <key>.stg, holding a checksummed
+// "rcpt-stg/1" envelope. Writes follow the repo's crash-safe idiom
+// (temp file in the same directory + fsync + atomic rename + best-
+// effort directory fsync), so a kill at any instant leaves either no
+// entry or a complete one — and a torn entry that somehow lands under a
+// valid name still fails its checksum and is deleted on first read.
+
+const (
+	stgMagic      = "rcpt-stg/1\n"
+	stgSuffix     = ".stg"
+	stgTempPrefix = ".stg-"
+	// stgMaxPayload rejects absurd length headers before allocating.
+	stgMaxPayload = 1 << 31
+)
+
+// diskStatus classifies one disk read.
+type diskStatus int
+
+const (
+	diskMiss    diskStatus = iota // no entry on disk
+	diskOK                        // entry read and verified
+	diskCorrupt                   // entry failed verification (deleted)
+)
+
+type diskTier struct {
+	dir string
+}
+
+func newDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stagecache: dir: %w", err)
+	}
+	return &diskTier{dir: dir}, nil
+}
+
+// validKey reports whether key is usable as a content-addressed
+// filename: non-empty lowercase hex, the form core's SHA-256 derivation
+// produces. Anything else never touches the filesystem.
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *diskTier) path(key string) string {
+	return filepath.Join(d.dir, key+stgSuffix)
+}
+
+// encodeEnvelope frames a payload: magic, key, payload length, SHA-256,
+// payload. The embedded key lets warm scans verify an entry belongs to
+// its filename (a renamed or cross-copied file is corruption, not a
+// different stage's valid output).
+func encodeEnvelope(key string, payload []byte) []byte {
+	var b bytes.Buffer
+	b.Grow(len(stgMagic) + 2*binary.MaxVarintLen64 + len(key) + sha256.Size + len(payload))
+	b.WriteString(stgMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(key)))])
+	b.WriteString(key)
+	b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(payload)))])
+	sum := sha256.Sum256(payload)
+	b.Write(sum[:])
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// decodeEnvelope parses and verifies one envelope, checking the framed
+// key against wantKey. It returns the payload or an error describing
+// the corruption.
+func decodeEnvelope(blob []byte, wantKey string) ([]byte, error) {
+	if len(blob) < len(stgMagic) || string(blob[:len(stgMagic)]) != stgMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	rest := blob[len(stgMagic):]
+	keyLen, n := binary.Uvarint(rest)
+	if n <= 0 || keyLen > 128 || uint64(len(rest)-n) < keyLen {
+		return nil, fmt.Errorf("bad key length")
+	}
+	rest = rest[n:]
+	key := string(rest[:keyLen])
+	rest = rest[keyLen:]
+	if key != wantKey {
+		return nil, fmt.Errorf("key mismatch")
+	}
+	payLen, n := binary.Uvarint(rest)
+	if n <= 0 || payLen > stgMaxPayload {
+		return nil, fmt.Errorf("bad payload length")
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != sha256.Size+payLen {
+		return nil, fmt.Errorf("truncated")
+	}
+	var want [sha256.Size]byte
+	copy(want[:], rest[:sha256.Size])
+	payload := rest[sha256.Size:]
+	if sha256.Sum256(payload) != want {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// read loads and verifies one entry. Corrupt files are deleted so they
+// are never retried.
+func (d *diskTier) read(key string) ([]byte, diskStatus) {
+	if !validKey(key) {
+		return nil, diskMiss
+	}
+	blob, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, diskMiss
+	}
+	payload, err := decodeEnvelope(blob, key)
+	if err != nil {
+		os.Remove(d.path(key))
+		return nil, diskCorrupt
+	}
+	return payload, diskOK
+}
+
+// write spills one entry crash-safely.
+func (d *diskTier) write(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("stagecache: invalid key %q", key)
+	}
+	blob := encodeEnvelope(key, payload)
+	tmp, err := os.CreateTemp(d.dir, stgTempPrefix+"*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		// The write error is the one worth reporting; cleanup is
+		// best-effort by design.
+		_ = tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, d.path(key)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Durability of the rename itself: fsync the directory. Best-effort
+	// — some filesystems refuse directory fsync, and the entry is still
+	// atomic without it.
+	if dirF, err := os.Open(d.dir); err == nil {
+		_ = dirF.Sync()
+		_ = dirF.Close()
+	}
+	return nil
+}
+
+// remove deletes one entry (decode-skew invalidation).
+func (d *diskTier) remove(key string) {
+	if validKey(key) {
+		os.Remove(d.path(key))
+	}
+}
+
+// warm scans the tier: sweeps temp files left by crashed writes,
+// verifies every entry end to end (checksum included), deletes corrupt
+// ones, and counts what survives. Entries are visited in explicitly
+// sorted name order — warm-start metrics must not depend on directory
+// iteration order, so the sort is ours, not the filesystem's.
+func (d *diskTier) warm() (restored, corrupt int) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, 0
+	}
+	names := make([]string, 0, len(entries))
+	for _, de := range entries {
+		if !de.IsDir() {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if strings.HasPrefix(name, stgTempPrefix) {
+			os.Remove(filepath.Join(d.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, stgSuffix) {
+			continue
+		}
+		key := strings.TrimSuffix(name, stgSuffix)
+		if !validKey(key) {
+			// Not a name any derivation produces: junk, not a cache entry.
+			os.Remove(filepath.Join(d.dir, name))
+			corrupt++
+			continue
+		}
+		if _, status := d.read(key); status == diskOK {
+			restored++
+		} else {
+			corrupt++
+		}
+	}
+	return restored, corrupt
+}

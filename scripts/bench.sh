@@ -9,12 +9,19 @@
 # oracle so the optimized-vs-naive speedup is recorded in the same file.
 # -benchmem is always on: bytes_per_op/allocs_per_op in the JSON carry
 # the slice-vs-columnar memory comparison (BenchmarkSimulateFeed10x).
+#
+# A second file, BENCH_incr.json, records the Merkle stage cache:
+# cold (fill) vs warm (restore every stage) vs policy-change (one
+# late-DAG parameter changed, only sim-policy recomputes) on the
+# BenchmarkFullPipeline study. The warm/cold ns_per_op ratio is the
+# incremental-recomputation speedup.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_sched.json}"
+OUT_INCR="${OUT_INCR:-BENCH_incr.json}"
 
 go build -o /tmp/rcpt-bench ./cmd/rcpt-bench
 {
@@ -22,3 +29,7 @@ go build -o /tmp/rcpt-bench ./cmd/rcpt-bench
   go test -run '^$' -bench 'BenchmarkFullPipeline$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" .
 } | tee /dev/stderr | /tmp/rcpt-bench -benchtime "$BENCHTIME" -count "$COUNT" -out "$OUT"
 echo "wrote $OUT" >&2
+
+go test -run '^$' -bench 'BenchmarkRunColdVsWarmStageCache' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . |
+  tee /dev/stderr | /tmp/rcpt-bench -benchtime "$BENCHTIME" -count "$COUNT" -out "$OUT_INCR"
+echo "wrote $OUT_INCR" >&2
